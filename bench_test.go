@@ -1,0 +1,190 @@
+// Benchmarks: one testing.B entry per experiment of the reproduction
+// (E1–E14, see DESIGN.md's experiment index), sharing the exact harness
+// cmd/kspot-bench runs at full scale, plus micro-benchmarks of the hot
+// paths (codec, view merge, query planning, one MINT epoch).
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks run at reduced scale per iteration and report
+// domain metrics (tx_bytes, messages) alongside ns/op; regenerating the
+// full tables is `go run ./cmd/kspot-bench`.
+package kspot
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"kspot/internal/bench"
+	"kspot/internal/model"
+	"kspot/internal/query"
+	"kspot/internal/sim"
+	"kspot/internal/topk"
+	"kspot/internal/topk/mint"
+	"kspot/internal/topk/tag"
+	"kspot/internal/topo"
+	"kspot/internal/trace"
+)
+
+// benchExperiment wraps one harness experiment as a benchmark.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.Get(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	bench.SetScale(0.1)
+	defer bench.SetScale(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1Figure1(b *testing.B)         { benchExperiment(b, "e1") }
+func BenchmarkE2Figure3(b *testing.B)         { benchExperiment(b, "e2") }
+func BenchmarkE3SnapshotSavings(b *testing.B) { benchExperiment(b, "e3") }
+func BenchmarkE4Energy(b *testing.B)          { benchExperiment(b, "e4") }
+func BenchmarkE5Scaling(b *testing.B)         { benchExperiment(b, "e5") }
+func BenchmarkE6KSweep(b *testing.B)          { benchExperiment(b, "e6") }
+func BenchmarkE7Historic(b *testing.B)        { benchExperiment(b, "e7") }
+func BenchmarkE8TJAPhases(b *testing.B)       { benchExperiment(b, "e8") }
+func BenchmarkE9Recall(b *testing.B)          { benchExperiment(b, "e9") }
+func BenchmarkE10QueryPlan(b *testing.B)      { benchExperiment(b, "e10") }
+func BenchmarkE11GammaAblation(b *testing.B)  { benchExperiment(b, "e11") }
+func BenchmarkE12Payload(b *testing.B)        { benchExperiment(b, "e12") }
+func BenchmarkE13Loss(b *testing.B)           { benchExperiment(b, "e13") }
+func BenchmarkE14FILA(b *testing.B)           { benchExperiment(b, "e14") }
+
+// BenchmarkMintEpoch measures one steady-state MINT epoch on the standard
+// 64-node / 16-cluster network, reporting the domain metrics the System
+// Panel displays.
+func BenchmarkMintEpoch(b *testing.B) {
+	benchOperatorEpoch(b, mint.New())
+}
+
+// BenchmarkTagEpoch is the TAG baseline for BenchmarkMintEpoch.
+func BenchmarkTagEpoch(b *testing.B) {
+	benchOperatorEpoch(b, tag.New())
+}
+
+func benchOperatorEpoch(b *testing.B, op topk.SnapshotOperator) {
+	p, err := topo.Grid(64, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.RegroupContiguous(16)
+	net, err := sim.New(p, 15, sim.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := trace.NewRoomActivity(7, p.Groups, 16)
+	q := topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+	if err := op.Attach(net, q); err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up (creation phase), then measure steady state.
+	readings := topk.SenseEpoch(net, src, 0)
+	if _, err := op.Epoch(0, readings); err != nil {
+		b.Fatal(err)
+	}
+	net.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := model.Epoch(i + 1)
+		r := topk.SenseEpoch(net, src, e)
+		if _, err := op.Epoch(e, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(float64(net.Counter.TotalTxBytes())/float64(b.N), "tx_bytes/epoch")
+		b.ReportMetric(float64(net.Counter.TotalMessages())/float64(b.N), "msgs/epoch")
+	}
+}
+
+// BenchmarkViewEncode measures the wire codec on a 16-group view.
+func BenchmarkViewEncode(b *testing.B) {
+	v := model.NewView()
+	for i := 0; i < 64; i++ {
+		v.Add(model.Reading{Node: model.NodeID(i), Group: model.GroupID(i % 16), Value: model.Value(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := model.EncodeView(v)
+		if _, err := model.DecodeView(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewMerge measures the TAG merge path.
+func BenchmarkViewMerge(b *testing.B) {
+	a := model.NewView()
+	c := model.NewView()
+	for i := 0; i < 64; i++ {
+		a.Add(model.Reading{Node: model.NodeID(i), Group: model.GroupID(i % 16), Value: model.Value(i)})
+		c.Add(model.Reading{Node: model.NodeID(i + 64), Group: model.GroupID(i % 16), Value: model.Value(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := a.Clone()
+		m.MergeView(c)
+		if m.Len() != 16 {
+			b.Fatal("merge lost groups")
+		}
+	}
+}
+
+// BenchmarkQueryPlan measures the §II parser + router.
+func BenchmarkQueryPlan(b *testing.B) {
+	schema := query.DefaultSchema()
+	queries := []string{
+		"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min",
+		"SELECT TOP 5 timeinstant, AVG(temp) FROM sensors WITH HISTORY 256",
+		"SELECT sound, temp FROM sensors",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.PlanText(queries[i%len(queries)], schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistoricTJA measures one full TJA execution (W=128, n=36).
+func BenchmarkHistoricTJA(b *testing.B) {
+	benchHistoric(b, "tja")
+}
+
+// BenchmarkHistoricTPUT measures one full TPUT execution on the same data.
+func BenchmarkHistoricTPUT(b *testing.B) {
+	benchHistoric(b, "tput")
+}
+
+func benchHistoric(b *testing.B, algo Algorithm) {
+	scen := DemoScenario()
+	scen.Workload.Kind = "diurnal"
+	sys, err := Open(scen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sql := fmt.Sprintf("SELECT TOP 4 timeinstant, AVG(temp) FROM sensors WITH HISTORY %d", 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur, err := sys.PostWith(sql, algo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cur.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command kspot-bench regenerates the reproduction's experiments (the
+// tables and figures indexed in DESIGN.md and recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	kspot-bench -list             # list experiments
+//	kspot-bench -exp e3           # run one experiment
+//	kspot-bench -exp all          # run everything (the default)
+//	kspot-bench -exp e7 -scale .2 # quick run at reduced size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kspot/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (e1..e14) or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		scale = flag.Float64("scale", 1.0, "size scale factor in (0,1], for quick runs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	bench.SetScale(*scale)
+
+	run := func(e bench.Experiment) error {
+		start := time.Now()
+		fmt.Printf("## %s — %s\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			if err := run(e); err != nil {
+				fmt.Fprintln(os.Stderr, "kspot-bench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, ok := bench.Get(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "kspot-bench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintln(os.Stderr, "kspot-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,168 @@
+// Command kspotd serves the KSpot GUI over HTTP: the Display Panel with
+// live KSpot bullets, the ranking strip and the System Panel, refreshed as
+// the live goroutine deployment (internal/runtime) advances epochs — the
+// web-era stand-in for the paper's projector at the conference site.
+//
+// Usage:
+//
+//	kspotd -addr :8080 -k 3 -interval 1s
+//	kspotd -scenario demo.json
+//
+// Endpoints:
+//
+//	/         HTML dashboard (auto-refreshing)
+//	/panel    text display panel
+//	/ranking  one-line ranking strip
+//	/stats    JSON traffic statistics
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"kspot"
+	"kspot/internal/config"
+	"kspot/internal/gui"
+	"kspot/internal/model"
+	"kspot/internal/runtime"
+	"kspot/internal/topk"
+)
+
+type state struct {
+	mu      sync.Mutex
+	epoch   model.Epoch
+	answers []model.Answer
+	traffic runtime.Traffic
+	rounds  int
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		scenarioPath = flag.String("scenario", "", "scenario JSON (default: built-in demo)")
+		k            = flag.Int("k", 3, "K of the Top-K query")
+		interval     = flag.Duration("interval", time.Second, "epoch duration")
+		window       = flag.Int("window", 64, "per-node history window")
+	)
+	flag.Parse()
+
+	scen := kspot.DemoScenario()
+	if *scenarioPath != "" {
+		var err error
+		scen, err = config.Load(*scenarioPath)
+		if err != nil {
+			log.Fatal("kspotd: ", err)
+		}
+	}
+	placement := scen.Placement()
+	src, err := scen.Source()
+	if err != nil {
+		log.Fatal("kspotd: ", err)
+	}
+	q := topk.SnapshotQuery{K: *k, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+	tree, err := scen.Tree()
+	if err != nil {
+		log.Fatal("kspotd: ", err)
+	}
+	dep, err := runtime.FromTree(placement, tree, src, q, *window)
+	if err != nil {
+		log.Fatal("kspotd: ", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dep.Start(ctx)
+	defer dep.Stop()
+
+	st := &state{}
+	go func() {
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		var e model.Epoch
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+			res := dep.Server.RunEpoch(e)
+			st.mu.Lock()
+			st.epoch = e
+			st.answers = res.Answers
+			st.traffic = dep.Traffic()
+			st.rounds = res.Rounds
+			st.mu.Unlock()
+			e++
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/panel", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		answers := st.answers
+		st.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, gui.DisplayPanel(placement, answers, 72, 18))
+	})
+	mux.HandleFunc("/ranking", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		answers := st.answers
+		epoch := st.epoch
+		st.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "epoch %d: %s\n", epoch, gui.RankingStrip(placement, answers))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st.mu.Lock()
+		out := map[string]interface{}{
+			"epoch":    st.epoch,
+			"messages": st.traffic.Messages,
+			"tx_bytes": st.traffic.TxBytes,
+			"rounds":   st.rounds,
+		}
+		st.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		st.mu.Lock()
+		answers := st.answers
+		epoch := st.epoch
+		tr := st.traffic
+		st.mu.Unlock()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprintf(w, `<!DOCTYPE html><html><head><meta http-equiv="refresh" content="2">
+<title>KSpot — %s</title><style>body{font-family:monospace;background:#111;color:#dfd}
+pre{font-size:13px}</style></head><body>
+<h2>KSpot — %s</h2>
+<p>epoch %d &middot; messages %d &middot; tx bytes %d</p>
+<pre>%s</pre>
+<pre>%s</pre>
+</body></html>`,
+			html.EscapeString(scen.Name), html.EscapeString(scen.Name), epoch,
+			tr.Messages, tr.TxBytes,
+			html.EscapeString(fmt.Sprintf("ranking: %s", gui.RankingStrip(placement, answers))),
+			html.EscapeString(gui.DisplayPanel(placement, answers, 72, 18)))
+	})
+
+	log.Printf("kspotd: serving %q on %s (query: TOP %d AVG(sound) per cluster, epoch %v)", scen.Name, *addr, *k, *interval)
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "kspotd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,151 @@
+package kspot
+
+import (
+	"fmt"
+
+	"kspot/internal/model"
+	"kspot/internal/query"
+	"kspot/internal/topk"
+	"kspot/internal/trace"
+)
+
+// Cursor is a prepared query. Snapshot (continuous) queries advance one
+// epoch per Step call; historic queries execute once via Run.
+type Cursor struct {
+	sys  *System
+	plan *query.Plan
+	algo Algorithm
+
+	snapOp topk.SnapshotOperator
+	epoch  model.Epoch
+}
+
+// StepResult is one epoch of a continuous query.
+type StepResult struct {
+	Epoch   Epoch
+	Answers []Answer
+	// Exact is the oracle answer for the same epoch (the simulator knows
+	// ground truth; a real deployment would not).
+	Exact   []Answer
+	Correct bool
+}
+
+// Plan describes how the router dispatched the query.
+func (c *Cursor) Plan() string { return c.plan.Kind.String() }
+
+// Query returns the canonical query text.
+func (c *Cursor) Query() string { return c.plan.Query }
+
+// Continuous reports whether the cursor is advanced with Step (snapshot
+// and basic queries) rather than executed once with Run.
+func (c *Cursor) Continuous() bool {
+	return c.plan.Kind != query.PlanHistoricTopK
+}
+
+func (c *Cursor) prepare() error {
+	switch c.plan.Kind {
+	case query.PlanHistoricTopK:
+		if _, err := historicOperator(c.algo); err != nil {
+			return err
+		}
+		return nil
+	case query.PlanBasic:
+		// Basic queries always run plain acquisition.
+		if c.algo != AlgoAuto && c.algo != AlgoTAG {
+			return fmt.Errorf("kspot: basic queries run on TAG, not %q", c.algo)
+		}
+		op, err := snapshotOperator(AlgoTAG)
+		if err != nil {
+			return err
+		}
+		c.snapOp = op
+	default:
+		op, err := snapshotOperator(c.algo)
+		if err != nil {
+			return err
+		}
+		c.snapOp = op
+	}
+	if err := c.snapOp.Attach(c.sys.net, c.plan.Snapshot); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Step runs one epoch of a continuous query.
+func (c *Cursor) Step() (StepResult, error) {
+	if !c.Continuous() {
+		return StepResult{}, fmt.Errorf("kspot: historic query %q executes with Run, not Step", c.plan.Query)
+	}
+	e := c.epoch
+	c.epoch++
+	c.sys.net.ChargeIdleEpoch()
+
+	src := c.source()
+	readings := topk.SenseEpoch(c.sys.net, src, e)
+	answers, err := c.snapOp.Epoch(e, readings)
+	if err != nil {
+		return StepResult{}, err
+	}
+	exact := topk.ExactSnapshot(readings, c.plan.Snapshot)
+	return StepResult{
+		Epoch:   e,
+		Answers: answers,
+		Exact:   exact,
+		Correct: model.EqualAnswers(answers, exact),
+	}, nil
+}
+
+// source returns the per-epoch reading source; GROUP BY ... WITH HISTORY
+// queries filter locally first (§III-B): each node's "reading" is the
+// aggregate of its buffered window ending at the current epoch.
+func (c *Cursor) source() trace.Source {
+	if c.plan.Kind == query.PlanHistoricGroupTopK {
+		return &windowAggSource{base: c.sys.source, window: c.plan.History, agg: c.plan.Snapshot.Agg}
+	}
+	return c.sys.source
+}
+
+// Run executes a historic query over the last Window epochs of buffered
+// history (the simulator materializes each node's window from the
+// workload, standing in for the motes' MicroHash-indexed flash buffers).
+func (c *Cursor) Run() ([]Answer, error) {
+	if c.Continuous() {
+		return nil, fmt.Errorf("kspot: continuous query %q advances with Step, not Run", c.plan.Query)
+	}
+	op, err := historicOperator(c.algo)
+	if err != nil {
+		return nil, err
+	}
+	data := topk.HistoricData(trace.Series(c.sys.source, c.sys.net.Placement.SensorNodes(), c.plan.Historic.Window))
+	return op.Run(c.sys.net, c.plan.Historic, data)
+}
+
+// windowAggSource aggregates each node's trailing window locally — the
+// node-local "search and filtering in the respective history window" of
+// §III-B's horizontally fragmented case.
+type windowAggSource struct {
+	base   trace.Source
+	window int
+	agg    model.AggKind
+}
+
+// Sample implements trace.Source.
+func (w *windowAggSource) Sample(node model.NodeID, e model.Epoch) model.Value {
+	lo := 0
+	if int(e) >= w.window {
+		lo = int(e) - w.window + 1
+	}
+	p := model.Partial{}
+	first := true
+	for i := lo; i <= int(e); i++ {
+		v := model.NewPartial(0, model.Quantize(w.base.Sample(node, model.Epoch(i))))
+		if first {
+			p = v
+			first = false
+		} else {
+			p = p.Merge(v)
+		}
+	}
+	return model.Quantize(p.Eval(w.agg))
+}

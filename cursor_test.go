@@ -1,0 +1,88 @@
+package kspot
+
+import (
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/trace"
+)
+
+func TestWindowAggSourceAverages(t *testing.T) {
+	base := trace.NewFixture(map[model.NodeID][]model.Value{
+		1: {10, 20, 30, 40},
+	})
+	src := &windowAggSource{base: base, window: 2, agg: model.AggAvg}
+	// At epoch 3 the trailing 2-window is {30, 40} -> 35.
+	if got := src.Sample(1, 3); got != 35 {
+		t.Errorf("Sample(1,3) = %v, want 35", got)
+	}
+	// At epoch 0 the window clips to {10}.
+	if got := src.Sample(1, 0); got != 10 {
+		t.Errorf("Sample(1,0) = %v, want 10", got)
+	}
+}
+
+func TestWindowAggSourceMinMax(t *testing.T) {
+	base := trace.NewFixture(map[model.NodeID][]model.Value{
+		1: {10, 50, 30},
+	})
+	if got := (&windowAggSource{base: base, window: 3, agg: model.AggMax}).Sample(1, 2); got != 50 {
+		t.Errorf("MAX window = %v", got)
+	}
+	if got := (&windowAggSource{base: base, window: 3, agg: model.AggMin}).Sample(1, 2); got != 10 {
+		t.Errorf("MIN window = %v", got)
+	}
+}
+
+func TestCursorPlanAndQueryAccessors(t *testing.T) {
+	sys, err := Open(DemoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sys.Post("select top 2 roomid, avg(sound) from sensors group by roomid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Plan() != "snapshot/mint" {
+		t.Errorf("Plan = %q", cur.Plan())
+	}
+	if cur.Query() == "" {
+		t.Error("empty canonical query")
+	}
+}
+
+func TestFILAThroughFacade(t *testing.T) {
+	// FILA requires per-node groups: build a scenario where each sensor is
+	// its own cluster.
+	scen := DemoScenario()
+	for i := range scen.Nodes {
+		scen.Nodes[i].Cluster = scen.Nodes[i].ID
+	}
+	scen.Clusters = nil
+	for _, n := range scen.Nodes {
+		scen.Clusters = append(scen.Clusters, clusterFor(n.ID))
+	}
+	sys, err := Open(scen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sys.PostWith("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", AlgoFILA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cur.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("fila answers = %v", res.Answers)
+	}
+
+	// And it must refuse cluster groupings.
+	sysC, _ := Open(DemoScenario())
+	if _, err := sysC.PostWith("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", AlgoFILA); err == nil {
+		t.Fatal("FILA accepted multi-member clusters")
+	}
+}
+
+func clusterFor(id uint16) Cluster { return Cluster{ID: id} }

@@ -1,0 +1,42 @@
+// Quickstart: open the built-in demo scenario, post the paper's flagship
+// query, and watch the K highest-ranked conference rooms for ten epochs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kspot"
+)
+
+func main() {
+	// The built-in scenario is the paper's Figure 3: 14 sensors in six
+	// clusters along a conference-center corridor.
+	sys, err := kspot.Open(kspot.DemoScenario())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's §I query, verbatim (KSpot's dialect is case-insensitive).
+	cur, err := sys.Post("SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:", cur.Query())
+	fmt.Println("plan :", cur.Plan()) // snapshot/mint — the §II router at work
+	fmt.Println()
+
+	for i := 0; i < 10; i++ {
+		res, err := cur.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %2d: %s\n", res.Epoch, sys.RankingStrip(res.Answers))
+	}
+
+	// The System Panel: what the paper projects on the conference wall.
+	fmt.Println()
+	fmt.Print(sys.SystemPanel(nil))
+}

@@ -1,0 +1,112 @@
+// ZebraNet: the paper's §I spatio-temporal example — "find the K zebras
+// with the most similar trajectories to zebra X". Each collar (sensor node)
+// buffers its own GPS track; the base station broadcasts zebra X's recent
+// trajectory, every collar computes its similarity score locally (one
+// number), and the per-node Top-K machinery finds the K most similar
+// animals in-network — the collars of dissimilar zebras never transmit.
+//
+//	go run ./examples/zebranet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"kspot/internal/model"
+	"kspot/internal/sim"
+	"kspot/internal/topk"
+	"kspot/internal/topk/mint"
+	"kspot/internal/topo"
+	"kspot/internal/trace"
+)
+
+// track synthesizes a zebra's 2-D random-walk trajectory. Herd members
+// share a common drift; loners wander off.
+func track(seed int64, herd bool, steps int) []topo.Point {
+	wx := trace.NewRandomWalk(seed*2+1, -50, 50)
+	wy := trace.NewRandomWalk(seed*2+2, -50, 50)
+	out := make([]topo.Point, steps)
+	for t := 0; t < steps; t++ {
+		drift := 0.0
+		if herd {
+			drift = float64(t) * 0.4 // the herd moves northeast together
+		}
+		out[t] = topo.Point{
+			X: float64(wx.Sample(1, model.Epoch(t))) + drift,
+			Y: float64(wy.Sample(1, model.Epoch(t))) + drift/2,
+		}
+	}
+	return out
+}
+
+// similarity converts mean point-wise distance into a 0-100 score.
+func similarity(a, b []topo.Point) model.Value {
+	var sum float64
+	for t := range a {
+		sum += a[t].Dist(b[t])
+	}
+	mean := sum / float64(len(a))
+	return model.Value(math.Max(0, 100-mean))
+}
+
+// trajSource feeds each collar's locally computed similarity score into
+// the per-node Top-K pipeline.
+type trajSource struct {
+	scores map[model.NodeID]model.Value
+}
+
+func (s *trajSource) Sample(node model.NodeID, _ model.Epoch) model.Value {
+	return s.scores[node]
+}
+
+func main() {
+	const (
+		zebras = 24
+		steps  = 48 // 48 buffered GPS fixes per collar
+		k      = 3
+	)
+
+	// Trajectories: zebras 1-9 travel with the reference herd, the rest roam.
+	reference := track(1000, true, steps)
+	tracks := make(map[model.NodeID][]topo.Point, zebras)
+	for z := 1; z <= zebras; z++ {
+		tracks[model.NodeID(z)] = track(int64(z), z <= 9, steps)
+	}
+
+	// Each collar scores its own track against the broadcast reference —
+	// the §III-B "local search and filtering" step, done at the node.
+	scores := make(map[model.NodeID]model.Value, zebras)
+	for z, tr := range tracks {
+		scores[z] = model.Quantize(similarity(reference, tr))
+	}
+
+	// Collars form a multihop field; every zebra is its own group.
+	placement := topo.UniformRandom(zebras, 120, 7)
+	placement.RegroupRoundRobin(zebras)
+	net, err := sim.New(placement, 45, sim.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := &trajSource{scores: scores}
+	q := topk.SnapshotQuery{K: k, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+	op := mint.New()
+	r := &topk.Runner{Net: net, Source: src, Op: op, Query: q}
+	results, err := r.Run(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := results[len(results)-1]
+
+	fmt.Printf("reference: zebra X's %d-fix trajectory (herd drift northeast)\n\n", steps)
+	fmt.Printf("top-%d most similar zebras (in-network, MINT):\n", k)
+	for i, a := range final.Answers {
+		fmt.Printf("  %d. zebra %-2d similarity %.2f\n", i+1, a.Group, a.Score)
+	}
+	if !final.Correct {
+		log.Fatalf("in-network answer diverged from oracle: %v vs %v", final.Answers, final.Exact)
+	}
+	fmt.Println("\nanswer verified against the centralized oracle ✓")
+	fmt.Printf("traffic: %d messages, %d bytes (a full collar-track upload would ship %d bytes)\n",
+		net.Counter.TotalMessages(), net.Counter.TotalTxBytes(), zebras*steps*8)
+}

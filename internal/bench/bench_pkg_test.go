@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("registered %d experiments, want 14", len(all))
+	}
+	if all[0].ID != "e1" || all[len(all)-1].ID != "e14" {
+		t.Fatalf("ordering: first=%s last=%s", all[0].ID, all[len(all)-1].ID)
+	}
+	for _, e := range all {
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Get("e1"); !ok {
+		t.Error("Get(e1) failed")
+	}
+	if _, ok := Get("e99"); ok {
+		t.Error("Get(e99) succeeded")
+	}
+}
+
+// TestAllExperimentsRunClean executes every experiment at reduced scale and
+// fails on any error or shape violation — the whole reproduction in one
+// test.
+func TestAllExperimentsRunClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments in -short mode")
+	}
+	SetScale(0.2)
+	defer SetScale(1)
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s: %v\noutput so far:\n%s", e.ID, err, buf.String())
+			}
+			if out := buf.String(); strings.Contains(out, "SHAPE VIOLATION") {
+				t.Errorf("%s reported a shape violation:\n%s", e.ID, out)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestSetScaleClamps(t *testing.T) {
+	SetScale(-3)
+	if scale != 1 {
+		t.Errorf("scale = %v after invalid SetScale", scale)
+	}
+	SetScale(0.5)
+	if got := scaled(100); got != 50 {
+		t.Errorf("scaled(100) = %d", got)
+	}
+	if got := scaled(1); got != 2 {
+		t.Errorf("scaled floor = %d", got)
+	}
+	SetScale(1)
+}

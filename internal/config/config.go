@@ -1,0 +1,328 @@
+// Package config reads and writes KSpot scenario files — the JSON artifact
+// of the paper's Configuration Panel, which "enables the user to load a new
+// scenario from a configuration file or to create a new scenario". A
+// scenario declares the deployment (node positions), the clustering (which
+// nodes share a physical region), radio parameters and the workload.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"kspot/internal/model"
+	"kspot/internal/sim"
+	"kspot/internal/topo"
+	"kspot/internal/trace"
+)
+
+// Node declares one sensor's placement and cluster.
+type Node struct {
+	ID      uint16  `json:"id"`
+	X       float64 `json:"x"`
+	Y       float64 `json:"y"`
+	Cluster uint16  `json:"cluster"`
+}
+
+// Cluster names a physical region ("Auditorium", "Coffee Station 1").
+type Cluster struct {
+	ID   uint16 `json:"id"`
+	Name string `json:"name"`
+}
+
+// Workload selects and parameterizes a trace source.
+type Workload struct {
+	// Kind: rooms | diurnal | walk | zipf | uniform | fixture.
+	Kind string  `json:"kind"`
+	Seed int64   `json:"seed"`
+	Min  float64 `json:"min,omitempty"`
+	Max  float64 `json:"max,omitempty"`
+	// Period, for rooms: epochs between activity changes.
+	Period uint32 `json:"period,omitempty"`
+	// ActiveFrac, for rooms: fraction of rooms active at a time.
+	ActiveFrac float64 `json:"active_frac,omitempty"`
+	// Fixture values, keyed by node id, for kind=fixture.
+	Fixture map[string][]float64 `json:"fixture,omitempty"`
+}
+
+// Scenario is a complete deployment description.
+type Scenario struct {
+	Name     string    `json:"name"`
+	SinkX    float64   `json:"sink_x"`
+	SinkY    float64   `json:"sink_y"`
+	Radius   float64   `json:"radio_radius"`
+	Loss     float64   `json:"loss_rate,omitempty"`
+	Payload  int       `json:"payload_bytes,omitempty"`
+	Budget   float64   `json:"budget_joules,omitempty"`
+	Nodes    []Node    `json:"nodes"`
+	Clusters []Cluster `json:"clusters"`
+	Workload Workload  `json:"workload"`
+	// Parents, when present, pins the routing tree explicitly (keyed by
+	// node id, value = parent id) instead of deriving it from radio
+	// connectivity — how the paper's Figure 1 draws its exact tree.
+	Parents map[string]uint16 `json:"parents,omitempty"`
+}
+
+// Validate checks structural consistency.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("config: scenario needs a name")
+	}
+	if s.Radius <= 0 {
+		return fmt.Errorf("config: radio radius must be positive, got %v", s.Radius)
+	}
+	if len(s.Nodes) == 0 {
+		return fmt.Errorf("config: scenario has no nodes")
+	}
+	clusters := make(map[uint16]bool, len(s.Clusters))
+	for _, c := range s.Clusters {
+		if clusters[c.ID] {
+			return fmt.Errorf("config: duplicate cluster id %d", c.ID)
+		}
+		clusters[c.ID] = true
+	}
+	seen := make(map[uint16]bool, len(s.Nodes))
+	for _, n := range s.Nodes {
+		if n.ID == 0 {
+			return fmt.Errorf("config: node id 0 is reserved for the sink")
+		}
+		if seen[n.ID] {
+			return fmt.Errorf("config: duplicate node id %d", n.ID)
+		}
+		seen[n.ID] = true
+		if len(s.Clusters) > 0 && !clusters[n.Cluster] {
+			return fmt.Errorf("config: node %d references unknown cluster %d", n.ID, n.Cluster)
+		}
+	}
+	if s.Loss < 0 || s.Loss >= 1 {
+		return fmt.Errorf("config: loss rate %v outside [0,1)", s.Loss)
+	}
+	return nil
+}
+
+// Placement converts the scenario to a topo.Placement.
+func (s *Scenario) Placement() *topo.Placement {
+	p := topo.NewPlacement()
+	p.Positions[model.Sink] = topo.Point{X: s.SinkX, Y: s.SinkY}
+	for _, n := range s.Nodes {
+		p.Positions[model.NodeID(n.ID)] = topo.Point{X: n.X, Y: n.Y}
+		p.Groups[model.NodeID(n.ID)] = model.GroupID(n.Cluster)
+	}
+	for _, c := range s.Clusters {
+		p.Names[model.GroupID(c.ID)] = c.Name
+	}
+	return p
+}
+
+// Network builds a simulated network from the scenario.
+func (s *Scenario) Network() (*sim.Network, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	opts := sim.DefaultOptions()
+	opts.Radio.LossRate = s.Loss
+	opts.Radio.Seed = s.Workload.Seed
+	if s.Payload > 0 {
+		opts.Radio.Payload = s.Payload
+	}
+	opts.BudgetJoules = s.Budget
+	if len(s.Parents) > 0 {
+		tree, links, err := s.pinnedTree()
+		if err != nil {
+			return nil, err
+		}
+		return sim.FromTree(s.Placement(), links, tree, opts), nil
+	}
+	return sim.New(s.Placement(), s.Radius, opts)
+}
+
+// Tree returns the scenario's routing tree: the pinned one when declared,
+// otherwise the first-heard BFS tree over disk connectivity.
+func (s *Scenario) Tree() (*topo.Tree, error) {
+	if len(s.Parents) > 0 {
+		tree, _, err := s.pinnedTree()
+		return tree, err
+	}
+	p := s.Placement()
+	return topo.BuildTree(p, topo.DiskLinks(p, s.Radius))
+}
+
+// pinnedTree materializes the explicit parent map.
+func (s *Scenario) pinnedTree() (*topo.Tree, *topo.Links, error) {
+	tree := &topo.Tree{
+		Parent:   make(map[model.NodeID]model.NodeID),
+		Children: make(map[model.NodeID][]model.NodeID),
+		Depth:    make(map[model.NodeID]int),
+		Root:     model.Sink,
+	}
+	links := topo.NewLinks()
+	for key, parent := range s.Parents {
+		var child uint16
+		if _, err := fmt.Sscanf(key, "%d", &child); err != nil {
+			return nil, nil, fmt.Errorf("config: parent key %q is not a node id", key)
+		}
+		tree.Parent[model.NodeID(child)] = model.NodeID(parent)
+		tree.Children[model.NodeID(parent)] = append(tree.Children[model.NodeID(parent)], model.NodeID(child))
+		links.Connect(model.NodeID(child), model.NodeID(parent))
+	}
+	for _, cs := range tree.Children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	// Fill depths by walking from the sink; unreachable nodes are an error.
+	var fill func(n model.NodeID, d int)
+	tree.Depth[model.Sink] = 0
+	fill = func(n model.NodeID, d int) {
+		tree.Depth[n] = d
+		for _, c := range tree.Children[n] {
+			fill(c, d+1)
+		}
+	}
+	fill(model.Sink, 0)
+	for _, n := range s.Nodes {
+		if _, ok := tree.Depth[model.NodeID(n.ID)]; !ok {
+			return nil, nil, fmt.Errorf("config: node %d not reachable through pinned parents", n.ID)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("config: pinned tree invalid: %w", err)
+	}
+	return tree, links, nil
+}
+
+// Source builds the scenario's trace source.
+func (s *Scenario) Source() (trace.Source, error) {
+	p := s.Placement()
+	switch s.Workload.Kind {
+	case "", "rooms":
+		src := trace.NewRoomActivity(s.Workload.Seed, p.Groups, len(p.GroupIDs()))
+		if s.Workload.Period > 0 {
+			src.Period = model.Epoch(s.Workload.Period)
+		}
+		if s.Workload.ActiveFrac > 0 {
+			src.ActiveFrac = s.Workload.ActiveFrac
+		}
+		return src, nil
+	case "diurnal":
+		return trace.NewDiurnal(s.Workload.Seed), nil
+	case "walk":
+		lo, hi := defRange(s.Workload.Min, s.Workload.Max, 0, 100)
+		return trace.NewRandomWalk(s.Workload.Seed, lo, hi), nil
+	case "zipf":
+		_, hi := defRange(s.Workload.Min, s.Workload.Max, 0, 1000)
+		return trace.NewZipf(s.Workload.Seed, p.Groups, 1.5, hi), nil
+	case "uniform":
+		lo, hi := defRange(s.Workload.Min, s.Workload.Max, 0, 100)
+		return &trace.Uniform{Seed: s.Workload.Seed, Min: lo, Max: hi}, nil
+	case "fixture":
+		vals := make(map[model.NodeID][]model.Value, len(s.Workload.Fixture))
+		for k, vs := range s.Workload.Fixture {
+			var id uint16
+			if _, err := fmt.Sscanf(k, "%d", &id); err != nil {
+				return nil, fmt.Errorf("config: fixture key %q is not a node id", k)
+			}
+			mv := make([]model.Value, len(vs))
+			for i, v := range vs {
+				mv[i] = model.Value(v)
+			}
+			vals[model.NodeID(id)] = mv
+		}
+		return trace.NewFixture(vals), nil
+	default:
+		return nil, fmt.Errorf("config: unknown workload kind %q", s.Workload.Kind)
+	}
+}
+
+func defRange(lo, hi, dlo, dhi float64) (float64, float64) {
+	if lo == 0 && hi == 0 {
+		return dlo, dhi
+	}
+	return lo, hi
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return Decode(data)
+}
+
+// Decode parses and validates scenario JSON.
+func Decode(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("config: bad scenario JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Save writes the scenario as indented JSON.
+func (s *Scenario) Save(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FromPlacement captures an in-memory placement as a scenario (the
+// Configuration Panel's "create a new scenario that can be stored in a
+// configuration file").
+func FromPlacement(name string, p *topo.Placement, radius float64) *Scenario {
+	s := &Scenario{Name: name, Radius: radius}
+	if pt, ok := p.Positions[model.Sink]; ok {
+		s.SinkX, s.SinkY = pt.X, pt.Y
+	}
+	for _, id := range p.SensorNodes() {
+		pt := p.Positions[id]
+		s.Nodes = append(s.Nodes, Node{ID: uint16(id), X: pt.X, Y: pt.Y, Cluster: uint16(p.Groups[id])})
+	}
+	var gids []model.GroupID
+	for g := range p.Names {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, g := range gids {
+		s.Clusters = append(s.Clusters, Cluster{ID: uint16(g), Name: p.Names[g]})
+	}
+	if len(s.Clusters) == 0 {
+		for _, g := range p.GroupIDs() {
+			s.Clusters = append(s.Clusters, Cluster{ID: uint16(g), Name: fmt.Sprintf("cluster %d", g)})
+		}
+	}
+	return s
+}
+
+// Figure3Scenario returns the paper's demo scenario as a ready-made config.
+func Figure3Scenario() *Scenario {
+	s := FromPlacement("icde09-demo", trace.Figure3Placement(), 15)
+	s.Workload = Workload{Kind: "rooms", Seed: 42, Period: 10, ActiveFrac: 0.5}
+	return s
+}
+
+// Figure1Scenario returns the paper's worked example with its exact values
+// and its exact routing tree (s9 under s4 — the edge that trips the naive
+// strategy).
+func Figure1Scenario() *Scenario {
+	p := trace.Figure1Placement()
+	s := FromPlacement("figure-1", p, 8)
+	fix := make(map[string][]float64, 9)
+	for id, v := range trace.Figure1Values() {
+		fix[fmt.Sprintf("%d", id)] = []float64{float64(v)}
+	}
+	s.Workload = Workload{Kind: "fixture", Fixture: fix}
+	s.Parents = make(map[string]uint16)
+	tree := trace.Figure1Tree()
+	for child, parent := range tree.Parent {
+		s.Parents[fmt.Sprintf("%d", child)] = uint16(parent)
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+package config
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/trace"
+)
+
+func validScenario() *Scenario {
+	return &Scenario{
+		Name:   "test",
+		Radius: 10,
+		Nodes: []Node{
+			{ID: 1, X: 5, Y: 0, Cluster: 1},
+			{ID: 2, X: 0, Y: 5, Cluster: 1},
+		},
+		Clusters: []Cluster{{ID: 1, Name: "Lab"}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validScenario().Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	mutations := []func(*Scenario){
+		func(s *Scenario) { s.Name = "" },
+		func(s *Scenario) { s.Radius = 0 },
+		func(s *Scenario) { s.Nodes = nil },
+		func(s *Scenario) { s.Nodes[0].ID = 0 },
+		func(s *Scenario) { s.Nodes[1].ID = s.Nodes[0].ID },
+		func(s *Scenario) { s.Nodes[0].Cluster = 9 },
+		func(s *Scenario) { s.Clusters = append(s.Clusters, Cluster{ID: 1, Name: "dup"}) },
+		func(s *Scenario) { s.Loss = 1.5 },
+	}
+	for i, mut := range mutations {
+		s := validScenario()
+		mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := Figure3Scenario()
+	path := filepath.Join(t.TempDir(), "demo.json")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || len(got.Nodes) != len(s.Nodes) || len(got.Clusters) != 6 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/path.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDecodeBadJSON(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := Decode([]byte(`{"name":"x"}`)); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestPlacementConversion(t *testing.T) {
+	s := validScenario()
+	p := s.Placement()
+	if len(p.SensorNodes()) != 2 {
+		t.Fatal("sensor count")
+	}
+	if p.Names[1] != "Lab" {
+		t.Fatal("cluster name lost")
+	}
+	if p.Groups[1] != 1 {
+		t.Fatal("grouping lost")
+	}
+}
+
+func TestNetworkBuilds(t *testing.T) {
+	net, err := validScenario().Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Tree.Size() != 3 {
+		t.Fatalf("tree size = %d", net.Tree.Size())
+	}
+}
+
+func TestNetworkAppliesRadio(t *testing.T) {
+	s := validScenario()
+	s.Payload = 64
+	s.Loss = 0.1
+	net, err := s.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Link.Config().Payload != 64 || net.Link.Config().LossRate != 0.1 {
+		t.Fatalf("radio config = %+v", net.Link.Config())
+	}
+}
+
+func TestSourceKinds(t *testing.T) {
+	for _, kind := range []string{"", "rooms", "diurnal", "walk", "zipf", "uniform"} {
+		s := validScenario()
+		s.Workload = Workload{Kind: kind, Seed: 1}
+		src, err := s.Source()
+		if err != nil {
+			t.Errorf("kind %q: %v", kind, err)
+			continue
+		}
+		_ = src.Sample(1, 0)
+	}
+	s := validScenario()
+	s.Workload = Workload{Kind: "martian"}
+	if _, err := s.Source(); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestFixtureWorkload(t *testing.T) {
+	s := validScenario()
+	s.Workload = Workload{Kind: "fixture", Fixture: map[string][]float64{"1": {42.5}}}
+	src, err := s.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Sample(1, 0); got != 42.5 {
+		t.Fatalf("fixture sample = %v", got)
+	}
+	s.Workload.Fixture = map[string][]float64{"zebra": {1}}
+	if _, err := s.Source(); err == nil {
+		t.Fatal("bad fixture key accepted")
+	}
+}
+
+func TestFigure1Scenario(t *testing.T) {
+	s := Figure1Scenario()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	src, err := s.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, want := range trace.Figure1Values() {
+		if got := src.Sample(id, 0); got != want {
+			t.Errorf("node %d = %v, want %v", id, got, want)
+		}
+	}
+	if len(s.Clusters) != 4 {
+		t.Errorf("clusters = %d", len(s.Clusters))
+	}
+}
+
+func TestFigure3ScenarioShape(t *testing.T) {
+	s := Figure3Scenario()
+	if len(s.Nodes) != 14 || len(s.Clusters) != 6 {
+		t.Fatalf("demo scenario shape: %d nodes, %d clusters", len(s.Nodes), len(s.Clusters))
+	}
+	names := map[string]bool{}
+	for _, c := range s.Clusters {
+		names[c.Name] = true
+	}
+	if !names["Auditorium"] || !names["Lobby"] {
+		t.Errorf("cluster names = %v", names)
+	}
+}
+
+func TestFromPlacementUnnamedClusters(t *testing.T) {
+	p := trace.Figure1Placement()
+	for g := range p.Names {
+		delete(p.Names, g)
+	}
+	s := FromPlacement("anon", p, 8)
+	if len(s.Clusters) != 4 {
+		t.Fatalf("clusters = %d", len(s.Clusters))
+	}
+	if !strings.HasPrefix(s.Clusters[0].Name, "cluster ") {
+		t.Errorf("fallback name = %q", s.Clusters[0].Name)
+	}
+}
+
+func TestScenarioSinkPlacement(t *testing.T) {
+	s := validScenario()
+	s.SinkX, s.SinkY = 3, 4
+	p := s.Placement()
+	if pt := p.Positions[model.Sink]; pt.X != 3 || pt.Y != 4 {
+		t.Fatalf("sink at %+v", pt)
+	}
+}

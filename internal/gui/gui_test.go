@@ -1,0 +1,105 @@
+package gui
+
+import (
+	"strings"
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/stats"
+	"kspot/internal/trace"
+)
+
+func TestCanvasBasics(t *testing.T) {
+	c := NewCanvas(10, 3)
+	c.Set(0, 0, 'x')
+	c.Set(-1, 0, 'y') // out of bounds: ignored
+	c.Set(10, 3, 'y')
+	c.Text(2, 1, "hello")
+	out := c.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "hello") {
+		t.Errorf("canvas:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // border + 3 rows + border
+		t.Errorf("canvas has %d lines", len(lines))
+	}
+}
+
+func TestCanvasTextClipped(t *testing.T) {
+	c := NewCanvas(4, 1)
+	c.Text(2, 0, "abcdef")
+	if out := c.String(); !strings.Contains(out, "ab") || strings.Contains(out, "abc") {
+		t.Errorf("clipping failed:\n%s", out)
+	}
+}
+
+func TestCanvasLine(t *testing.T) {
+	c := NewCanvas(10, 10)
+	c.Line(0, 0, 9, 9)
+	dots := strings.Count(c.String(), ".")
+	if dots < 8 {
+		t.Errorf("diagonal line has %d dots", dots)
+	}
+}
+
+func TestDisplayPanelFigure3(t *testing.T) {
+	p := trace.Figure3Placement()
+	answers := []model.Answer{{Group: 1, Score: 82.5}, {Group: 4, Score: 71}, {Group: 2, Score: 60.25}}
+	out := DisplayPanel(p, answers, 72, 20)
+	for _, want := range []string{"SINK", "s1", "s14", "(1)", "(2)", "(3)", "Auditorium", "KSpot bullet", "82.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("display panel missing %q:\n%s", want, out)
+		}
+	}
+	// Unranked clusters must not carry bullets.
+	if strings.Contains(out, "(4)") {
+		t.Error("bullet shown for unranked cluster")
+	}
+}
+
+func TestDisplayPanelFigure1(t *testing.T) {
+	p := trace.Figure1Placement()
+	out := DisplayPanel(p, trace.Figure1Answers()[:1], 64, 16)
+	if !strings.Contains(out, "Room C") {
+		t.Errorf("missing room names:\n%s", out)
+	}
+}
+
+func TestRankingStrip(t *testing.T) {
+	p := trace.Figure3Placement()
+	out := RankingStrip(p, []model.Answer{{Group: 1, Score: 80}, {Group: 6, Score: 50}})
+	if !strings.Contains(out, "1. Auditorium (80.00)") || !strings.Contains(out, "2. Lobby (50.00)") {
+		t.Errorf("strip = %q", out)
+	}
+	if got := RankingStrip(p, nil); got != "no answers yet" {
+		t.Errorf("empty strip = %q", got)
+	}
+}
+
+func TestSystemPanel(t *testing.T) {
+	run := stats.RunStats{Algorithm: "mint", Epochs: 100, Messages: 500, TxBytes: 12345, EnergyUJ: 67890}
+	base := stats.RunStats{Algorithm: "tag", Epochs: 100, Messages: 2000, TxBytes: 99999, EnergyUJ: 400000}
+	out := SystemPanel(run, &base)
+	for _, want := range []string{"SYSTEM PANEL", "mint", "byte savings", "energy savings", "tag:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("system panel missing %q:\n%s", want, out)
+		}
+	}
+	// Without a baseline the savings section disappears.
+	solo := SystemPanel(run, nil)
+	if strings.Contains(solo, "savings") {
+		t.Error("savings rendered without a baseline")
+	}
+}
+
+func TestPanelBoxAligned(t *testing.T) {
+	run := stats.RunStats{Algorithm: "mint", Epochs: 1}
+	out := SystemPanel(run, nil)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	width := len(lines[0])
+	for i, l := range lines {
+		if len(l) != width {
+			t.Errorf("line %d width %d != %d: %q", i, len(l), width, l)
+		}
+	}
+}

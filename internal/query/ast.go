@@ -1,0 +1,74 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"kspot/internal/model"
+)
+
+// SelectItem is one projected column: either a bare attribute or an
+// aggregate over one.
+type SelectItem struct {
+	Attr  string
+	Agg   model.AggKind
+	IsAgg bool
+}
+
+func (s SelectItem) String() string {
+	if s.IsAgg {
+		return fmt.Sprintf("%s(%s)", s.Agg, s.Attr)
+	}
+	return s.Attr
+}
+
+// AST is the parsed form of a KSpot query.
+type AST struct {
+	TopK    int // 0 when no TOP clause
+	Items   []SelectItem
+	From    string
+	GroupBy string // empty when absent
+	// Epoch is the EPOCH DURATION, zero when absent (one-shot query).
+	Epoch time.Duration
+	// History is the WITH HISTORY window length in epochs, 0 when absent.
+	History int
+}
+
+// HasTop reports whether the query carries a TOP K clause.
+func (a *AST) HasTop() bool { return a.TopK > 0 }
+
+// Aggregate returns the single aggregate item of a TOP-K query.
+func (a *AST) Aggregate() (SelectItem, bool) {
+	for _, it := range a.Items {
+		if it.IsAgg {
+			return it, true
+		}
+	}
+	return SelectItem{}, false
+}
+
+// String reassembles a canonical form of the query.
+func (a *AST) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if a.HasTop() {
+		fmt.Fprintf(&b, "TOP %d ", a.TopK)
+	}
+	parts := make([]string, len(a.Items))
+	for i, it := range a.Items {
+		parts[i] = it.String()
+	}
+	b.WriteString(strings.Join(parts, ", "))
+	fmt.Fprintf(&b, " FROM %s", a.From)
+	if a.GroupBy != "" {
+		fmt.Fprintf(&b, " GROUP BY %s", a.GroupBy)
+	}
+	if a.Epoch > 0 {
+		fmt.Fprintf(&b, " EPOCH DURATION %s", a.Epoch)
+	}
+	if a.History > 0 {
+		fmt.Fprintf(&b, " WITH HISTORY %d", a.History)
+	}
+	return b.String()
+}

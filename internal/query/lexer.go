@@ -1,0 +1,123 @@
+// Package query implements KSpot's declarative query surface: a lexer and
+// recursive-descent parser for the paper's SQL-like dialect, and the
+// planner/router that the KSpot client runs — basic SELECT and GROUP BY
+// queries go to the plain acquisition engine (TAG), TOP-K snapshot queries
+// to MINT, and TOP-K historic queries to TJA, exactly the dispatch §II
+// describes.
+//
+// The dialect, covering every query the paper shows:
+//
+//	SELECT TOP k <group>, AGG(<attr>) FROM sensors
+//	    GROUP BY <group>
+//	    [EPOCH DURATION n [ms|s|min]]
+//	    [WITH HISTORY n]
+//
+//	SELECT <attr>[, ...] FROM sensors [EPOCH DURATION n [unit]]
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexemes.
+type TokenKind uint8
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokComma
+	TokLParen
+	TokRParen
+	TokStar
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of query"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokComma:
+		return "','"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokStar:
+		return "'*'"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// Token is one lexeme with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// Keyword reports the token's upper-cased text when it is an identifier —
+// the dialect's keywords are case-insensitive, as in the paper's examples.
+func (t Token) Keyword() string { return strings.ToUpper(t.Text) }
+
+// SyntaxError is a lexing or parsing failure with position context.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Lex tokenizes a query string.
+func Lex(src string) ([]Token, error) {
+	var out []Token
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == ',':
+			out = append(out, Token{TokComma, ",", i})
+			i++
+		case c == '(':
+			out = append(out, Token{TokLParen, "(", i})
+			i++
+		case c == ')':
+			out = append(out, Token{TokRParen, ")", i})
+			i++
+		case c == '*':
+			out = append(out, Token{TokStar, "*", i})
+			i++
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			start := i
+			i++
+			seenDot := false
+			for i < len(src) && (unicode.IsDigit(rune(src[i])) || (!seenDot && src[i] == '.')) {
+				if src[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			out = append(out, Token{TokNumber, src[start:i], start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			out = append(out, Token{TokIdent, src[start:i], start})
+		default:
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	out = append(out, Token{TokEOF, "", len(src)})
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"kspot/internal/model"
+)
+
+// Parse turns a query string into an AST.
+func Parse(src string) (*AST, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	ast, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return ast, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t Token, format string, args ...interface{}) error {
+	return &SyntaxError{Pos: t.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expectKeyword consumes an identifier token matching kw (case-insensitive).
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.Kind != TokIdent || t.Keyword() != kw {
+		return p.errf(t, "expected %s, got %q", kw, t.Text)
+	}
+	return nil
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokIdent && t.Keyword() == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectInt() (int, error) {
+	t := p.next()
+	if t.Kind != TokNumber {
+		return 0, p.errf(t, "expected number, got %q", t.Text)
+	}
+	n, err := strconv.Atoi(t.Text)
+	if err != nil {
+		return 0, p.errf(t, "expected integer, got %q", t.Text)
+	}
+	return n, nil
+}
+
+func (p *parser) expectIdent() (Token, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return t, p.errf(t, "expected identifier, got %s", t.Kind)
+	}
+	return t, nil
+}
+
+func (p *parser) parseQuery() (*AST, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	ast := &AST{}
+	if p.acceptKeyword("TOP") {
+		k, err := p.expectInt()
+		if err != nil {
+			return nil, err
+		}
+		if k < 1 {
+			return nil, p.errf(p.peek(), "TOP K must be >= 1, got %d", k)
+		}
+		ast.TopK = k
+	}
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	ast.Items = items
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ast.From = from.Keyword()
+
+	for {
+		switch {
+		case p.acceptKeyword("GROUP"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			g, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if ast.GroupBy != "" {
+				return nil, p.errf(g, "duplicate GROUP BY")
+			}
+			ast.GroupBy = g.Keyword()
+		case p.acceptKeyword("EPOCH"):
+			if err := p.expectKeyword("DURATION"); err != nil {
+				return nil, err
+			}
+			n, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, p.errf(p.peek(), "EPOCH DURATION must be >= 1")
+			}
+			unit := time.Second
+			if t := p.peek(); t.Kind == TokIdent {
+				switch t.Keyword() {
+				case "MS", "MILLISECOND", "MILLISECONDS":
+					unit = time.Millisecond
+					p.next()
+				case "S", "SEC", "SECOND", "SECONDS":
+					unit = time.Second
+					p.next()
+				case "MIN", "MINUTE", "MINUTES":
+					unit = time.Minute
+					p.next()
+				}
+			}
+			if ast.Epoch != 0 {
+				return nil, p.errf(p.peek(), "duplicate EPOCH DURATION")
+			}
+			ast.Epoch = time.Duration(n) * unit
+		case p.acceptKeyword("WITH"):
+			if err := p.expectKeyword("HISTORY"); err != nil {
+				return nil, err
+			}
+			n, err := p.expectInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, p.errf(p.peek(), "WITH HISTORY must be >= 1")
+			}
+			if ast.History != 0 {
+				return nil, p.errf(p.peek(), "duplicate WITH HISTORY")
+			}
+			ast.History = n
+		default:
+			t := p.peek()
+			if t.Kind != TokEOF {
+				return nil, p.errf(t, "unexpected %q", t.Text)
+			}
+			return ast, p.validate(ast)
+		}
+	}
+}
+
+func (p *parser) parseSelectList() ([]SelectItem, error) {
+	var items []SelectItem
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if agg, isAgg := model.ParseAggKind(t.Text); isAgg && p.peek().Kind == TokLParen {
+			p.next() // consume '('
+			attr, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if tok := p.next(); tok.Kind != TokRParen {
+				return nil, p.errf(tok, "expected ')', got %q", tok.Text)
+			}
+			items = append(items, SelectItem{Attr: attr.Keyword(), Agg: agg, IsAgg: true})
+		} else {
+			items = append(items, SelectItem{Attr: t.Keyword()})
+		}
+		if p.peek().Kind != TokComma {
+			return items, nil
+		}
+		p.next()
+	}
+}
+
+// validate applies the dialect's semantic rules.
+func (p *parser) validate(ast *AST) error {
+	if ast.From != "SENSORS" {
+		return &SyntaxError{Msg: fmt.Sprintf("unknown relation %q (only SENSORS exists)", ast.From)}
+	}
+	if len(ast.Items) == 0 {
+		return &SyntaxError{Msg: "empty select list"}
+	}
+	aggCount := 0
+	for _, it := range ast.Items {
+		if it.IsAgg {
+			aggCount++
+		}
+	}
+	if ast.HasTop() {
+		if aggCount != 1 {
+			return &SyntaxError{Msg: "TOP-K queries need exactly one aggregate in the select list"}
+		}
+		if ast.GroupBy == "" && ast.History == 0 {
+			return &SyntaxError{Msg: "TOP-K queries need GROUP BY (snapshot) or WITH HISTORY (historic)"}
+		}
+		for _, it := range ast.Items {
+			if !it.IsAgg && ast.GroupBy != "" && it.Attr != ast.GroupBy {
+				return &SyntaxError{Msg: fmt.Sprintf("non-aggregate column %s must be the GROUP BY attribute", it.Attr)}
+			}
+		}
+	}
+	if aggCount > 0 && ast.GroupBy == "" && !ast.HasTop() && ast.History == 0 {
+		// plain network-wide aggregate: allowed (single implicit group)
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"kspot/internal/topk"
+)
+
+// PlanKind is the operator class the router dispatches a query to — the
+// paper's §II query router: basic SELECT / GROUP BY to the plain
+// acquisition engine, snapshot TOP-K to MINT, historic TOP-K to TJA.
+type PlanKind uint8
+
+const (
+	// PlanBasic is a non-TOP query served by TAG-style acquisition.
+	PlanBasic PlanKind = iota
+	// PlanSnapshotTopK is a TOP-K GROUP BY query served by MINT.
+	PlanSnapshotTopK
+	// PlanHistoricTopK is a TOP-K WITH HISTORY query over vertically
+	// fragmented data (ranking time instants), served by TJA.
+	PlanHistoricTopK
+	// PlanHistoricGroupTopK is a TOP-K GROUP BY ... WITH HISTORY query
+	// over horizontally fragmented data: each node filters its local
+	// window first, then the snapshot pipeline prunes in-network (§III-B's
+	// first case). Served by MINT over window aggregates.
+	PlanHistoricGroupTopK
+)
+
+func (k PlanKind) String() string {
+	switch k {
+	case PlanBasic:
+		return "basic/tag"
+	case PlanSnapshotTopK:
+		return "snapshot/mint"
+	case PlanHistoricTopK:
+		return "historic/tja"
+	case PlanHistoricGroupTopK:
+		return "historic-group/mint"
+	default:
+		return fmt.Sprintf("plan(%d)", uint8(k))
+	}
+}
+
+// AttrInfo is the schema metadata the Configuration Panel declares for a
+// sensed attribute: its calibrated range (MINT's γ descriptors need it).
+type AttrInfo struct {
+	Name  string
+	Range topk.ValueRange
+}
+
+// Schema is the deployment's attribute and grouping metadata.
+type Schema struct {
+	// Attrs maps sensed attribute names (upper-cased) to their metadata.
+	Attrs map[string]AttrInfo
+	// GroupAttrs is the set of valid GROUP BY attributes (upper-cased),
+	// e.g. ROOMID, CLUSTERID.
+	GroupAttrs map[string]bool
+}
+
+// DefaultSchema covers the paper's demo deployment: MTS310 modalities and
+// room/cluster grouping.
+func DefaultSchema() Schema {
+	return Schema{
+		Attrs: map[string]AttrInfo{
+			"SOUND": {Name: "SOUND", Range: topk.ValueRange{Min: 0, Max: 100}},
+			"TEMP":  {Name: "TEMP", Range: topk.ValueRange{Min: -40, Max: 250}},
+			"LIGHT": {Name: "LIGHT", Range: topk.ValueRange{Min: 0, Max: 1000}},
+			"ACCEL": {Name: "ACCEL", Range: topk.ValueRange{Min: -200, Max: 200}},
+			"MAG":   {Name: "MAG", Range: topk.ValueRange{Min: -100, Max: 100}},
+		},
+		GroupAttrs: map[string]bool{"ROOMID": true, "CLUSTERID": true, "REGION": true},
+	}
+}
+
+// Plan is the executable form of a query.
+type Plan struct {
+	Kind     PlanKind
+	Query    string // canonical text
+	Attr     AttrInfo
+	GroupBy  string
+	Epoch    time.Duration
+	History  int
+	Snapshot topk.SnapshotQuery // valid for PlanSnapshotTopK / PlanHistoricGroupTopK / PlanBasic
+	Historic topk.HistoricQuery // valid for PlanHistoricTopK
+}
+
+// PlanAST routes a parsed query against a schema.
+func PlanAST(ast *AST, schema Schema) (*Plan, error) {
+	plan := &Plan{Query: ast.String(), GroupBy: ast.GroupBy, Epoch: ast.Epoch, History: ast.History}
+
+	agg, hasAgg := ast.Aggregate()
+	if hasAgg {
+		info, ok := schema.Attrs[agg.Attr]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown attribute %q", agg.Attr)
+		}
+		plan.Attr = info
+	}
+	if ast.GroupBy != "" && !schema.GroupAttrs[ast.GroupBy] {
+		return nil, fmt.Errorf("query: unknown grouping attribute %q", ast.GroupBy)
+	}
+
+	switch {
+	case !ast.HasTop():
+		plan.Kind = PlanBasic
+		if hasAgg {
+			rng := plan.Attr.Range
+			plan.Snapshot = topk.SnapshotQuery{K: 1 << 15, Agg: agg.Agg, Range: &rng}
+		}
+		return plan, nil
+	case ast.History > 0 && ast.GroupBy == "":
+		plan.Kind = PlanHistoricTopK
+		plan.Historic = topk.HistoricQuery{K: ast.TopK, Agg: agg.Agg, Window: ast.History}
+		if err := plan.Historic.Validate(); err != nil {
+			return nil, err
+		}
+		return plan, nil
+	case ast.History > 0:
+		plan.Kind = PlanHistoricGroupTopK
+		rng := plan.Attr.Range
+		plan.Snapshot = topk.SnapshotQuery{K: ast.TopK, Agg: agg.Agg, Range: &rng}
+		return plan, nil
+	default:
+		plan.Kind = PlanSnapshotTopK
+		rng := plan.Attr.Range
+		plan.Snapshot = topk.SnapshotQuery{K: ast.TopK, Agg: agg.Agg, Range: &rng}
+		return plan, nil
+	}
+}
+
+// PlanText parses and routes a query string in one step.
+func PlanText(src string, schema Schema) (*Plan, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return PlanAST(ast, schema)
+}
+
+// Epochs converts the plan's EPOCH DURATION to an epoch count for a run of
+// the given wall-clock length, defaulting to one epoch per second.
+func (p *Plan) Epochs(runFor time.Duration) int {
+	d := p.Epoch
+	if d <= 0 {
+		d = time.Second
+	}
+	n := int(runFor / d)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,225 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kspot/internal/model"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT TOP 3 roomid, AVG(sound) FROM sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokIdent, TokIdent, TokNumber, TokIdent, TokComma, TokIdent, TokLParen, TokIdent, TokRParen, TokIdent, TokIdent, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("12 3.5 -7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"12", "3.5", "-7"} {
+		if toks[i].Text != want {
+			t.Errorf("number %d = %q", i, toks[i].Text)
+		}
+	}
+}
+
+func TestLexError(t *testing.T) {
+	if _, err := Lex("SELECT @"); err == nil {
+		t.Fatal("bad character accepted")
+	} else if !strings.Contains(err.Error(), "offset 7") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+// TestParsePaperQueries parses every query the paper's text shows.
+func TestParsePaperQueries(t *testing.T) {
+	queries := []string{
+		"SELECT TOP 1 roomid, AVERAGE(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min",
+		"SELECT TOP K roomid, AVERAGE(sound) FROM sensors GROUP BY roomid",
+		"SELECT TOP K roomid, AVERAGE(sound) FROM sensors GROUP BY roomid WITH HISTORY 100",
+	}
+	// The paper writes a literal K; substitute 3.
+	for _, q := range queries {
+		q = strings.Replace(q, "TOP K", "TOP 3", 1)
+		ast, err := Parse(q)
+		if err != nil {
+			t.Errorf("%q: %v", q, err)
+			continue
+		}
+		if !ast.HasTop() {
+			t.Errorf("%q: no TOP clause parsed", q)
+		}
+		if agg, ok := ast.Aggregate(); !ok || agg.Agg != model.AggAvg {
+			t.Errorf("%q: aggregate = %v", q, agg)
+		}
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	ast, err := Parse("select top 2 roomid, avg(sound) from sensors group by roomid epoch duration 30 s with history 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.TopK != 2 || ast.GroupBy != "ROOMID" || ast.Epoch != 30*time.Second || ast.History != 50 {
+		t.Fatalf("ast = %+v", ast)
+	}
+}
+
+func TestParseEpochUnits(t *testing.T) {
+	cases := map[string]time.Duration{
+		"EPOCH DURATION 5":     5 * time.Second,
+		"EPOCH DURATION 5 s":   5 * time.Second,
+		"EPOCH DURATION 5 min": 5 * time.Minute,
+		"EPOCH DURATION 5 ms":  5 * time.Millisecond,
+	}
+	for clause, want := range cases {
+		ast, err := Parse("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid " + clause)
+		if err != nil {
+			t.Fatalf("%s: %v", clause, err)
+		}
+		if ast.Epoch != want {
+			t.Errorf("%s -> %v, want %v", clause, ast.Epoch, want)
+		}
+	}
+}
+
+func TestParseBasicSelect(t *testing.T) {
+	ast, err := Parse("SELECT sound, temp FROM sensors EPOCH DURATION 1 min")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.HasTop() || len(ast.Items) != 2 {
+		t.Fatalf("ast = %+v", ast)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM sensors",
+		"SELECT TOP 0 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+		"SELECT TOP 2 roomid FROM sensors GROUP BY roomid",             // no aggregate
+		"SELECT TOP 2 roomid, AVG(sound) FROM sensors",                 // no group by / history
+		"SELECT TOP 2 roomid, AVG(sound) FROM motes GROUP BY roomid",   // bad relation
+		"SELECT TOP 2 x, AVG(sound) FROM sensors GROUP BY roomid",      // stray column
+		"SELECT TOP 2 roomid, AVG(sound FROM sensors GROUP BY roomid",  // unclosed paren
+		"SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid EXTRA", // trailing junk
+		"SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid GROUP BY roomid",
+		"SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 0",
+		"SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 0",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted bad query %q", q)
+		}
+	}
+}
+
+func TestASTString(t *testing.T) {
+	src := "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 10"
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := Parse(ast.String())
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v\n%s", err, ast.String())
+	}
+	if round.String() != ast.String() {
+		t.Errorf("canonical form unstable: %q vs %q", round.String(), ast.String())
+	}
+}
+
+func TestPlanRouting(t *testing.T) {
+	schema := DefaultSchema()
+	cases := []struct {
+		q    string
+		kind PlanKind
+	}{
+		{"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid", PlanSnapshotTopK},
+		{"SELECT TOP 3 timeinstant, AVG(temp) FROM sensors WITH HISTORY 64", PlanHistoricTopK},
+		{"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 64", PlanHistoricGroupTopK},
+		{"SELECT sound FROM sensors", PlanBasic},
+		{"SELECT roomid, AVG(sound) FROM sensors GROUP BY roomid", PlanBasic},
+	}
+	for _, c := range cases {
+		p, err := PlanText(c.q, schema)
+		if err != nil {
+			t.Errorf("%q: %v", c.q, err)
+			continue
+		}
+		if p.Kind != c.kind {
+			t.Errorf("%q routed to %v, want %v", c.q, p.Kind, c.kind)
+		}
+	}
+}
+
+func TestPlanCarriesRange(t *testing.T) {
+	p, err := PlanText("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", DefaultSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Snapshot.Range == nil || p.Snapshot.Range.Max != 100 {
+		t.Fatalf("plan range = %+v", p.Snapshot.Range)
+	}
+	if p.Snapshot.K != 2 || p.Snapshot.Agg != model.AggAvg {
+		t.Fatalf("plan snapshot = %+v", p.Snapshot)
+	}
+}
+
+func TestPlanHistoric(t *testing.T) {
+	p, err := PlanText("SELECT TOP 5 timeinstant, AVG(temp) FROM sensors WITH HISTORY 128", DefaultSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Historic.K != 5 || p.Historic.Window != 128 {
+		t.Fatalf("plan historic = %+v", p.Historic)
+	}
+}
+
+func TestPlanRejectsUnknownAttr(t *testing.T) {
+	if _, err := PlanText("SELECT TOP 1 roomid, AVG(radiation) FROM sensors GROUP BY roomid", DefaultSchema()); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+	if _, err := PlanText("SELECT TOP 1 shelf, AVG(sound) FROM sensors GROUP BY shelf", DefaultSchema()); err == nil {
+		t.Fatal("unknown group attribute accepted")
+	}
+}
+
+func TestPlanEpochs(t *testing.T) {
+	p, err := PlanText("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 2 s", DefaultSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Epochs(10 * time.Second); got != 5 {
+		t.Errorf("Epochs = %d, want 5", got)
+	}
+	if got := p.Epochs(time.Millisecond); got != 1 {
+		t.Errorf("Epochs floor = %d, want 1", got)
+	}
+}
+
+func TestPlanKindString(t *testing.T) {
+	for k, want := range map[PlanKind]string{
+		PlanBasic: "basic/tag", PlanSnapshotTopK: "snapshot/mint",
+		PlanHistoricTopK: "historic/tja", PlanHistoricGroupTopK: "historic-group/mint",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+}

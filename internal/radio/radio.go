@@ -1,0 +1,246 @@
+// Package radio models the link layer of a MICA2-class mote: TOS_Msg-style
+// framing with a small fixed header and a bounded payload, fragmentation of
+// larger application records across multiple frames, lossy links with
+// retransmission, and per-packet/per-byte accounting hooks.
+//
+// The byte and message counts this package reports are the raw material of
+// the paper's System Panel: KSpot's savings over TAG come precisely from
+// needing fewer and smaller frames per epoch.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kspot/internal/model"
+)
+
+// MsgKind tags the application-level purpose of a frame, used for phase
+// accounting (e.g. TJA reports bytes per LB/HJ/CL phase).
+type MsgKind uint8
+
+const (
+	KindData   MsgKind = iota // upstream view / tuple payloads
+	KindBeacon                // downstream epoch beacon (query, γ, top-k set)
+	KindLB                    // TJA lower-bound phase
+	KindHJ                    // TJA hierarchical-join phase
+	KindCL                    // TJA clean-up phase
+	KindCtrl                  // misc control (tree building, acks)
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindBeacon:
+		return "beacon"
+	case KindLB:
+		return "lb"
+	case KindHJ:
+		return "hj"
+	case KindCL:
+		return "cl"
+	case KindCtrl:
+		return "ctrl"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame geometry, after TOS_Msg on TinyOS 1.x as deployed on MICA2: a 7-byte
+// header (dest, AM type, group, length, CRC) and a default 29-byte payload.
+const (
+	DefaultHeaderSize = 7
+	DefaultPayload    = 29
+)
+
+// Config describes the link layer.
+type Config struct {
+	HeaderSize int     // bytes of per-frame header
+	Payload    int     // max payload bytes per frame
+	LossRate   float64 // independent per-frame loss probability [0,1)
+	MaxRetries int     // link-layer retransmissions after a loss
+	Seed       int64   // seed for the loss process
+}
+
+// DefaultConfig returns a lossless MICA2-style link layer.
+func DefaultConfig() Config {
+	return Config{HeaderSize: DefaultHeaderSize, Payload: DefaultPayload, MaxRetries: 3}
+}
+
+// Message is an application-level record travelling between a node and its
+// tree neighbor. Payload is the encoded record; the link layer fragments it
+// into frames transparently.
+type Message struct {
+	From, To model.NodeID
+	Kind     MsgKind
+	Epoch    model.Epoch
+	Payload  []byte
+}
+
+// Accounting receives the outcome of every link-layer transmission so that
+// energy and System Panel counters can be maintained by the caller. TxBytes
+// and RxBytes include headers; frames counts individual frames on air
+// including retransmissions; delivered reports application-level success.
+type Accounting struct {
+	Frames    int // frames put on air (incl. retransmissions)
+	TxBytes   int // total bytes transmitted (incl. headers, retries)
+	RxBytes   int // total bytes successfully received
+	RxFrames  int // frames successfully received
+	Drops     int // frames lost (before any successful retry)
+	Delivered bool
+}
+
+// Link simulates one directed transmission over a single hop.
+type Link struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewLink returns a link with the given configuration.
+func NewLink(cfg Config) *Link {
+	if cfg.HeaderSize <= 0 {
+		cfg.HeaderSize = DefaultHeaderSize
+	}
+	if cfg.Payload <= 0 {
+		cfg.Payload = DefaultPayload
+	}
+	return &Link{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// FramesFor reports how many frames a payload of n bytes needs. A zero-byte
+// payload still needs one frame (an empty beacon is a frame on air).
+func (l *Link) FramesFor(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + l.cfg.Payload - 1) / l.cfg.Payload
+}
+
+// WireBytes reports the on-air size of a message of n payload bytes,
+// including one header per fragment, assuming no retransmissions.
+func (l *Link) WireBytes(n int) int {
+	frames := l.FramesFor(n)
+	return n + frames*l.cfg.HeaderSize
+}
+
+// Transmit sends one message across the hop, fragmenting and retrying as
+// configured, and returns the accounting record. Each fragment is lost
+// independently with probability LossRate and retried up to MaxRetries
+// times; the message is delivered only if every fragment eventually gets
+// through (the TinyOS AM layer has no partial-delivery semantics).
+func (l *Link) Transmit(msg Message) Accounting {
+	var acc Accounting
+	acc.Delivered = true
+	n := len(msg.Payload)
+	frames := l.FramesFor(n)
+	for f := 0; f < frames; f++ {
+		size := l.cfg.Payload
+		if f == frames-1 && n > 0 {
+			size = n - (frames-1)*l.cfg.Payload
+		}
+		if n == 0 {
+			size = 0
+		}
+		wire := size + l.cfg.HeaderSize
+		ok := false
+		for attempt := 0; attempt <= l.cfg.MaxRetries; attempt++ {
+			acc.Frames++
+			acc.TxBytes += wire
+			if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
+				acc.Drops++
+				continue
+			}
+			acc.RxBytes += wire
+			acc.RxFrames++
+			ok = true
+			break
+		}
+		if !ok {
+			acc.Delivered = false
+			// Remaining fragments are not sent: the AM layer aborts the
+			// message after a fragment exhausts its retries.
+			break
+		}
+	}
+	return acc
+}
+
+// Counter accumulates System Panel traffic statistics, broken down per
+// message kind and per node.
+type Counter struct {
+	Messages  map[MsgKind]int // delivered application messages
+	Frames    map[MsgKind]int
+	TxBytes   map[MsgKind]int
+	RxBytes   map[MsgKind]int
+	Drops     int
+	Undeliver int
+	PerNodeTx map[model.NodeID]int // tx bytes per sender
+	PerNodeRx map[model.NodeID]int // rx bytes per receiver
+}
+
+// NewCounter returns a zeroed counter.
+func NewCounter() *Counter {
+	return &Counter{
+		Messages:  make(map[MsgKind]int),
+		Frames:    make(map[MsgKind]int),
+		TxBytes:   make(map[MsgKind]int),
+		RxBytes:   make(map[MsgKind]int),
+		PerNodeTx: make(map[model.NodeID]int),
+		PerNodeRx: make(map[model.NodeID]int),
+	}
+}
+
+// Record folds one transmission's accounting into the counter.
+func (c *Counter) Record(msg Message, acc Accounting) {
+	c.Frames[msg.Kind] += acc.Frames
+	c.TxBytes[msg.Kind] += acc.TxBytes
+	c.RxBytes[msg.Kind] += acc.RxBytes
+	c.Drops += acc.Drops
+	c.PerNodeTx[msg.From] += acc.TxBytes
+	c.PerNodeRx[msg.To] += acc.RxBytes
+	if acc.Delivered {
+		c.Messages[msg.Kind]++
+	} else {
+		c.Undeliver++
+	}
+}
+
+// TotalMessages sums delivered messages across kinds.
+func (c *Counter) TotalMessages() int {
+	t := 0
+	for _, v := range c.Messages {
+		t += v
+	}
+	return t
+}
+
+// TotalFrames sums frames across kinds.
+func (c *Counter) TotalFrames() int {
+	t := 0
+	for _, v := range c.Frames {
+		t += v
+	}
+	return t
+}
+
+// TotalTxBytes sums transmitted bytes across kinds.
+func (c *Counter) TotalTxBytes() int {
+	t := 0
+	for _, v := range c.TxBytes {
+		t += v
+	}
+	return t
+}
+
+// TotalRxBytes sums received bytes across kinds.
+func (c *Counter) TotalRxBytes() int {
+	t := 0
+	for _, v := range c.RxBytes {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,169 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kspot/internal/model"
+	"kspot/internal/topk"
+	"kspot/internal/topo"
+	"kspot/internal/trace"
+)
+
+func fig1Deployment(t *testing.T, k int, window int) *Deployment {
+	t.Helper()
+	p := trace.Figure1Placement()
+	tree := trace.Figure1Tree()
+	q := topk.SnapshotQuery{K: k, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+	d, err := FromTree(p, tree, trace.Figure1Source(), q, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func exactFor(p *topo.Placement, src trace.Source, e model.Epoch, q topk.SnapshotQuery) []model.Answer {
+	readings := map[model.NodeID]model.Reading{}
+	for _, id := range p.SensorNodes() {
+		readings[id] = model.Reading{Node: id, Group: p.Groups[id], Epoch: e, Value: model.Quantize(src.Sample(id, e))}
+	}
+	return topk.ExactSnapshot(readings, q)
+}
+
+func TestLiveFigure1(t *testing.T) {
+	d := fig1Deployment(t, 1, 8)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	d.Start(ctx)
+	defer d.Stop()
+	for e := model.Epoch(0); e < 5; e++ {
+		res := d.Server.RunEpoch(e)
+		if len(res.Answers) != 1 || res.Answers[0].Group != trace.Fig1RoomC || res.Answers[0].Score != 75 {
+			t.Fatalf("epoch %d: answers = %v, want (C,75)", e, res.Answers)
+		}
+	}
+}
+
+func TestLiveMatchesOracle(t *testing.T) {
+	p := topo.Rooms(6, 3, 12, 4)
+	src := trace.NewRoomActivity(9, p.Groups, 6)
+	src.Period = 5
+	q := topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+	d, err := New(p, 30, src, q, 16)
+	if err != nil {
+		t.Skipf("topology: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d.Start(ctx)
+	defer d.Stop()
+	for e := model.Epoch(0); e < 30; e++ {
+		res := d.Server.RunEpoch(e)
+		want := exactFor(p, src, e, q)
+		if !model.EqualAnswers(res.Answers, want) {
+			t.Fatalf("epoch %d: live=%v exact=%v", e, res.Answers, want)
+		}
+		if res.Rounds > 4 {
+			t.Fatalf("epoch %d took %d rounds", e, res.Rounds)
+		}
+	}
+}
+
+func TestLiveTrafficAccounting(t *testing.T) {
+	d := fig1Deployment(t, 1, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	d.Start(ctx)
+	defer d.Stop()
+	d.Server.RunEpoch(0)
+	tr0 := d.Traffic()
+	if tr0.Messages == 0 || tr0.TxBytes == 0 {
+		t.Fatal("no traffic accounted in creation epoch")
+	}
+	d.Server.RunEpoch(1)
+	d.Server.RunEpoch(2)
+	tr2 := d.Traffic()
+	// Steady state epochs on a constant workload must be cheaper than the
+	// creation epoch (suppression working).
+	perEpoch := float64(tr2.TxBytes-tr0.TxBytes) / 2
+	if perEpoch >= float64(tr0.TxBytes) {
+		t.Errorf("steady epoch bytes %.0f not below creation %d", perEpoch, tr0.TxBytes)
+	}
+}
+
+func TestLiveWindowsBuffer(t *testing.T) {
+	d := fig1Deployment(t, 1, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	d.Start(ctx)
+	defer d.Stop()
+	for e := model.Epoch(0); e < 6; e++ {
+		d.Server.RunEpoch(e)
+	}
+	wins := d.Windows()
+	if len(wins) != 9 {
+		t.Fatalf("windows for %d clients, want 9", len(wins))
+	}
+	for id, series := range wins {
+		if len(series) != 4 {
+			t.Fatalf("client %d window len = %d, want 4 (capacity)", id, len(series))
+		}
+		// Figure-1 fixture is constant, so every buffered value equals the
+		// node's fixed reading.
+		want := trace.Figure1Values()[id]
+		for _, v := range series {
+			if v != want {
+				t.Fatalf("client %d buffered %v, want %v", id, v, want)
+			}
+		}
+	}
+}
+
+func TestLiveHistoricOverWindows(t *testing.T) {
+	p := topo.Rooms(4, 2, 12, 4)
+	src := trace.NewDiurnal(4)
+	q := topk.SnapshotQuery{K: 1, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+	d, err := New(p, 30, src, q, 8)
+	if err != nil {
+		t.Skipf("topology: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	d.Start(ctx)
+	defer d.Stop()
+	for e := model.Epoch(0); e < 8; e++ {
+		d.Server.RunEpoch(e)
+	}
+	hq := topk.HistoricQuery{K: 3, Agg: model.AggAvg, Window: 8}
+	data := topk.HistoricData(d.Windows())
+	got := topk.ExactHistoric(data, hq)
+	if len(got) != 3 {
+		t.Fatalf("historic over live windows = %v", got)
+	}
+}
+
+func TestStopTerminates(t *testing.T) {
+	d := fig1Deployment(t, 1, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d.Start(ctx)
+	d.Server.RunEpoch(0)
+	done := make(chan struct{})
+	go func() {
+		d.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not terminate the deployment")
+	}
+}
+
+func TestNewValidatesQuery(t *testing.T) {
+	p := trace.Figure1Placement()
+	if _, err := New(p, 8, trace.Figure1Source(), topk.SnapshotQuery{K: 0}, 4); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}

@@ -1,0 +1,285 @@
+// Package sim is the deterministic discrete-time simulator the benchmark
+// harness runs on. It owns the network state — placement, links, routing
+// tree, link layer, energy ledger and traffic counters — and exposes the
+// communication primitives the top-k operators use:
+//
+//   - SendUp: one hop from a node to its tree parent (view updates);
+//   - SendDown: one hop from a parent to a child (beacons, L_sink multicast);
+//   - RouteToSink: multihop relay without in-network merging (the flat
+//     communication pattern of TPUT and of the centralized baseline);
+//   - BroadcastDown: pre-order sweep delivering a per-child payload.
+//
+// Every transmission is charged to the energy ledger and recorded in the
+// radio counter, so after a run the System Panel simply reads this state.
+// Time is epoch-structured as in TAG: a downstream beacon sweep followed by
+// an upstream data sweep in post-order (children strictly before parents).
+package sim
+
+import (
+	"fmt"
+
+	"kspot/internal/energy"
+	"kspot/internal/model"
+	"kspot/internal/radio"
+	"kspot/internal/topo"
+)
+
+// Network bundles the simulated deployment.
+type Network struct {
+	Placement *topo.Placement
+	Links     *topo.Links
+	Tree      *topo.Tree
+	Link      *radio.Link
+	Energy    energy.Model
+	Ledger    *energy.Ledger
+	Counter   *radio.Counter
+
+	// Budgets, when non-nil, gives each node a finite energy budget; dead
+	// nodes stop transmitting and receiving.
+	Budgets map[model.NodeID]*energy.Budget
+
+	// Delivered is an optional hook invoked for every successfully
+	// delivered message (the concurrent runtime and the GUI subscribe).
+	Delivered func(msg radio.Message)
+}
+
+// Options configures New.
+type Options struct {
+	Radio       radio.Config
+	EnergyModel energy.Model
+	// BudgetJoules, when positive, assigns every sensor node a finite
+	// budget (the sink is mains-powered, as the MIB520 gateway is).
+	BudgetJoules float64
+}
+
+// DefaultOptions returns a lossless MICA2 network with unlimited budgets.
+func DefaultOptions() Options {
+	return Options{Radio: radio.DefaultConfig(), EnergyModel: energy.MICA2()}
+}
+
+// New builds a network over the placement: disk links with the given radius
+// and a first-heard BFS tree.
+func New(p *topo.Placement, radius float64, opts Options) (*Network, error) {
+	links := topo.DiskLinks(p, radius)
+	tree, err := topo.BuildTree(p, links)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return FromTree(p, links, tree, opts), nil
+}
+
+// FromTree builds a network over an explicit topology (used by the Figure 1
+// fixture, whose tree the paper draws literally).
+func FromTree(p *topo.Placement, links *topo.Links, tree *topo.Tree, opts Options) *Network {
+	n := &Network{
+		Placement: p,
+		Links:     links,
+		Tree:      tree,
+		Link:      radio.NewLink(opts.Radio),
+		Energy:    opts.EnergyModel,
+		Ledger:    energy.NewLedger(),
+		Counter:   radio.NewCounter(),
+	}
+	if opts.BudgetJoules > 0 {
+		n.Budgets = make(map[model.NodeID]*energy.Budget)
+		for _, id := range p.SensorNodes() {
+			n.Budgets[id] = energy.NewBudget(opts.BudgetJoules)
+		}
+	}
+	return n
+}
+
+// Alive reports whether a node still has energy (the sink is always alive).
+func (n *Network) Alive(id model.NodeID) bool {
+	if id == model.Sink || n.Budgets == nil {
+		return true
+	}
+	b, ok := n.Budgets[id]
+	return !ok || !b.Dead()
+}
+
+// chargeTx charges a transmission to a node, returning false if the node is
+// dead. The sink draws mains power and is never charged.
+func (n *Network) chargeTx(id model.NodeID, microjoules float64) bool {
+	if !n.Alive(id) {
+		return false
+	}
+	if id != model.Sink {
+		if n.Budgets != nil {
+			n.Budgets[id].Spend(microjoules)
+		}
+		n.Ledger.Charge(int(id), microjoules)
+	}
+	return true
+}
+
+func (n *Network) chargeRx(id model.NodeID, microjoules float64) {
+	if id == model.Sink || !n.Alive(id) {
+		return
+	}
+	if n.Budgets != nil {
+		n.Budgets[id].Spend(microjoules)
+	}
+	n.Ledger.Charge(int(id), microjoules)
+}
+
+// transmit performs one single-hop transmission with full accounting.
+func (n *Network) transmit(msg radio.Message) bool {
+	if !n.Alive(msg.From) {
+		return false
+	}
+	acc := n.Link.Transmit(msg)
+	n.Counter.Record(msg, acc)
+	frames := acc.Frames
+	if frames > 0 {
+		txCost := float64(frames)*n.Energy.TxPerPacket + n.Energy.TxPerByte*float64(acc.TxBytes)
+		n.chargeTx(msg.From, txCost)
+	}
+	receiverAlive := n.Alive(msg.To)
+	if acc.RxFrames > 0 && receiverAlive {
+		rxCost := float64(acc.RxFrames)*n.Energy.RxPerPacket + n.Energy.RxPerByte*float64(acc.RxBytes)
+		n.chargeRx(msg.To, rxCost)
+	}
+	// A node that dies receiving this very message still received it: the
+	// budget check, like the hardware brown-out, happens afterwards.
+	delivered := acc.Delivered && receiverAlive
+	if delivered && n.Delivered != nil {
+		n.Delivered(msg)
+	}
+	return delivered
+}
+
+// SendUp transmits a payload from a node to its tree parent. Returns false
+// if the node is the root, is dead, or the link loses the message.
+func (n *Network) SendUp(from model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool {
+	parent, ok := n.Tree.Parent[from]
+	if !ok {
+		return false
+	}
+	return n.transmit(radio.Message{From: from, To: parent, Kind: kind, Epoch: e, Payload: payload})
+}
+
+// SendDown transmits a payload from a node to one of its children.
+func (n *Network) SendDown(from, to model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool {
+	return n.transmit(radio.Message{From: from, To: to, Kind: kind, Epoch: e, Payload: payload})
+}
+
+// BroadcastDown delivers a payload from the sink to every node via a
+// pre-order sweep: each parent forwards to each child (TinyOS has no
+// reliable broadcast; TAG re-broadcasts per hop and we charge per child
+// link, the conservative model TinyDB uses for tree maintenance).
+// payloadFor lets the caller shrink or specialize the payload per child;
+// passing nil sends an empty beacon. Returns the set of nodes reached.
+func (n *Network) BroadcastDown(kind radio.MsgKind, e model.Epoch, payloadFor func(child model.NodeID) []byte) map[model.NodeID]bool {
+	reached := map[model.NodeID]bool{model.Sink: true}
+	for _, parent := range n.Tree.PreOrder() {
+		if !reached[parent] {
+			continue // parent never got the beacon; subtree dark this epoch
+		}
+		for _, child := range n.Tree.Children[parent] {
+			var pl []byte
+			if payloadFor != nil {
+				pl = payloadFor(child)
+			}
+			if n.SendDown(parent, child, kind, e, pl) {
+				reached[child] = true
+			}
+		}
+	}
+	return reached
+}
+
+// RouteToSink relays a payload from a node to the sink hop by hop WITHOUT
+// merging — every intermediate node retransmits the same bytes. This is the
+// communication pattern of flat algorithms (TPUT, centralized shipping) and
+// is what in-network aggregation saves over. Returns true if the payload
+// reached the sink.
+func (n *Network) RouteToSink(from model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool {
+	cur := from
+	for cur != model.Sink {
+		parent, ok := n.Tree.Parent[cur]
+		if !ok {
+			return false
+		}
+		if !n.transmit(radio.Message{From: cur, To: parent, Kind: kind, Epoch: e, Payload: payload}) {
+			return false
+		}
+		cur = parent
+	}
+	return true
+}
+
+// RouteFromSink relays a payload from the sink to one node hop by hop down
+// the tree (the unicast pattern of filter updates and probes in
+// FILA-style protocols). Returns true if the payload arrived.
+func (n *Network) RouteFromSink(to model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool {
+	path := n.Tree.PathToRoot(to) // to ... sink
+	if len(path) == 0 || path[len(path)-1] != model.Sink {
+		return false
+	}
+	for i := len(path) - 1; i > 0; i-- {
+		if !n.transmit(radio.Message{From: path[i], To: path[i-1], Kind: kind, Epoch: e, Payload: payload}) {
+			return false
+		}
+	}
+	return true
+}
+
+// ChargeSense charges one sensing operation to a node.
+func (n *Network) ChargeSense(id model.NodeID) {
+	if id != model.Sink && n.Alive(id) {
+		if n.Budgets != nil {
+			n.Budgets[id].Spend(n.Energy.SenseCost)
+		}
+		n.Ledger.Charge(int(id), n.Energy.SenseCost)
+	}
+}
+
+// ChargeIdleEpoch charges every live sensor the per-epoch idle baseline.
+func (n *Network) ChargeIdleEpoch() {
+	for _, id := range n.Placement.SensorNodes() {
+		if n.Alive(id) {
+			if n.Budgets != nil {
+				n.Budgets[id].Spend(n.Energy.IdlePerEpoch)
+			}
+			n.Ledger.Charge(int(id), n.Energy.IdlePerEpoch)
+		}
+	}
+}
+
+// Reset clears traffic and energy accounting (budgets are preserved) so a
+// caller can measure a steady-state window separately from a warm-up.
+func (n *Network) Reset() {
+	n.Ledger = energy.NewLedger()
+	n.Counter = radio.NewCounter()
+}
+
+// Snapshot copies the current counters — used to compute per-phase deltas.
+type Snapshot struct {
+	Messages int
+	Frames   int
+	TxBytes  int
+	EnergyUJ float64
+}
+
+// Snap captures current totals.
+func (n *Network) Snap() Snapshot {
+	return Snapshot{
+		Messages: n.Counter.TotalMessages(),
+		Frames:   n.Counter.TotalFrames(),
+		TxBytes:  n.Counter.TotalTxBytes(),
+		EnergyUJ: n.Ledger.Total(),
+	}
+}
+
+// Delta returns the difference between the current totals and an earlier
+// snapshot.
+func (n *Network) Delta(s Snapshot) Snapshot {
+	now := n.Snap()
+	return Snapshot{
+		Messages: now.Messages - s.Messages,
+		Frames:   now.Frames - s.Frames,
+		TxBytes:  now.TxBytes - s.TxBytes,
+		EnergyUJ: now.EnergyUJ - s.EnergyUJ,
+	}
+}

@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"kspot/internal/model"
+)
+
+// MicroHash is a value-bucketed index over a window, after the MicroHash
+// flash index (the directory of value buckets, each chaining the window
+// offsets of readings that fall in the bucket). It answers the two access
+// patterns KSpot's historic operators need — "offsets with value ≥ v"
+// (TJA's HJ threshold scan) and "offsets in value bucket b" — in time
+// proportional to the result, not the window.
+//
+// The index is rebuilt incrementally on Push and tolerates eviction the way
+// the real structure does: stale directory entries are skipped lazily on
+// read (flash cannot update in place, so MicroHash never erases — it
+// out-dates).
+type MicroHash struct {
+	win     *Window
+	lo, hi  model.FixedPoint
+	buckets int
+	// chains[b] holds (epoch, offsetAtPush) pairs, newest last. Offsets go
+	// stale as the window slides; lookups re-derive current offsets from
+	// epochs and skip evicted entries.
+	chains [][]model.Epoch
+}
+
+// NewMicroHash indexes the window with the given value range and bucket
+// count. Values outside [lo,hi] clamp into the boundary buckets.
+func NewMicroHash(win *Window, lo, hi model.Value, buckets int) (*MicroHash, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("storage: microhash needs >= 1 bucket, got %d", buckets)
+	}
+	if lo >= hi {
+		return nil, fmt.Errorf("storage: microhash range [%v,%v] inverted", lo, hi)
+	}
+	return &MicroHash{
+		win:     win,
+		lo:      model.ToFixed(lo),
+		hi:      model.ToFixed(hi),
+		buckets: buckets,
+		chains:  make([][]model.Epoch, buckets),
+	}, nil
+}
+
+// bucketOf maps a value to its directory bucket.
+func (m *MicroHash) bucketOf(v model.FixedPoint) int {
+	if v <= m.lo {
+		return 0
+	}
+	if v >= m.hi {
+		return m.buckets - 1
+	}
+	span := int64(m.hi) - int64(m.lo)
+	b := int(int64(v-m.lo) * int64(m.buckets) / span)
+	if b >= m.buckets {
+		b = m.buckets - 1
+	}
+	return b
+}
+
+// Push appends a reading to the window and indexes it.
+func (m *MicroHash) Push(e model.Epoch, v model.Value) error {
+	if err := m.win.Push(e, v); err != nil {
+		return err
+	}
+	b := m.bucketOf(model.ToFixed(v))
+	m.chains[b] = append(m.chains[b], e)
+	// Bound chain growth: drop entries older than the window's oldest
+	// epoch (lazy compaction, one amortized pass).
+	if len(m.chains[b]) > 2*m.win.Capacity() {
+		m.compact(b)
+	}
+	return nil
+}
+
+func (m *MicroHash) compact(b int) {
+	oldest, _, err := m.win.At(0)
+	if err != nil {
+		m.chains[b] = m.chains[b][:0]
+		return
+	}
+	kept := m.chains[b][:0]
+	for _, e := range m.chains[b] {
+		if e >= oldest {
+			kept = append(kept, e)
+		}
+	}
+	m.chains[b] = kept
+}
+
+// offsetOf maps a buffered epoch to its current window offset, or -1 if
+// evicted.
+func (m *MicroHash) offsetOf(e model.Epoch) int {
+	n := m.win.Len()
+	if n == 0 {
+		return -1
+	}
+	oldest, _, _ := m.win.At(0)
+	if e < oldest {
+		return -1
+	}
+	// Epochs are strictly increasing but not necessarily dense; binary
+	// search the epoch column.
+	lo, hi := 0, n-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		me, _, _ := m.win.At(mid)
+		switch {
+		case me == e:
+			return mid
+		case me < e:
+			lo = mid + 1
+		default:
+			hi = mid - 1
+		}
+	}
+	return -1
+}
+
+// OffsetsAtLeast returns the window offsets (sorted ascending) whose value
+// is ≥ v — the TJA HJ-phase scan. It touches only the directory buckets
+// that can contain qualifying values.
+func (m *MicroHash) OffsetsAtLeast(v model.Value) []int {
+	vFP := model.ToFixed(v)
+	first := m.bucketOf(vFP)
+	var out []int
+	for b := first; b < m.buckets; b++ {
+		for _, e := range m.chains[b] {
+			off := m.offsetOf(e)
+			if off < 0 {
+				continue
+			}
+			_, val, err := m.win.At(off)
+			if err != nil || model.ToFixed(val) < vFP {
+				continue // boundary bucket holds sub-threshold values too
+			}
+			out = append(out, off)
+		}
+	}
+	sort.Ints(out)
+	return dedupInts(out)
+}
+
+// Bucket returns the live window offsets currently chained in bucket b.
+func (m *MicroHash) Bucket(b int) ([]int, error) {
+	if b < 0 || b >= m.buckets {
+		return nil, fmt.Errorf("storage: bucket %d out of [0,%d)", b, m.buckets)
+	}
+	var out []int
+	for _, e := range m.chains[b] {
+		if off := m.offsetOf(e); off >= 0 {
+			out = append(out, off)
+		}
+	}
+	sort.Ints(out)
+	return dedupInts(out), nil
+}
+
+// Buckets returns the directory size.
+func (m *MicroHash) Buckets() int { return m.buckets }
+
+func dedupInts(s []int) []int {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kspot/internal/model"
+)
+
+func TestWindowBasics(t *testing.T) {
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Capacity() != 3 || w.Len() != 0 {
+		t.Fatal("fresh window shape")
+	}
+	for e := model.Epoch(1); e <= 3; e++ {
+		if err := w.Push(e, model.Value(e)*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	e, v, err := w.At(0)
+	if err != nil || e != 1 || v != 10 {
+		t.Fatalf("At(0) = %d,%v,%v", e, v, err)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w, _ := NewWindow(3)
+	for e := model.Epoch(1); e <= 5; e++ {
+		if err := w.Push(e, model.Value(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	got := w.Series()
+	want := []model.Value{3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Series = %v, want %v", got, want)
+		}
+	}
+	epochs := w.Epochs()
+	if epochs[0] != 3 || epochs[2] != 5 {
+		t.Fatalf("Epochs = %v", epochs)
+	}
+}
+
+func TestWindowRejectsRegression(t *testing.T) {
+	w, _ := NewWindow(4)
+	if err := w.Push(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Push(5, 2); err == nil {
+		t.Fatal("duplicate epoch accepted")
+	}
+	if err := w.Push(4, 2); err == nil {
+		t.Fatal("regressing epoch accepted")
+	}
+}
+
+func TestWindowAtBounds(t *testing.T) {
+	w, _ := NewWindow(2)
+	if _, _, err := w.At(0); err == nil {
+		t.Fatal("At on empty window accepted")
+	}
+	w.Push(1, 1)
+	if _, _, err := w.At(1); err == nil {
+		t.Fatal("At beyond size accepted")
+	}
+	if _, _, err := w.At(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestWindowClear(t *testing.T) {
+	w, _ := NewWindow(2)
+	w.Push(1, 1)
+	w.Clear()
+	if w.Len() != 0 {
+		t.Fatal("Clear did not empty")
+	}
+	if err := w.Push(1, 1); err != nil {
+		t.Fatalf("push after clear: %v", err)
+	}
+}
+
+func TestWindowTopK(t *testing.T) {
+	w, _ := NewWindow(5)
+	vals := []model.Value{30, 50, 10, 50, 40}
+	for i, v := range vals {
+		w.Push(model.Epoch(i+1), v)
+	}
+	got := w.TopK(3)
+	want := []int{1, 3, 4} // 50 (older first), 50, 40
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if n := len(w.TopK(99)); n != 5 {
+		t.Fatalf("TopK(99) len = %d", n)
+	}
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestMicroHashOffsetsAtLeast(t *testing.T) {
+	w, _ := NewWindow(8)
+	mh, err := NewMicroHash(w, 0, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []model.Value{15, 85, 42, 95, 5, 60, 77, 33}
+	for i, v := range vals {
+		if err := mh.Push(model.Epoch(i+1), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := mh.OffsetsAtLeast(60)
+	want := []int{1, 3, 5, 6} // 85, 95, 60, 77
+	if len(got) != len(want) {
+		t.Fatalf("OffsetsAtLeast = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("OffsetsAtLeast = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMicroHashEvictionStaleEntries(t *testing.T) {
+	w, _ := NewWindow(3)
+	mh, _ := NewMicroHash(w, 0, 100, 4)
+	for e := model.Epoch(1); e <= 10; e++ {
+		mh.Push(e, model.Value(e*7%100))
+	}
+	// Window holds epochs 8,9,10 with values 56,63,70.
+	got := mh.OffsetsAtLeast(60)
+	series := w.Series()
+	for _, off := range got {
+		if float64(series[off]) < 60 {
+			t.Fatalf("stale offset %d (value %v) returned", off, series[off])
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("OffsetsAtLeast(60) = %v (series %v)", got, series)
+	}
+}
+
+func TestMicroHashBucket(t *testing.T) {
+	w, _ := NewWindow(4)
+	mh, _ := NewMicroHash(w, 0, 100, 4)
+	mh.Push(1, 10) // bucket 0
+	mh.Push(2, 30) // bucket 1
+	mh.Push(3, 99) // bucket 3
+	if offs, err := mh.Bucket(3); err != nil || len(offs) != 1 || offs[0] != 2 {
+		t.Fatalf("Bucket(3) = %v, %v", offs, err)
+	}
+	if _, err := mh.Bucket(9); err == nil {
+		t.Fatal("out-of-range bucket accepted")
+	}
+	if mh.Buckets() != 4 {
+		t.Fatal("Buckets()")
+	}
+}
+
+func TestMicroHashValidation(t *testing.T) {
+	w, _ := NewWindow(4)
+	if _, err := NewMicroHash(w, 0, 100, 0); err == nil {
+		t.Fatal("0 buckets accepted")
+	}
+	if _, err := NewMicroHash(w, 100, 0, 4); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}
+
+func TestMicroHashClampsOutOfRange(t *testing.T) {
+	w, _ := NewWindow(4)
+	mh, _ := NewMicroHash(w, 0, 100, 4)
+	mh.Push(1, -50)
+	mh.Push(2, 500)
+	if got := mh.OffsetsAtLeast(-100); len(got) != 2 {
+		t.Fatalf("clamped values lost: %v", got)
+	}
+}
+
+// Property: MicroHash OffsetsAtLeast equals a naive window scan, through
+// arbitrary push/evict interleavings.
+func TestMicroHashMatchesScanProperty(t *testing.T) {
+	f := func(seed int64, capRaw, nRaw uint8, thrRaw uint8) bool {
+		capacity := 1 + int(capRaw)%32
+		n := int(nRaw)%100 + 1
+		thr := model.Value(int(thrRaw) % 100)
+		rng := rand.New(rand.NewSource(seed))
+		w, _ := NewWindow(capacity)
+		mh, _ := NewMicroHash(w, 0, 100, 8)
+		for e := 1; e <= n; e++ {
+			if err := mh.Push(model.Epoch(e), model.Value(rng.Intn(10000))/100); err != nil {
+				return false
+			}
+		}
+		var want []int
+		for i, v := range w.Series() {
+			if model.ToFixed(v) >= model.ToFixed(thr) {
+				want = append(want, i)
+			}
+		}
+		got := mh.OffsetsAtLeast(thr)
+		if len(got) != len(want) {
+			return false
+		}
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Window.TopK matches sorting the materialized series.
+func TestWindowTopKProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w, _ := NewWindow(64)
+		n := 1 + rng.Intn(64)
+		for e := 1; e <= n; e++ {
+			w.Push(model.Epoch(e), model.Value(rng.Intn(1000)))
+		}
+		k := 1 + int(kRaw)%16
+		got := w.TopK(k)
+		series := w.Series()
+		idx := make([]int, len(series))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			if series[idx[a]] != series[idx[b]] {
+				return series[idx[a]] > series[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		if k > len(idx) {
+			k = len(idx)
+		}
+		for i := 0; i < k; i++ {
+			if got[i] != idx[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

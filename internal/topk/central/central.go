@@ -1,0 +1,91 @@
+// Package central implements the no-aggregation baselines: every raw tuple
+// is relayed hop by hop to the sink, which evaluates the query centrally.
+// It provides both the snapshot form (ship every reading every epoch) and
+// the historic form (ship every node's entire window) — the upper bound on
+// traffic that in-network processing is measured against.
+package central
+
+import (
+	"kspot/internal/model"
+	"kspot/internal/radio"
+	"kspot/internal/sim"
+	"kspot/internal/topk"
+)
+
+// Snapshot is the centralized snapshot operator.
+type Snapshot struct {
+	net       *sim.Network
+	q         topk.SnapshotQuery
+	installed bool
+}
+
+// NewSnapshot returns a centralized snapshot operator.
+func NewSnapshot() *Snapshot { return &Snapshot{} }
+
+// Name implements topk.SnapshotOperator.
+func (o *Snapshot) Name() string { return "central" }
+
+// Attach implements topk.SnapshotOperator.
+func (o *Snapshot) Attach(net *sim.Network, q topk.SnapshotQuery) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	o.net, o.q = net, q
+	o.installed = false
+	return nil
+}
+
+// Epoch implements topk.SnapshotOperator: every sensor unicasts its raw
+// reading to the sink along the tree, with no merging at relays.
+func (o *Snapshot) Epoch(e model.Epoch, readings map[model.NodeID]model.Reading) ([]model.Answer, error) {
+	if !o.installed {
+		topk.InstallQuery(o.net, e)
+		o.installed = true
+	}
+	v := model.NewView()
+	for _, id := range o.net.Placement.SensorNodes() {
+		r, ok := readings[id]
+		if !ok {
+			continue
+		}
+		if o.net.RouteToSink(id, radio.KindData, e, model.AppendReading(nil, r)) {
+			v.Add(r)
+		}
+	}
+	return v.TopK(o.q.Agg, o.q.K), nil
+}
+
+// Historic is the centralized historic operator: ship the whole window.
+type Historic struct{}
+
+// NewHistoric returns a centralized historic operator.
+func NewHistoric() *Historic { return &Historic{} }
+
+// Name implements topk.HistoricOperator.
+func (o *Historic) Name() string { return "central-historic" }
+
+// Run implements topk.HistoricOperator.
+func (o *Historic) Run(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := data.Validate(q); err != nil {
+		return nil, err
+	}
+	received := make(topk.HistoricData)
+	for _, id := range net.Placement.SensorNodes() {
+		series, ok := data[id]
+		if !ok {
+			continue
+		}
+		// Encode the full window as (offset, value) records.
+		payload := make([]byte, 0, len(series)*model.AnswerWireSize)
+		for t, v := range series {
+			payload = model.AppendAnswer(payload, model.Answer{Group: model.GroupID(t), Score: v})
+		}
+		if net.RouteToSink(id, radio.KindData, 0, payload) {
+			received[id] = series
+		}
+	}
+	return topk.ExactHistoric(received, q), nil
+}

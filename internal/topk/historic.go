@@ -1,0 +1,115 @@
+package topk
+
+import (
+	"fmt"
+	"sort"
+
+	"kspot/internal/model"
+	"kspot/internal/sim"
+)
+
+// HistoricQuery is the paper's vertically-fragmented historic form:
+//
+//	SELECT TOP K timeinstant, AGG(attr) FROM sensors WITH HISTORY w
+//
+// Every node buffers its last Window readings; the score of a time instant
+// is the aggregate of that instant's readings across all nodes. Items are
+// identified by their window offset (0 = oldest), carried as model.GroupID
+// on the wire since both are uint16 identifiers.
+type HistoricQuery struct {
+	K      int
+	Agg    model.AggKind
+	Window int
+}
+
+// Validate rejects malformed queries.
+func (q HistoricQuery) Validate() error {
+	if q.K < 1 {
+		return fmt.Errorf("topk: K must be >= 1, got %d", q.K)
+	}
+	if q.Window < 1 {
+		return fmt.Errorf("topk: window must be >= 1, got %d", q.Window)
+	}
+	if q.Window > 1<<16 {
+		return fmt.Errorf("topk: window %d exceeds the 16-bit item id space", q.Window)
+	}
+	if q.Agg != model.AggAvg && q.Agg != model.AggSum {
+		return fmt.Errorf("topk: historic queries support AVG and SUM, got %v", q.Agg)
+	}
+	return nil
+}
+
+// HistoricData is each node's buffered window: series[node][t] is the value
+// sensed by node at window offset t. All series have length Window.
+type HistoricData map[model.NodeID][]model.Value
+
+// Validate checks the data matches the query's window.
+func (d HistoricData) Validate(q HistoricQuery) error {
+	for n, s := range d {
+		if len(s) != q.Window {
+			return fmt.Errorf("topk: node %d has %d samples, window is %d", n, len(s), q.Window)
+		}
+	}
+	return nil
+}
+
+// HistoricOperator is a distributed top-k algorithm for historic queries:
+// a one-shot protocol over the buffered windows.
+type HistoricOperator interface {
+	Name() string
+	// Run executes the protocol on the network and returns the sink's
+	// ranked answers (item = window offset, score = aggregate).
+	Run(net *sim.Network, q HistoricQuery, data HistoricData) ([]model.Answer, error)
+}
+
+// ExactHistoric computes the ground-truth historic answer centrally. Sums
+// accumulate in fixed-point centi-units, the same arithmetic the
+// distributed operators use, so that the oracle is bit-identical regardless
+// of accumulation order.
+func ExactHistoric(data HistoricData, q HistoricQuery) []model.Answer {
+	sums := make([]int64, q.Window)
+	counts := make([]uint32, q.Window)
+	for _, series := range data {
+		for t, v := range series {
+			sums[t] += int64(model.ToFixed(v))
+			counts[t]++
+		}
+	}
+	answers := make([]model.Answer, 0, q.Window)
+	for t := 0; t < q.Window; t++ {
+		if counts[t] == 0 {
+			continue
+		}
+		score := model.Value(sums[t]) / 100
+		if q.Agg == model.AggAvg {
+			score /= model.Value(counts[t])
+		}
+		answers = append(answers, model.Answer{Group: model.GroupID(t), Score: model.Quantize(score)})
+	}
+	model.SortAnswers(answers)
+	if len(answers) > q.K {
+		answers = answers[:q.K]
+	}
+	return answers
+}
+
+// LocalTopK returns the indices of a node's k highest local values, ranked,
+// ties toward the smaller index — the per-node seed of TJA's LB phase and
+// TPUT's phase one.
+func LocalTopK(series []model.Value, k int) []int {
+	idx := make([]int, len(series))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		va, vb := model.Quantize(series[idx[a]]), model.Quantize(series[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	return idx
+}

@@ -1,0 +1,22 @@
+package topk
+
+import (
+	"kspot/internal/model"
+	"kspot/internal/radio"
+	"kspot/internal/sim"
+)
+
+// QueryInstallSize is the on-air size of the one-time query installation
+// record TinyDB floods when a continuous query is posted: query id, epoch
+// duration, aggregate, group-by attribute, K, and the value range —
+// 16 bytes of descriptor. After installation, epochs are clock-driven; no
+// per-epoch downstream traffic is needed unless the operator has new
+// control state (MINT's γ floods) to push.
+const QueryInstallSize = 16
+
+// InstallQuery floods the one-time query installation down the tree and
+// returns the set of nodes reached.
+func InstallQuery(net *sim.Network, e model.Epoch) map[model.NodeID]bool {
+	payload := make([]byte, QueryInstallSize)
+	return net.BroadcastDown(radio.KindCtrl, e, func(model.NodeID) []byte { return payload })
+}

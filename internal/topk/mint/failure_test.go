@@ -1,0 +1,118 @@
+package mint
+
+import (
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/sim"
+	"kspot/internal/topk"
+	"kspot/internal/topk/topktest"
+	"kspot/internal/trace"
+)
+
+// TestNodeDeathDegradesGracefully: when nodes run out of energy mid-run the
+// operator must keep serving answers (stale or partial) without error.
+func TestNodeDeathDegradesGracefully(t *testing.T) {
+	opts := sim.DefaultOptions()
+	opts.BudgetJoules = 0.02 // a few hundred transmissions per node
+	net := topktest.Fig1NetworkOpts(t, opts)
+	src := trace.Figure1Source()
+	r := &topk.Runner{Net: net, Source: src, Op: New(), Query: topk.SnapshotQuery{K: 1, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}}
+	results, err := r.Run(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Someone must actually have died for this test to mean anything.
+	dead := 0
+	for _, id := range net.Placement.SensorNodes() {
+		if !net.Alive(id) {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Skip("budget too generous; no deaths")
+	}
+	// Answers keep flowing to the end.
+	last := results[len(results)-1]
+	if len(last.Answers) == 0 {
+		t.Fatal("no answers after node deaths")
+	}
+}
+
+// TestReparentingAfterFailure: removing a failed relay and re-attaching the
+// operator on the repaired tree must restore exactness for the surviving
+// nodes.
+func TestReparentingAfterFailure(t *testing.T) {
+	net := topktest.GridNetwork(t, 36, 6)
+	src := trace.NewRoomActivity(3, net.Placement.Groups, 6)
+	q := topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+	op := New()
+	r := &topk.Runner{Net: net, Source: src, Op: op, Query: q}
+	if _, err := r.Run(5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill an interior relay and repair the tree.
+	var victim model.NodeID
+	for n, cs := range net.Tree.Children {
+		if n != model.Sink && len(cs) > 0 {
+			victim = n
+			break
+		}
+	}
+	if victim == 0 {
+		t.Skip("no interior node to kill")
+	}
+	orphans := net.Tree.RemoveNode(victim, net.Links)
+	if err := net.Tree.Validate(); err != nil {
+		t.Fatalf("repaired tree invalid: %v", err)
+	}
+	// Remove the victim (and any unreachable orphans) from the placement
+	// so group sizes reflect the survivors — the Configuration Panel's
+	// view after the failure report.
+	delete(net.Placement.Positions, victim)
+	delete(net.Placement.Groups, victim)
+	for _, o := range orphans {
+		delete(net.Placement.Positions, o)
+		delete(net.Placement.Groups, o)
+	}
+
+	// Re-attach (MINT recomputes group sizes and masters) and run on.
+	if err := op.Attach(net, q); err != nil {
+		t.Fatal(err)
+	}
+	for e := model.Epoch(100); e < 120; e++ {
+		readings := topk.SenseEpoch(net, src, e)
+		got, err := op.Epoch(e, readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := topk.ExactSnapshot(readings, q)
+		if !model.EqualAnswers(got, want) {
+			t.Fatalf("epoch %d after repair: got %v want %v", e, got, want)
+		}
+	}
+}
+
+// TestLossyStillServes: heavy loss must never wedge the operator.
+func TestLossyStillServes(t *testing.T) {
+	opts := sim.DefaultOptions()
+	opts.Radio.LossRate = 0.4
+	opts.Radio.MaxRetries = 1
+	opts.Radio.Seed = 17
+	net := topktest.Fig1NetworkOpts(t, opts)
+	r := &topk.Runner{Net: net, Source: trace.Figure1Source(), Op: New(), Query: topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}}
+	results, err := r.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, res := range results {
+		if len(res.Answers) > 0 {
+			served++
+		}
+	}
+	if served < 40 {
+		t.Fatalf("served answers on only %d/50 lossy epochs", served)
+	}
+}

@@ -1,0 +1,105 @@
+package naive
+
+import (
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/topk"
+	"kspot/internal/topk/topktest"
+	"kspot/internal/trace"
+)
+
+// TestReproducesPaperError is the §III-A counterexample: with k=1 on the
+// Figure 1 deployment, naive greedy pruning discards (D,39) at s4 and the
+// sink wrongly reports room D with average 76.5 instead of room C with 75.
+func TestReproducesPaperError(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	r := &topk.Runner{Net: net, Source: trace.Figure1Source(), Op: New(), Query: topk.SnapshotQuery{K: 1, Agg: model.AggAvg}}
+	results, err := r.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	if res.Correct {
+		t.Fatal("naive pruning should be wrong on Figure 1 — the paper's whole point")
+	}
+	got := res.Answers[0]
+	if got.Group != trace.Fig1RoomD || got.Score != 76.5 {
+		t.Fatalf("naive answer = %v, want the paper's erroneous (D, 76.5)", got)
+	}
+	if res.Exact[0].Group != trace.Fig1RoomC || res.Exact[0].Score != 75 {
+		t.Fatalf("exact answer = %v, want (C, 75)", res.Exact[0])
+	}
+	if res.Recall != 0 {
+		t.Fatalf("recall = %v, want 0", res.Recall)
+	}
+}
+
+func TestCheaperThanTAGButLossy(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	r := &topk.Runner{Net: net, Source: trace.Figure1Source(), Op: New(), Query: topk.SnapshotQuery{K: 1, Agg: model.AggAvg}}
+	results, err := r.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := topk.Summarize(results)
+	// Naive transmits at most k partials per node: with k=1 that is one
+	// 16-byte partial per node per epoch, strictly less than TAG's full
+	// views on interior nodes.
+	if s.BytesPerEp <= 0 {
+		t.Fatal("no traffic measured")
+	}
+	maxPerNode := 16 + 7 // one partial + header
+	if got := s.BytesPerEp; got > float64(9*maxPerNode+9*(10+7)) {
+		t.Errorf("naive bytes/epoch = %.0f, exceeds its k=1 ceiling", got)
+	}
+}
+
+func TestRecallDegradesWithScatteredGroups(t *testing.T) {
+	// Round-robin groups scatter every group across the whole field, the
+	// worst case for local pruning. Expect mistakes on some epochs.
+	wrongSomewhere := false
+	for seed := int64(1); seed <= 6 && !wrongSomewhere; seed++ {
+		net := topktest.GridNetwork(t, 36, 9)
+		net.Placement.RegroupRoundRobin(9)
+		src := trace.NewRoomActivity(seed, net.Placement.Groups, 9)
+		r := &topk.Runner{Net: net, Source: src, Op: New(), Query: topk.SnapshotQuery{K: 1, Agg: model.AggAvg}}
+		results, err := r.Run(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, res := range results {
+			if !res.Correct {
+				wrongSomewhere = true
+				break
+			}
+		}
+	}
+	if !wrongSomewhere {
+		t.Error("naive pruning never erred on scattered groups across 6 seeds — suspicious")
+	}
+}
+
+func TestStillRankedOutput(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	r := &topk.Runner{Net: net, Source: trace.Figure1Source(), Op: New(), Query: topk.SnapshotQuery{K: 3, Agg: model.AggAvg}}
+	results, err := r.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := results[0].Answers
+	if len(ans) != 3 {
+		t.Fatalf("answers = %v", ans)
+	}
+	for i := 1; i < len(ans); i++ {
+		if ans[i].Score > ans[i-1].Score {
+			t.Fatalf("unranked output: %v", ans)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "naive" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,87 @@
+package tag
+
+import (
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/topk"
+	"kspot/internal/topk/topktest"
+	"kspot/internal/trace"
+)
+
+func TestFigure1Correct(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	r := &topk.Runner{Net: net, Source: trace.Figure1Source(), Op: New(), Query: topk.SnapshotQuery{K: 1, Agg: model.AggAvg}}
+	results, err := r.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if !res.Correct {
+			t.Fatalf("epoch %d incorrect: got %v, want %v", res.Epoch, res.Answers, res.Exact)
+		}
+		if res.Answers[0].Group != trace.Fig1RoomC || res.Answers[0].Score != 75 {
+			t.Fatalf("top-1 = %v, want (C,75)", res.Answers[0])
+		}
+	}
+}
+
+func TestAlwaysExactOnRandomNetworks(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		net := topktest.RoomsNetwork(t, 6, 3, seed)
+		src := trace.NewRoomActivity(seed, net.Placement.Groups, 6)
+		for _, k := range []int{1, 2, 4} {
+			net.Reset()
+			r := &topk.Runner{Net: net, Source: src, Op: New(), Query: topk.SnapshotQuery{K: k, Agg: model.AggAvg}}
+			results, err := r.Run(20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := topk.Summarize(results)
+			if s.CorrectPct != 100 {
+				t.Errorf("seed %d k=%d: TAG correct only %.0f%%", seed, k, s.CorrectPct)
+			}
+		}
+	}
+}
+
+func TestEveryNodeTransmitsEveryEpoch(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	r := &topk.Runner{Net: net, Source: trace.Figure1Source(), Op: New(), Query: topk.SnapshotQuery{K: 1, Agg: model.AggAvg}}
+	results, err := r.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 data messages (one per sensor) + 9 beacons per epoch.
+	if got := results[0].Traffic.Messages; got != 18 {
+		t.Errorf("messages in epoch = %d, want 18", got)
+	}
+}
+
+func TestMinMaxAggregates(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	for _, agg := range []model.AggKind{model.AggMin, model.AggMax, model.AggSum, model.AggCount} {
+		net.Reset()
+		r := &topk.Runner{Net: net, Source: trace.Figure1Source(), Op: New(), Query: topk.SnapshotQuery{K: 2, Agg: agg}}
+		results, err := r.Run(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !results[0].Correct {
+			t.Errorf("%v: got %v, want %v", agg, results[0].Answers, results[0].Exact)
+		}
+	}
+}
+
+func TestAttachRejectsBadQuery(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	if err := New().Attach(net, topk.SnapshotQuery{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "tag" {
+		t.Error("name")
+	}
+}

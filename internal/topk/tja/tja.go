@@ -1,0 +1,360 @@
+// Package tja implements the Threshold Join Algorithm (Zeinalipour-Yazti et
+// al., DMSN 2005), the historic top-k operator KSpot routes WITH HISTORY
+// queries over vertically fragmented data to. The score of a time instant
+// is the aggregate of that instant's readings across all n nodes, so no
+// node can rank instants alone; TJA resolves the ranking in three phases,
+// joining partial results *inside* the network instead of shipping every
+// list to the sink:
+//
+//  1. LB (Lower Bound) phase: every node's local top-k *id set* is unioned
+//     hierarchically up the tree; the sink obtains L_sink (o ≥ K ids).
+//  2. HJ (Hierarchical Join) phase: L_sink is multicast down. Each node i
+//     computes its threshold θ_i = min local score among L_sink items and
+//     reports every tuple scoring at least θ_i; reports are sum-joined in
+//     the network. Every L_sink item is by construction reported by every
+//     node, so the sink knows those scores exactly; for any other item x
+//     the per-subtree θ sums yield the upper bound
+//     UB(x) = sum(x) + Σ_{i ∉ reporters(x)} θ_i.
+//  3. CL (Clean-up) phase: items whose upper bound reaches the K-th exact
+//     score are fetched exactly (one targeted sweep); the final Top-K is
+//     then exact.
+//
+// Phase traffic is tagged radio.KindLB / KindHJ / KindCL so the System
+// Panel (and experiment E8) can report per-phase bytes.
+package tja
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"kspot/internal/model"
+	"kspot/internal/radio"
+	"kspot/internal/sim"
+	"kspot/internal/topk"
+)
+
+// Operator is the TJA historic operator.
+type Operator struct{}
+
+// New returns a TJA operator.
+func New() *Operator { return &Operator{} }
+
+// Name implements topk.HistoricOperator.
+func (o *Operator) Name() string { return "tja" }
+
+// item is the sink-side bookkeeping for one time instant during HJ/CL.
+type item struct {
+	sumFP    int64 // joined sum of reported values, centi-units
+	coverage int   // how many nodes reported it
+	thrFP    int64 // Σ θ_i over the nodes that reported it
+}
+
+// hjRecord is the in-network join record for one item.
+const hjRecordSize = 12 // id(2) + sum(4) + coverage(2) + thrsum(4)
+
+// hjTrailerSize carries the subtree totals: Σθ(4) + nodeCount(2).
+const hjTrailerSize = 6
+
+// Run implements topk.HistoricOperator.
+func (o *Operator) Run(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := data.Validate(q); err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 1: LB — hierarchical union of local top-k id sets. ----
+	lSink := o.lbPhase(net, q, data)
+	if len(lSink) == 0 {
+		return nil, fmt.Errorf("tja: LB phase returned no ids (no data reached the sink)")
+	}
+
+	// ---- Phase 2: HJ — threshold-driven hierarchical join. ----
+	items, totalThrFP, covered := o.hjPhase(net, q, data, lSink)
+
+	// Exact scores for fully covered items; τ = K-th among them (as sums).
+	n := covered
+	exact := make(map[model.GroupID]int64)
+	for id, it := range items {
+		if it.coverage >= n {
+			exact[id] = it.sumFP
+		}
+	}
+	tau := kthSum(exact, q.K)
+
+	// ---- Phase 3: CL — fetch exact values for unresolved candidates. ----
+	var candidates []model.GroupID
+	for id, it := range items {
+		if it.coverage >= n {
+			continue
+		}
+		ub := it.sumFP + (totalThrFP - it.thrFP)
+		if ub >= tau {
+			candidates = append(candidates, id)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	if len(candidates) > 0 {
+		for id, sumFP := range o.clPhase(net, q, data, candidates) {
+			exact[id] = sumFP
+		}
+	}
+
+	answers := make([]model.Answer, 0, len(exact))
+	for id, sumFP := range exact {
+		score := model.Value(sumFP) / 100
+		if q.Agg == model.AggAvg {
+			score /= model.Value(n)
+		}
+		answers = append(answers, model.Answer{Group: id, Score: model.Quantize(score)})
+	}
+	model.SortAnswers(answers)
+	if len(answers) > q.K {
+		answers = answers[:q.K]
+	}
+	return answers, nil
+}
+
+// lbPhase unions local top-k id sets up the tree and returns L_sink.
+func (o *Operator) lbPhase(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData) map[model.GroupID]bool {
+	inbox := make(map[model.NodeID]map[model.GroupID]bool)
+	for _, node := range net.Tree.PostOrder() {
+		ids := inbox[node]
+		if ids == nil {
+			ids = make(map[model.GroupID]bool)
+		}
+		if series, ok := data[node]; ok {
+			for _, t := range topk.LocalTopK(series, q.K) {
+				ids[model.GroupID(t)] = true
+			}
+		}
+		if node == net.Tree.Root {
+			return ids
+		}
+		if len(ids) == 0 || !net.Alive(node) {
+			continue
+		}
+		payload := encodeIDs(ids)
+		if net.SendUp(node, radio.KindLB, 0, payload) {
+			parent := net.Tree.Parent[node]
+			if inbox[parent] == nil {
+				inbox[parent] = make(map[model.GroupID]bool)
+			}
+			for id := range ids {
+				inbox[parent][id] = true
+			}
+		}
+	}
+	return nil
+}
+
+// hjPhase multicasts L_sink, joins threshold reports up the tree, and
+// returns the sink's item map, the network-wide Σθ, and the number of nodes
+// that participated.
+func (o *Operator) hjPhase(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData, lSink map[model.GroupID]bool) (map[model.GroupID]*item, int64, int) {
+	lPayload := encodeIDs(lSink)
+	reached := net.BroadcastDown(radio.KindHJ, 0, func(model.NodeID) []byte { return lPayload })
+
+	type subtree struct {
+		items map[model.GroupID]*item
+		thrFP int64
+		nodes int
+	}
+	inbox := make(map[model.NodeID]*subtree)
+	var sinkState *subtree
+	for _, node := range net.Tree.PostOrder() {
+		st := inbox[node]
+		if st == nil {
+			st = &subtree{items: make(map[model.GroupID]*item)}
+		}
+		series, hasData := data[node]
+		if hasData && reached[node] && node != net.Tree.Root {
+			// θ_i = min local value among L_sink items.
+			thrFP := int64(1<<62 - 1)
+			for id := range lSink {
+				if int(id) < len(series) {
+					if v := int64(model.ToFixed(series[id])); v < thrFP {
+						thrFP = v
+					}
+				}
+			}
+			st.thrFP += thrFP
+			st.nodes++
+			for t, v := range series {
+				vFP := int64(model.ToFixed(v))
+				if vFP >= thrFP {
+					it := st.items[model.GroupID(t)]
+					if it == nil {
+						it = &item{}
+						st.items[model.GroupID(t)] = it
+					}
+					it.sumFP += vFP
+					it.coverage++
+					it.thrFP += thrFP
+				}
+			}
+		}
+		if node == net.Tree.Root {
+			sinkState = st
+			break
+		}
+		if st.nodes == 0 || !net.Alive(node) {
+			continue
+		}
+		payload := encodeHJ(st.items, st.thrFP, st.nodes)
+		if net.SendUp(node, radio.KindHJ, 0, payload) {
+			parent := net.Tree.Parent[node]
+			pst := inbox[parent]
+			if pst == nil {
+				pst = &subtree{items: make(map[model.GroupID]*item)}
+				inbox[parent] = pst
+			}
+			pst.thrFP += st.thrFP
+			pst.nodes += st.nodes
+			for id, it := range st.items {
+				dst := pst.items[id]
+				if dst == nil {
+					dst = &item{}
+					pst.items[id] = dst
+				}
+				dst.sumFP += it.sumFP
+				dst.coverage += it.coverage
+				dst.thrFP += it.thrFP
+			}
+		}
+	}
+	if sinkState == nil {
+		return map[model.GroupID]*item{}, 0, 0
+	}
+	return sinkState.items, sinkState.thrFP, sinkState.nodes
+}
+
+// clPhase multicasts the candidate id list and sum-joins every node's exact
+// values for those items.
+func (o *Operator) clPhase(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData, candidates []model.GroupID) map[model.GroupID]int64 {
+	cSet := make(map[model.GroupID]bool, len(candidates))
+	for _, id := range candidates {
+		cSet[id] = true
+	}
+	cPayload := encodeIDs(cSet)
+	reached := net.BroadcastDown(radio.KindCL, 0, func(model.NodeID) []byte { return cPayload })
+
+	inbox := make(map[model.NodeID]map[model.GroupID]int64)
+	for _, node := range net.Tree.PostOrder() {
+		sums := inbox[node]
+		if sums == nil {
+			sums = make(map[model.GroupID]int64)
+		}
+		if series, ok := data[node]; ok && reached[node] && node != net.Tree.Root {
+			for _, id := range candidates {
+				if int(id) < len(series) {
+					sums[id] += int64(model.ToFixed(series[id]))
+				}
+			}
+		}
+		if node == net.Tree.Root {
+			return sums
+		}
+		if len(sums) == 0 || !net.Alive(node) {
+			continue
+		}
+		payload := make([]byte, 0, len(sums)*model.AnswerWireSize)
+		ids := make([]model.GroupID, 0, len(sums))
+		for id := range sums {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			payload = model.AppendAnswer(payload, model.Answer{Group: id, Score: model.Value(sums[id]) / 100})
+		}
+		if net.SendUp(node, radio.KindCL, 0, payload) {
+			parent := net.Tree.Parent[node]
+			if inbox[parent] == nil {
+				inbox[parent] = make(map[model.GroupID]int64)
+			}
+			for id, s := range sums {
+				inbox[parent][id] += s
+			}
+		}
+	}
+	return map[model.GroupID]int64{}
+}
+
+// kthSum returns the K-th largest sum (ties by smaller id), or the minimum
+// int64 when fewer than K sums exist.
+func kthSum(sums map[model.GroupID]int64, k int) int64 {
+	if len(sums) < k {
+		return -(1<<62 - 1)
+	}
+	type pair struct {
+		id model.GroupID
+		s  int64
+	}
+	ps := make([]pair, 0, len(sums))
+	for id, s := range sums {
+		ps = append(ps, pair{id, s})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].s != ps[j].s {
+			return ps[i].s > ps[j].s
+		}
+		return ps[i].id < ps[j].id
+	})
+	return ps[k-1].s
+}
+
+// encodeIDs serializes an id set, sorted, 2 bytes per id.
+func encodeIDs(ids map[model.GroupID]bool) []byte {
+	sorted := make([]model.GroupID, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]byte, 0, 2*len(sorted))
+	for _, id := range sorted {
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], uint16(id))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// encodeHJ serializes the hierarchical-join records plus the subtree
+// trailer. Only the size matters to the simulator (the join is computed on
+// the decoded structures directly), but the encoding is real so that byte
+// accounting matches what a mote would transmit.
+func encodeHJ(items map[model.GroupID]*item, thrFP int64, nodes int) []byte {
+	ids := make([]model.GroupID, 0, len(items))
+	for id := range items {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]byte, 0, len(ids)*hjRecordSize+hjTrailerSize)
+	for _, id := range ids {
+		it := items[id]
+		var b [hjRecordSize]byte
+		binary.LittleEndian.PutUint16(b[0:], uint16(id))
+		binary.LittleEndian.PutUint32(b[2:], uint32(int32(clampI32(it.sumFP))))
+		binary.LittleEndian.PutUint16(b[6:], uint16(it.coverage))
+		binary.LittleEndian.PutUint32(b[8:], uint32(int32(clampI32(it.thrFP))))
+		out = append(out, b[:]...)
+	}
+	var tr [hjTrailerSize]byte
+	binary.LittleEndian.PutUint32(tr[0:], uint32(int32(clampI32(thrFP))))
+	binary.LittleEndian.PutUint16(tr[4:], uint16(nodes))
+	return append(out, tr[:]...)
+}
+
+func clampI32(v int64) int64 {
+	const max = 1<<31 - 1
+	const min = -(1 << 31)
+	if v > max {
+		return max
+	}
+	if v < min {
+		return min
+	}
+	return v
+}

@@ -1,0 +1,67 @@
+// Package topktest provides shared fixtures for operator tests: the paper's
+// Figure 1 network, random multi-room networks, and historic window data.
+// It lives under internal/topk so every operator package tests against the
+// identical worlds.
+package topktest
+
+import (
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/sim"
+	"kspot/internal/topo"
+	"kspot/internal/trace"
+)
+
+// Fig1Network builds the Figure 1 network over the paper's literal routing
+// tree with default (lossless) options.
+func Fig1Network(t testing.TB) *sim.Network {
+	t.Helper()
+	return Fig1NetworkOpts(t, sim.DefaultOptions())
+}
+
+// Fig1NetworkOpts builds the Figure 1 network with custom options.
+func Fig1NetworkOpts(t testing.TB, opts sim.Options) *sim.Network {
+	t.Helper()
+	p := trace.Figure1Placement()
+	tree := trace.Figure1Tree()
+	links := topo.NewLinks()
+	for child, parent := range tree.Parent {
+		links.Connect(child, parent)
+	}
+	return sim.FromTree(p, links, tree, opts)
+}
+
+// RoomsNetwork builds a g-room, perRoom-sensors-per-room network with a
+// radio radius that keeps it connected; skips the test when the random
+// layout happens to disconnect.
+func RoomsNetwork(t testing.TB, g, perRoom int, seed int64) *sim.Network {
+	t.Helper()
+	p := topo.Rooms(g, perRoom, 12, seed)
+	net, err := sim.New(p, 30, sim.DefaultOptions())
+	if err != nil {
+		t.Skipf("topology disconnected (seed %d): %v", seed, err)
+	}
+	return net
+}
+
+// GridNetwork builds an n-node grid network (n must be a perfect square)
+// regrouped into g contiguous groups.
+func GridNetwork(t testing.TB, n, g int) *sim.Network {
+	t.Helper()
+	p, err := topo.Grid(n, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RegroupContiguous(g)
+	net, err := sim.New(p, 15, sim.DefaultOptions())
+	if err != nil {
+		t.Fatalf("grid disconnected: %v", err)
+	}
+	return net
+}
+
+// WindowData samples a source into a historic window for every sensor.
+func WindowData(net *sim.Network, src trace.Source, window int) map[model.NodeID][]model.Value {
+	return trace.Series(src, net.Placement.SensorNodes(), window)
+}

@@ -1,0 +1,212 @@
+// Package tput implements the Three-Phase Uniform Threshold algorithm of
+// Cao & Wang (PODC 2004), the flat distributed top-k baseline TJA is
+// measured against. TPUT was designed for star/overlay networks: every
+// message travels from its node to the sink hop by hop *without* being
+// merged in the network, which is exactly the cost TJA's hierarchical
+// unions and joins eliminate.
+//
+// The three phases:
+//
+//  1. Every node ships its local top-k (id, value) list to the sink, which
+//     computes partial sums ψ and the "phase-1 bottom" τ₁ = K-th ψ.
+//  2. The sink broadcasts the uniform threshold T = τ₁/n; every node ships
+//     all items it has not yet reported whose value ≥ T. The sink refines:
+//     LB(x) = reported sum, UB(x) = LB(x) + T·(nodes that did not report
+//     x); the candidate set is {x : UB(x) ≥ τ₂ = K-th LB}.
+//  3. The sink broadcasts the candidate ids; nodes ship their exact values
+//     for candidates they have not reported; the final Top-K is exact.
+//
+// Phases are tagged radio.KindLB / KindHJ / KindCL for per-phase accounting
+// (the same tags TJA uses, so the E7/E8 harness compares like for like).
+package tput
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"kspot/internal/model"
+	"kspot/internal/radio"
+	"kspot/internal/sim"
+	"kspot/internal/topk"
+)
+
+// Operator is the TPUT historic operator.
+type Operator struct{}
+
+// New returns a TPUT operator.
+func New() *Operator { return &Operator{} }
+
+// Name implements topk.HistoricOperator.
+func (o *Operator) Name() string { return "tput" }
+
+// Run implements topk.HistoricOperator.
+func (o *Operator) Run(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := data.Validate(q); err != nil {
+		return nil, err
+	}
+
+	nodes := net.Placement.SensorNodes()
+	// reported[node][item] tracks which (node,item) values the sink holds.
+	reported := make(map[model.NodeID]map[model.GroupID]bool, len(nodes))
+	sums := make(map[model.GroupID]int64)
+	counts := make(map[model.GroupID]int)
+	n := 0
+
+	record := func(node model.NodeID, id model.GroupID, vFP int64) {
+		if reported[node] == nil {
+			reported[node] = make(map[model.GroupID]bool)
+		}
+		if reported[node][id] {
+			return
+		}
+		reported[node][id] = true
+		sums[id] += vFP
+		counts[id]++
+	}
+
+	// ---- Phase 1: local top-k lists, shipped flat. ----
+	for _, node := range nodes {
+		series, ok := data[node]
+		if !ok {
+			continue
+		}
+		n++
+		top := topk.LocalTopK(series, q.K)
+		payload := make([]byte, 0, len(top)*model.AnswerWireSize)
+		for _, t := range top {
+			payload = model.AppendAnswer(payload, model.Answer{Group: model.GroupID(t), Score: series[t]})
+		}
+		if net.RouteToSink(node, radio.KindLB, 0, payload) {
+			for _, t := range top {
+				record(node, model.GroupID(t), int64(model.ToFixed(series[t])))
+			}
+		}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	tau1 := kthSum(sums, q.K)
+	// Uniform threshold T = τ₁/n, in centi-units (floor: a lower threshold
+	// only admits more reporters, never breaks correctness).
+	tFP := tau1 / int64(n)
+	if tFP < 0 {
+		tFP = 0
+	}
+
+	// ---- Phase 2: broadcast T; ship every unreported value ≥ T. ----
+	var tBuf [4]byte
+	binary.LittleEndian.PutUint32(tBuf[:], uint32(int32(tFP)))
+	net.BroadcastDown(radio.KindHJ, 0, func(model.NodeID) []byte { return tBuf[:] })
+	for _, node := range nodes {
+		series, ok := data[node]
+		if !ok {
+			continue
+		}
+		var send []int
+		for t, v := range series {
+			if reported[node][model.GroupID(t)] {
+				continue
+			}
+			if int64(model.ToFixed(v)) >= tFP {
+				send = append(send, t)
+			}
+		}
+		if len(send) == 0 {
+			continue
+		}
+		payload := make([]byte, 0, len(send)*model.AnswerWireSize)
+		for _, t := range send {
+			payload = model.AppendAnswer(payload, model.Answer{Group: model.GroupID(t), Score: series[t]})
+		}
+		if net.RouteToSink(node, radio.KindHJ, 0, payload) {
+			for _, t := range send {
+				record(node, model.GroupID(t), int64(model.ToFixed(series[t])))
+			}
+		}
+	}
+
+	// Refine: τ₂ = K-th lower bound; candidates have UB ≥ τ₂.
+	tau2 := kthSum(sums, q.K)
+	var candidates []model.GroupID
+	for id, s := range sums {
+		ub := s + tFP*int64(n-counts[id])
+		if counts[id] < n && ub >= tau2 {
+			candidates = append(candidates, id)
+		}
+	}
+	// Items no node reported at all need no clean-up: every one of their
+	// values is strictly below T (phase 2 would have shipped it
+	// otherwise), so their sum is strictly below n·T = τ₁ ≤ τ₂ — they
+	// cannot reach, or even tie, the K-th answer.
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	// ---- Phase 3: fetch exact values for candidates. ----
+	if len(candidates) > 0 {
+		cPayload := make([]byte, 0, 2*len(candidates))
+		for _, id := range candidates {
+			var b [2]byte
+			binary.LittleEndian.PutUint16(b[:], uint16(id))
+			cPayload = append(cPayload, b[:]...)
+		}
+		net.BroadcastDown(radio.KindCL, 0, func(model.NodeID) []byte { return cPayload })
+		for _, node := range nodes {
+			series, ok := data[node]
+			if !ok {
+				continue
+			}
+			var send []model.GroupID
+			for _, id := range candidates {
+				if !reported[node][id] && int(id) < len(series) {
+					send = append(send, id)
+				}
+			}
+			if len(send) == 0 {
+				continue
+			}
+			payload := make([]byte, 0, len(send)*model.AnswerWireSize)
+			for _, id := range send {
+				payload = model.AppendAnswer(payload, model.Answer{Group: id, Score: series[id]})
+			}
+			if net.RouteToSink(node, radio.KindCL, 0, payload) {
+				for _, id := range send {
+					record(node, id, int64(model.ToFixed(series[id])))
+				}
+			}
+		}
+	}
+
+	// Final ranking over fully known items.
+	answers := make([]model.Answer, 0, len(sums))
+	for id, s := range sums {
+		if counts[id] < n {
+			continue // partially known and provably below τ₂
+		}
+		score := model.Value(s) / 100
+		if q.Agg == model.AggAvg {
+			score /= model.Value(n)
+		}
+		answers = append(answers, model.Answer{Group: id, Score: model.Quantize(score)})
+	}
+	model.SortAnswers(answers)
+	if len(answers) > q.K {
+		answers = answers[:q.K]
+	}
+	return answers, nil
+}
+
+// kthSum returns the K-th largest value of the map (ties by smaller id), or
+// 0 when fewer than K entries exist (TPUT's τ degrades to "everything").
+func kthSum(sums map[model.GroupID]int64, k int) int64 {
+	if len(sums) < k {
+		return 0
+	}
+	vals := make([]int64, 0, len(sums))
+	for _, s := range sums {
+		vals = append(vals, s)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	return vals[k-1]
+}

@@ -1,0 +1,330 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kspot/internal/model"
+)
+
+// Links is the symmetric connectivity relation: which pairs of nodes can
+// hear each other.
+type Links struct {
+	adj map[model.NodeID]map[model.NodeID]bool
+}
+
+// NewLinks returns an empty link set.
+func NewLinks() *Links { return &Links{adj: make(map[model.NodeID]map[model.NodeID]bool)} }
+
+// Connect adds a bidirectional link.
+func (l *Links) Connect(a, b model.NodeID) {
+	if a == b {
+		return
+	}
+	if l.adj[a] == nil {
+		l.adj[a] = make(map[model.NodeID]bool)
+	}
+	if l.adj[b] == nil {
+		l.adj[b] = make(map[model.NodeID]bool)
+	}
+	l.adj[a][b] = true
+	l.adj[b][a] = true
+}
+
+// Connected reports whether a and b share a link.
+func (l *Links) Connected(a, b model.NodeID) bool { return l.adj[a][b] }
+
+// Neighbors returns a node's neighbors, sorted for determinism.
+func (l *Links) Neighbors(a model.NodeID) []model.NodeID {
+	ns := make([]model.NodeID, 0, len(l.adj[a]))
+	for n := range l.adj[a] {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns
+}
+
+// DiskLinks builds unit-disk connectivity: two nodes are linked iff their
+// distance is at most radius (the MICA2's usable indoor range for a given
+// power setting).
+func DiskLinks(p *Placement, radius float64) *Links {
+	l := NewLinks()
+	ids := p.Nodes()
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			if p.Positions[a].Dist(p.Positions[b]) <= radius {
+				l.Connect(a, b)
+			}
+		}
+	}
+	return l
+}
+
+// Tree is the TAG-style routing tree rooted at the sink. Every KSpot message
+// travels along tree edges: views and answers up, queries and γ beacons down.
+type Tree struct {
+	Parent   map[model.NodeID]model.NodeID
+	Children map[model.NodeID][]model.NodeID
+	Depth    map[model.NodeID]int
+	Root     model.NodeID
+}
+
+// BuildTree runs the first-heard BFS tree construction of TAG: the sink
+// broadcasts a beacon; each node adopts as parent the first (lowest-id at
+// equal depth) neighbor it hears the beacon from. Nodes unreachable from the
+// sink are reported as an error — a deployment bug the Configuration Panel
+// would surface.
+func BuildTree(p *Placement, links *Links) (*Tree, error) {
+	t := &Tree{
+		Parent:   make(map[model.NodeID]model.NodeID),
+		Children: make(map[model.NodeID][]model.NodeID),
+		Depth:    make(map[model.NodeID]int),
+		Root:     model.Sink,
+	}
+	t.Depth[model.Sink] = 0
+	frontier := []model.NodeID{model.Sink}
+	visited := map[model.NodeID]bool{model.Sink: true}
+	for len(frontier) > 0 {
+		var next []model.NodeID
+		// Deterministic order: lower-id nodes claim children first, which is
+		// the "first heard" rule with ties broken by id.
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		for _, u := range frontier {
+			for _, v := range links.Neighbors(u) {
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				t.Parent[v] = u
+				t.Depth[v] = t.Depth[u] + 1
+				t.Children[u] = append(t.Children[u], v)
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	for _, id := range p.Nodes() {
+		if !visited[id] {
+			return nil, fmt.Errorf("topo: node %d unreachable from sink", id)
+		}
+	}
+	for _, cs := range t.Children {
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	}
+	return t, nil
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return len(t.Depth) }
+
+// MaxDepth returns the height of the tree.
+func (t *Tree) MaxDepth() int {
+	m := 0
+	for _, d := range t.Depth {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PostOrder returns nodes deepest-first (children strictly before parents):
+// the order in which the epoch up-sweep processes transmissions, mirroring
+// TAG's depth-indexed TDMA schedule.
+func (t *Tree) PostOrder() []model.NodeID {
+	ids := make([]model.NodeID, 0, len(t.Depth))
+	for id := range t.Depth {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if t.Depth[ids[i]] != t.Depth[ids[j]] {
+			return t.Depth[ids[i]] > t.Depth[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// PreOrder returns nodes shallowest-first (parents before children): the
+// order of the downstream beacon sweep.
+func (t *Tree) PreOrder() []model.NodeID {
+	ids := t.PostOrder()
+	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
+		ids[i], ids[j] = ids[j], ids[i]
+	}
+	return ids
+}
+
+// Subtree returns the set of nodes in the subtree rooted at n (inclusive).
+func (t *Tree) Subtree(n model.NodeID) map[model.NodeID]bool {
+	out := map[model.NodeID]bool{n: true}
+	stack := []model.NodeID{n}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range t.Children[u] {
+			out[c] = true
+			stack = append(stack, c)
+		}
+	}
+	return out
+}
+
+// PathToRoot returns the nodes from n up to the root, inclusive of both.
+func (t *Tree) PathToRoot(n model.NodeID) []model.NodeID {
+	path := []model.NodeID{n}
+	for n != t.Root {
+		p, ok := t.Parent[n]
+		if !ok {
+			break
+		}
+		path = append(path, p)
+		n = p
+	}
+	return path
+}
+
+// Validate checks structural invariants: single root, acyclic parent chains,
+// child depth = parent depth + 1, children lists consistent with parents.
+func (t *Tree) Validate() error {
+	for n, p := range t.Parent {
+		if t.Depth[n] != t.Depth[p]+1 {
+			return fmt.Errorf("topo: node %d depth %d but parent %d depth %d", n, t.Depth[n], p, t.Depth[p])
+		}
+		found := false
+		for _, c := range t.Children[p] {
+			if c == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("topo: node %d missing from parent %d children", n, p)
+		}
+	}
+	for n := range t.Depth {
+		seen := map[model.NodeID]bool{}
+		for cur := n; cur != t.Root; {
+			if seen[cur] {
+				return fmt.Errorf("topo: cycle through node %d", cur)
+			}
+			seen[cur] = true
+			p, ok := t.Parent[cur]
+			if !ok {
+				return fmt.Errorf("topo: node %d has no path to root", n)
+			}
+			cur = p
+		}
+	}
+	return nil
+}
+
+// RemoveNode detaches a failed node, re-parenting its children to the best
+// surviving linked neighbor (smallest depth, then smallest id). Children
+// with no surviving neighbor become unreachable and are reported. This is
+// the failure-injection hook for experiment E13-style runs.
+func (t *Tree) RemoveNode(dead model.NodeID, links *Links) (orphans []model.NodeID) {
+	if dead == t.Root {
+		panic("topo: cannot remove the sink")
+	}
+	children := append([]model.NodeID(nil), t.Children[dead]...)
+	parent := t.Parent[dead]
+	// Detach dead from its parent.
+	t.Children[parent] = removeID(t.Children[parent], dead)
+	delete(t.Parent, dead)
+	delete(t.Depth, dead)
+	delete(t.Children, dead)
+	for _, c := range children {
+		best := model.NodeID(0)
+		bestDepth := math.MaxInt
+		found := false
+		for _, nb := range links.Neighbors(c) {
+			if nb == dead {
+				continue
+			}
+			d, alive := t.Depth[nb]
+			if !alive || inSubtreeOf(t, nb, c) {
+				continue
+			}
+			if d < bestDepth || (d == bestDepth && nb < best) {
+				best, bestDepth, found = nb, d, true
+			}
+		}
+		if !found {
+			orphans = append(orphans, c)
+			detachSubtree(t, c)
+			continue
+		}
+		t.Parent[c] = best
+		t.Children[best] = append(t.Children[best], c)
+		sort.Slice(t.Children[best], func(i, j int) bool { return t.Children[best][i] < t.Children[best][j] })
+		refreshDepths(t, c, bestDepth+1)
+	}
+	return orphans
+}
+
+func inSubtreeOf(t *Tree, candidate, root model.NodeID) bool {
+	return t.Subtree(root)[candidate]
+}
+
+func detachSubtree(t *Tree, n model.NodeID) {
+	for id := range t.Subtree(n) {
+		delete(t.Parent, id)
+		delete(t.Depth, id)
+		delete(t.Children, id)
+	}
+}
+
+func refreshDepths(t *Tree, n model.NodeID, depth int) {
+	t.Depth[n] = depth
+	for _, c := range t.Children[n] {
+		refreshDepths(t, c, depth+1)
+	}
+}
+
+func removeID(s []model.NodeID, id model.NodeID) []model.NodeID {
+	out := s[:0]
+	for _, v := range s {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GroupMaster returns, for each group, the lowest node in the tree that has
+// the entire group in its subtree (the group's LCA). MINT's completeness
+// pruning activates at and above this node.
+func GroupMaster(t *Tree, p *Placement) map[model.GroupID]model.NodeID {
+	members := p.GroupMembers()
+	masters := make(map[model.GroupID]model.NodeID, len(members))
+	for g, ms := range members {
+		if len(ms) == 0 {
+			continue
+		}
+		lca := ms[0]
+		for _, m := range ms[1:] {
+			lca = lowestCommonAncestor(t, lca, m)
+		}
+		masters[g] = lca
+	}
+	return masters
+}
+
+func lowestCommonAncestor(t *Tree, a, b model.NodeID) model.NodeID {
+	da, db := t.Depth[a], t.Depth[b]
+	for da > db {
+		a = t.Parent[a]
+		da--
+	}
+	for db > da {
+		b = t.Parent[b]
+		db--
+	}
+	for a != b {
+		a = t.Parent[a]
+		b = t.Parent[b]
+	}
+	return a
+}

@@ -1,0 +1,225 @@
+// Package kspot is a Go reproduction of "KSpot: Effectively Monitoring the
+// K Most Important Events in a Wireless Sensor Network" (Andreou,
+// Zeinalipour-Yazti, Vassiliadou, Chrysanthis, Samaras — ICDE 2009).
+//
+// KSpot answers Top-K queries over a wireless sensor network in-network:
+// instead of shipping every tuple to the base station, nodes prune answers
+// that provably cannot rank among the K best. Snapshot queries
+// (SELECT TOP K ... GROUP BY ...) run on the MINT materialized-view
+// algorithm; historic queries (... WITH HISTORY w) on the TJA threshold
+// join; plain queries on TAG-style acquisition. The hardware substrate —
+// MICA2 motes, the TinyOS link layer, the MTS310 sensing board — is
+// simulated (see DESIGN.md for the substitution table).
+//
+// Quick start:
+//
+//	sys, err := kspot.Open(kspot.DemoScenario())
+//	cur, err := sys.Post("SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid")
+//	for i := 0; i < 10; i++ {
+//	    res, err := cur.Step()        // one epoch
+//	    fmt.Println(res.Answers)      // the K highest-ranked clusters
+//	}
+//	fmt.Println(sys.SystemPanel())    // savings, energy, traffic
+package kspot
+
+import (
+	"fmt"
+
+	"kspot/internal/config"
+	"kspot/internal/gui"
+	"kspot/internal/model"
+	"kspot/internal/query"
+	"kspot/internal/sim"
+	"kspot/internal/stats"
+	"kspot/internal/topk"
+	"kspot/internal/topk/central"
+	"kspot/internal/topk/fila"
+	"kspot/internal/topk/mint"
+	"kspot/internal/topk/naive"
+	"kspot/internal/topk/tag"
+	"kspot/internal/topk/tja"
+	"kspot/internal/topk/tput"
+	"kspot/internal/trace"
+)
+
+// Re-exported identifiers, so that library users need only this package.
+type (
+	// Scenario describes a deployment (see internal/config for the JSON
+	// schema the Configuration Panel writes).
+	Scenario = config.Scenario
+	// Cluster names a physical region within a scenario.
+	Cluster = config.Cluster
+	// Answer is one ranked result row.
+	Answer = model.Answer
+	// GroupID identifies a cluster / room / time instant.
+	GroupID = model.GroupID
+	// NodeID identifies a sensor node.
+	NodeID = model.NodeID
+	// Epoch numbers acquisition rounds.
+	Epoch = model.Epoch
+)
+
+// Algorithm selects the snapshot operator for a query. The default,
+// AlgoAuto, follows the paper's router (MINT for TOP-K, TAG otherwise);
+// the rest exist for the System Panel's comparisons.
+type Algorithm string
+
+const (
+	AlgoAuto    Algorithm = ""
+	AlgoMINT    Algorithm = "mint"
+	AlgoTAG     Algorithm = "tag"
+	AlgoNaive   Algorithm = "naive"
+	AlgoCentral Algorithm = "central"
+	// AlgoFILA is the filter-based monitor (Wu et al., ICDE'06) the paper
+	// cites; it applies to per-node top-k snapshot queries and trades
+	// stale member scores for near-zero steady-state traffic.
+	AlgoFILA Algorithm = "fila"
+	// AlgoTJA and AlgoTPUT apply to historic queries.
+	AlgoTJA  Algorithm = "tja"
+	AlgoTPUT Algorithm = "tput"
+)
+
+// System is an opened deployment: the network simulation, its workload and
+// the query engine, i.e. the KSpot server attached to a sensor field.
+type System struct {
+	scenario *config.Scenario
+	net      *sim.Network
+	source   trace.Source
+	schema   query.Schema
+}
+
+// Open builds a System from a scenario.
+func Open(s *Scenario) (*System, error) {
+	net, err := s.Network()
+	if err != nil {
+		return nil, err
+	}
+	src, err := s.Source()
+	if err != nil {
+		return nil, err
+	}
+	return &System{scenario: s, net: net, source: src, schema: query.DefaultSchema()}, nil
+}
+
+// OpenFile loads a scenario JSON file and opens it.
+func OpenFile(path string) (*System, error) {
+	s, err := config.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(s)
+}
+
+// DemoScenario returns the paper's Figure-3 conference deployment: 14
+// sensors in 6 clusters (Auditorium, Conference Rooms, Coffee Stations,
+// Lobby).
+func DemoScenario() *Scenario { return config.Figure3Scenario() }
+
+// Figure1Scenario returns the paper's 9-sensor, 4-room worked example with
+// its exact sound levels.
+func Figure1Scenario() *Scenario { return config.Figure1Scenario() }
+
+// Scenario returns the opened scenario.
+func (s *System) Scenario() *Scenario { return s.scenario }
+
+// Network exposes the underlying simulation (topology, counters, ledger)
+// for advanced callers; the System Panel reads from it.
+func (s *System) Network() *sim.Network { return s.net }
+
+// ResetAccounting clears traffic and energy counters, e.g. between a
+// warm-up and a measured window.
+func (s *System) ResetAccounting() { s.net.Reset() }
+
+// Post parses, plans and prepares a query. Snapshot (continuous) queries
+// return a cursor advanced with Step; historic queries are executed by Run.
+func (s *System) Post(sql string) (*Cursor, error) {
+	return s.PostWith(sql, AlgoAuto)
+}
+
+// PostWith posts a query pinned to a specific algorithm (the System Panel
+// uses this to compare MINT against the baselines on identical workloads).
+func (s *System) PostWith(sql string, algo Algorithm) (*Cursor, error) {
+	plan, err := query.PlanText(sql, s.schema)
+	if err != nil {
+		return nil, err
+	}
+	cur := &Cursor{sys: s, plan: plan, algo: algo}
+	if err := cur.prepare(); err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+// SystemPanel renders the current traffic/energy statistics, optionally
+// against a baseline captured earlier with CaptureStats.
+func (s *System) SystemPanel(baseline *RunStats) string {
+	run := stats.Collect("current", s.net, 0)
+	var base *stats.RunStats
+	if baseline != nil {
+		b := stats.RunStats(*baseline)
+		base = &b
+	}
+	return gui.SystemPanel(run, base)
+}
+
+// RenderSystemPanel renders a previously captured run against an optional
+// baseline (both from CaptureStats).
+func RenderSystemPanel(run RunStats, baseline *RunStats) string {
+	var base *stats.RunStats
+	if baseline != nil {
+		b := stats.RunStats(*baseline)
+		base = &b
+	}
+	return gui.SystemPanel(stats.RunStats(run), base)
+}
+
+// RunStats is a captured statistics snapshot (see CaptureStats).
+type RunStats stats.RunStats
+
+// CaptureStats snapshots the network's counters under a label.
+func (s *System) CaptureStats(label string, epochs int) RunStats {
+	return RunStats(stats.Collect(label, s.net, epochs))
+}
+
+// DisplayPanel renders the deployment map with KSpot bullets beside the
+// ranked clusters.
+func (s *System) DisplayPanel(answers []Answer, w, h int) string {
+	return gui.DisplayPanel(s.scenario.Placement(), answers, w, h)
+}
+
+// RankingStrip renders a one-line live ranking.
+func (s *System) RankingStrip(answers []Answer) string {
+	return gui.RankingStrip(s.scenario.Placement(), answers)
+}
+
+// snapshotOperator instantiates the snapshot operator for an algorithm.
+func snapshotOperator(algo Algorithm) (topk.SnapshotOperator, error) {
+	switch algo {
+	case AlgoAuto, AlgoMINT:
+		return mint.New(), nil
+	case AlgoTAG:
+		return tag.New(), nil
+	case AlgoNaive:
+		return naive.New(), nil
+	case AlgoCentral:
+		return central.NewSnapshot(), nil
+	case AlgoFILA:
+		return fila.New(), nil
+	default:
+		return nil, fmt.Errorf("kspot: %q is not a snapshot algorithm", algo)
+	}
+}
+
+// historicOperator instantiates the historic operator for an algorithm.
+func historicOperator(algo Algorithm) (topk.HistoricOperator, error) {
+	switch algo {
+	case AlgoAuto, AlgoTJA:
+		return tja.New(), nil
+	case AlgoTPUT:
+		return tput.New(), nil
+	case AlgoCentral:
+		return central.NewHistoric(), nil
+	default:
+		return nil, fmt.Errorf("kspot: %q is not a historic algorithm", algo)
+	}
+}

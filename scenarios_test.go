@@ -1,0 +1,35 @@
+package kspot
+
+import (
+	"testing"
+
+	"kspot/internal/trace"
+)
+
+// TestShippedScenariosLoad keeps the checked-in Configuration Panel files
+// (scenarios/*.json) loadable and semantically intact.
+func TestShippedScenariosLoad(t *testing.T) {
+	demo, err := OpenFile("scenarios/icde09-demo.json")
+	if err != nil {
+		t.Fatalf("demo scenario: %v", err)
+	}
+	if got := len(demo.Scenario().Nodes); got != 14 {
+		t.Errorf("demo nodes = %d, want 14", got)
+	}
+
+	fig1, err := OpenFile("scenarios/figure1.json")
+	if err != nil {
+		t.Fatalf("figure1 scenario: %v", err)
+	}
+	cur, err := fig1.Post("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cur.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answers[0].Group != trace.Fig1RoomC || res.Answers[0].Score != 75 {
+		t.Fatalf("figure1 from file answered %v, want (C,75)", res.Answers)
+	}
+}
