@@ -1,12 +1,16 @@
 // Command kspotd serves the KSpot GUI over HTTP: the Display Panel with
 // live KSpot bullets, the ranking strip and the System Panel, refreshed as
-// the live goroutine deployment (internal/runtime) advances epochs — the
-// web-era stand-in for the paper's projector at the conference site.
+// the concurrent live deployment advances epochs — the web-era stand-in
+// for the paper's projector at the conference site.
+//
+// The daemon posts its queries on the live substrate (one goroutine per
+// sensor node, see internal/engine): every posted query shares one epoch
+// sweep, so extra -query flags cost beacons and views, not extra sensing.
 //
 // Usage:
 //
 //	kspotd -addr :8080 -k 3 -interval 1s
-//	kspotd -scenario demo.json
+//	kspotd -scenario demo.json -query "SELECT TOP 2 roomid, MAX(sound) FROM sensors GROUP BY roomid"
 //
 // Endpoints:
 //
@@ -17,7 +21,6 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,26 +35,34 @@ import (
 	"kspot/internal/config"
 	"kspot/internal/gui"
 	"kspot/internal/model"
-	"kspot/internal/runtime"
-	"kspot/internal/topk"
 )
 
+type queryList []string
+
+func (q *queryList) String() string { return fmt.Sprint(*q) }
+func (q *queryList) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
+
 type state struct {
-	mu      sync.Mutex
-	epoch   model.Epoch
-	answers []model.Answer
-	traffic runtime.Traffic
-	rounds  int
+	mu       sync.Mutex
+	epoch    model.Epoch
+	answers  []model.Answer
+	messages int
+	txBytes  int
 }
 
 func main() {
+	var queries queryList
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		scenarioPath = flag.String("scenario", "", "scenario JSON (default: built-in demo)")
-		k            = flag.Int("k", 3, "K of the Top-K query")
+		k            = flag.Int("k", 3, "K of the default Top-K query")
 		interval     = flag.Duration("interval", time.Second, "epoch duration")
 		window       = flag.Int("window", 64, "per-node history window")
 	)
+	flag.Var(&queries, "query", "extra SQL to post on the same deployment (repeatable)")
 	flag.Parse()
 
 	scen := kspot.DemoScenario()
@@ -63,46 +74,61 @@ func main() {
 		}
 	}
 	placement := scen.Placement()
-	src, err := scen.Source()
+	sys, err := kspot.Open(scen)
 	if err != nil {
 		log.Fatal("kspotd: ", err)
 	}
-	q := topk.SnapshotQuery{K: *k, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
-	tree, err := scen.Tree()
-	if err != nil {
-		log.Fatal("kspotd: ", err)
-	}
-	dep, err := runtime.FromTree(placement, tree, src, q, *window)
-	if err != nil {
-		log.Fatal("kspotd: ", err)
-	}
+	defer sys.Close()
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	dep.Start(ctx)
-	defer dep.Stop()
+	primary := fmt.Sprintf("SELECT TOP %d roomid, AVG(sound) FROM sensors GROUP BY roomid", *k)
+	cursors := make([]*kspot.Cursor, 0, 1+len(queries))
+	cur, err := sys.Post(primary, kspot.WithLive(), kspot.WithLiveWindow(*window))
+	if err != nil {
+		log.Fatal("kspotd: ", err)
+	}
+	cursors = append(cursors, cur)
+	for _, sql := range queries {
+		c, err := sys.Post(sql, kspot.WithLive())
+		if err != nil {
+			log.Fatalf("kspotd: %q: %v", sql, err)
+		}
+		cursors = append(cursors, c)
+	}
 
 	st := &state{}
+	stop := make(chan struct{})
 	go func() {
 		ticker := time.NewTicker(*interval)
 		defer ticker.Stop()
-		var e model.Epoch
 		for {
 			select {
-			case <-ctx.Done():
+			case <-stop:
 				return
 			case <-ticker.C:
 			}
-			res := dep.Server.RunEpoch(e)
+			var primaryRes kspot.StepResult
+			for i, c := range cursors {
+				res, err := c.Step()
+				if err != nil {
+					log.Printf("kspotd: step: %v", err)
+					return
+				}
+				if i == 0 {
+					primaryRes = res
+				}
+			}
+			// Between steps no epoch is in flight, so the shared network
+			// counters are quiescent and safe to read.
+			snap := sys.Network().Snap()
 			st.mu.Lock()
-			st.epoch = e
-			st.answers = res.Answers
-			st.traffic = dep.Traffic()
-			st.rounds = res.Rounds
+			st.epoch = primaryRes.Epoch
+			st.answers = primaryRes.Answers
+			st.messages = snap.Messages
+			st.txBytes = snap.TxBytes
 			st.mu.Unlock()
-			e++
 		}
 	}()
+	defer close(stop)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/panel", func(w http.ResponseWriter, r *http.Request) {
@@ -124,9 +150,9 @@ func main() {
 		st.mu.Lock()
 		out := map[string]interface{}{
 			"epoch":    st.epoch,
-			"messages": st.traffic.Messages,
-			"tx_bytes": st.traffic.TxBytes,
-			"rounds":   st.rounds,
+			"messages": st.messages,
+			"tx_bytes": st.txBytes,
+			"queries":  len(cursors),
 		}
 		st.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
@@ -142,24 +168,25 @@ func main() {
 		st.mu.Lock()
 		answers := st.answers
 		epoch := st.epoch
-		tr := st.traffic
+		messages, txBytes := st.messages, st.txBytes
 		st.mu.Unlock()
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprintf(w, `<!DOCTYPE html><html><head><meta http-equiv="refresh" content="2">
 <title>KSpot — %s</title><style>body{font-family:monospace;background:#111;color:#dfd}
 pre{font-size:13px}</style></head><body>
 <h2>KSpot — %s</h2>
-<p>epoch %d &middot; messages %d &middot; tx bytes %d</p>
+<p>epoch %d &middot; queries %d &middot; messages %d &middot; tx bytes %d</p>
 <pre>%s</pre>
 <pre>%s</pre>
 </body></html>`,
 			html.EscapeString(scen.Name), html.EscapeString(scen.Name), epoch,
-			tr.Messages, tr.TxBytes,
+			len(cursors), messages, txBytes,
 			html.EscapeString(fmt.Sprintf("ranking: %s", gui.RankingStrip(placement, answers))),
 			html.EscapeString(gui.DisplayPanel(placement, answers, 72, 18)))
 	})
 
-	log.Printf("kspotd: serving %q on %s (query: TOP %d AVG(sound) per cluster, epoch %v)", scen.Name, *addr, *k, *interval)
+	log.Printf("kspotd: serving %q on %s (%d live queries, primary: TOP %d AVG(sound) per cluster, epoch %v)",
+		scen.Name, *addr, len(cursors), *k, *interval)
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "kspotd:", err)

@@ -3,6 +3,7 @@ package kspot
 import (
 	"fmt"
 
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/query"
 	"kspot/internal/topk"
@@ -15,9 +16,16 @@ type Cursor struct {
 	sys  *System
 	plan *query.Plan
 	algo Algorithm
+	live bool
 
 	snapOp topk.SnapshotOperator
 	epoch  model.Epoch
+
+	// Live cursors pin the deployment and scheduler they registered with
+	// at post time (Close tears the System's copies down concurrently).
+	tp    engine.Transport
+	sched *engine.Scheduler
+	sq    *engine.ScheduledQuery
 }
 
 // StepResult is one epoch of a continuous query.
@@ -36,10 +44,28 @@ func (c *Cursor) Plan() string { return c.plan.Kind.String() }
 // Query returns the canonical query text.
 func (c *Cursor) Query() string { return c.plan.Query }
 
+// Live reports whether the cursor runs on the concurrent substrate.
+func (c *Cursor) Live() bool { return c.live }
+
 // Continuous reports whether the cursor is advanced with Step (snapshot
 // and basic queries) rather than executed once with Run.
 func (c *Cursor) Continuous() bool {
 	return c.plan.Kind != query.PlanHistoricTopK
+}
+
+// transport returns the substrate this cursor's traffic runs on.
+func (c *Cursor) transport() (engine.Transport, error) {
+	if !c.live {
+		return c.sys.net, nil
+	}
+	if c.tp == nil {
+		live, sched := c.sys.liveState()
+		if live == nil {
+			return nil, fmt.Errorf("kspot: system is closed")
+		}
+		c.tp, c.sched = live, sched
+	}
+	return c.tp, nil
 }
 
 func (c *Cursor) prepare() error {
@@ -66,8 +92,21 @@ func (c *Cursor) prepare() error {
 		}
 		c.snapOp = op
 	}
-	if err := c.snapOp.Attach(c.sys.net, c.plan.Snapshot); err != nil {
+	t, err := c.transport()
+	if err != nil {
 		return err
+	}
+	if err := c.snapOp.Attach(t, c.plan.Snapshot); err != nil {
+		return err
+	}
+	if c.live {
+		// Live snapshot cursors are served by the shared scheduler: one
+		// epoch sweep per epoch, however many queries are posted.
+		var override trace.Source
+		if c.plan.Kind == query.PlanHistoricGroupTopK {
+			override = c.source()
+		}
+		c.sq = c.sched.Add(c.snapOp, override)
 	}
 	return nil
 }
@@ -76,6 +115,19 @@ func (c *Cursor) prepare() error {
 func (c *Cursor) Step() (StepResult, error) {
 	if !c.Continuous() {
 		return StepResult{}, fmt.Errorf("kspot: historic query %q executes with Run, not Step", c.plan.Query)
+	}
+	if c.live {
+		out, err := c.sched.Step(c.sq)
+		if err != nil {
+			return StepResult{}, err
+		}
+		exact := topk.ExactSnapshot(out.Readings, c.plan.Snapshot)
+		return StepResult{
+			Epoch:   out.Epoch,
+			Answers: out.Answers,
+			Exact:   exact,
+			Correct: model.EqualAnswers(out.Answers, exact),
+		}, nil
 	}
 	e := c.epoch
 	c.epoch++
@@ -117,8 +169,12 @@ func (c *Cursor) Run() ([]Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	data := topk.HistoricData(trace.Series(c.sys.source, c.sys.net.Placement.SensorNodes(), c.plan.Historic.Window))
-	return op.Run(c.sys.net, c.plan.Historic, data)
+	t, err := c.transport()
+	if err != nil {
+		return nil, err
+	}
+	data := topk.HistoricData(trace.Series(c.sys.source, t.Topology().SensorNodes(), c.plan.Historic.Window))
+	return op.Run(t, c.plan.Historic, data)
 }
 
 // windowAggSource aggregates each node's trailing window locally — the

@@ -1,0 +1,3 @@
+module kspot
+
+go 1.24

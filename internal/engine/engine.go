@@ -1,0 +1,126 @@
+// Package engine is the transport-agnostic substrate layer between the
+// top-k operators and the network they run on. The KSpot protocol is
+// defined once — γ-descriptor pruning, bound tightening, recovery rounds
+// all live in the operator packages under internal/topk — and the engine
+// decides *where* it executes:
+//
+//   - the deterministic substrate is internal/sim's discrete-time
+//     simulator, which satisfies Transport natively and is where the
+//     benchmarks and the reproduction experiments run;
+//   - the concurrent substrate (Live, in this package) runs one goroutine
+//     per sensor node and passes views over channels, borrowing the same
+//     link-layer and energy accounting, and is what cmd/kspotd and the
+//     examples deploy.
+//
+// Because both substrates implement the identical Transport contract, an
+// operator attached to one returns the same answers and the same message
+// counts on the other (engine's equivalence test pins this, under -race).
+//
+// The package also provides the multi-query Scheduler: one deployment
+// serving several posted cursors in epoch lock-step, sensing each epoch
+// once and running every operator's acquisition concurrently.
+package engine
+
+import (
+	"kspot/internal/model"
+	"kspot/internal/radio"
+	"kspot/internal/sim"
+	"kspot/internal/topo"
+	"kspot/internal/trace"
+)
+
+// PruneFunc is the per-node hook of an acquisition sweep: it receives the
+// transmitting node and its full local view V_i and returns the view to
+// transmit V'_i (the input unchanged, a subset, or nil for "send nothing").
+// A PruneFunc may be invoked from per-node goroutines on the concurrent
+// substrate, so it must not mutate operator state.
+type PruneFunc = func(node model.NodeID, v *model.View) *model.View
+
+// Transport is the communication contract the operators program against:
+// the primitives they previously used directly on *sim.Network (one-hop
+// sends, the beacon flood, multihop relays, the epoch sweep) plus the
+// per-message accounting every transmission feeds.
+//
+// *sim.Network satisfies Transport natively (the deterministic substrate);
+// *Live implements it over goroutines and channels (the concurrent one).
+type Transport interface {
+	// Topology returns the node placement (positions, groups, names).
+	Topology() *topo.Placement
+	// Routing returns the sink-rooted routing tree every message follows.
+	Routing() *topo.Tree
+	// Alive reports whether a node still has energy.
+	Alive(id model.NodeID) bool
+
+	// SendUp transmits a payload one hop from a node to its tree parent.
+	SendUp(from model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool
+	// SendDown transmits a payload one hop from a parent to a child.
+	SendDown(from, to model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool
+	// BroadcastDown floods a per-child payload from the sink through the
+	// tree (beacons, query installation), returning the nodes reached.
+	// payloadFor may be called concurrently on the live substrate.
+	BroadcastDown(kind radio.MsgKind, e model.Epoch, payloadFor func(child model.NodeID) []byte) map[model.NodeID]bool
+	// RouteToSink relays a payload hop by hop to the sink without merging
+	// (the flat pattern of TPUT and the centralized baseline).
+	RouteToSink(from model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool
+	// RouteFromSink relays a payload hop by hop from the sink to one node
+	// (FILA-style filter updates and probes).
+	RouteFromSink(to model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool
+	// Sweep runs one TAG-style leaf-to-root acquisition: every node merges
+	// its own reading with its children's views, applies prune, and ships
+	// the result one hop up; empty views suppress the packet entirely. The
+	// sink's merged view is returned.
+	Sweep(e model.Epoch, kind radio.MsgKind, readings map[model.NodeID]model.Reading, prune PruneFunc) *model.View
+
+	// ChargeSense charges one sensing operation to a node.
+	ChargeSense(id model.NodeID)
+	// ChargeIdleEpoch charges every live sensor the per-epoch idle baseline.
+	ChargeIdleEpoch()
+	// Snap captures the traffic/energy totals; Delta diffs against an
+	// earlier snapshot; Reset clears accounting (budgets are preserved).
+	Snap() sim.Snapshot
+	Delta(s sim.Snapshot) sim.Snapshot
+	Reset()
+}
+
+// readingsRecorder is implemented by substrates that buffer each node's
+// sensed history (the live deployment's per-node windows). SenseEpoch
+// feeds it the raw sensed values, exactly once per epoch — derived
+// readings (sampleReadings) are never buffered.
+type readingsRecorder interface {
+	recordReadings(e model.Epoch, readings map[model.NodeID]model.Reading)
+}
+
+// SenseEpoch samples every live sensor once and charges the sensing cost,
+// returning the epoch's readings keyed by node. The returned map is shared
+// read-only state: operators and per-node workers must not mutate it.
+func SenseEpoch(t Transport, src trace.Source, e model.Epoch) map[model.NodeID]model.Reading {
+	readings := sampleReadings(t, src, e)
+	for id := range readings {
+		t.ChargeSense(id)
+	}
+	if r, ok := t.(readingsRecorder); ok {
+		r.recordReadings(e, readings)
+	}
+	return readings
+}
+
+// sampleReadings builds an epoch's readings without charging sensing —
+// used by the Scheduler for queries that derive their per-node values from
+// an already-sensed attribute (e.g. node-local window aggregation), so the
+// shared acquisition is charged exactly once per epoch.
+func sampleReadings(t Transport, src trace.Source, e model.Epoch) map[model.NodeID]model.Reading {
+	readings := make(map[model.NodeID]model.Reading)
+	p := t.Topology()
+	for _, id := range p.SensorNodes() {
+		if !t.Alive(id) {
+			continue
+		}
+		readings[id] = model.Reading{
+			Node:  id,
+			Group: p.Groups[id],
+			Epoch: e,
+			Value: model.Quantize(src.Sample(id, e)),
+		}
+	}
+	return readings
+}

@@ -1,0 +1,111 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"kspot/internal/config"
+	"kspot/internal/engine"
+	"kspot/internal/model"
+	"kspot/internal/topk"
+	"kspot/internal/topk/mint"
+	"kspot/internal/topk/tag"
+)
+
+// runOn drives an operator over a fresh scenario network on the given
+// substrate and returns per-epoch answers plus the total traffic snapshot.
+func runOn(t *testing.T, scen *config.Scenario, mk func() topk.SnapshotOperator, live bool, epochs int) ([][]model.Answer, interface {
+	Msg() int
+	Bytes() int
+}, []bool) {
+	t.Helper()
+	net, err := scen.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := scen.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tp engine.Transport = net
+	if live {
+		l := engine.NewLive(net, engine.LiveOptions{Window: 8})
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		l.Start(ctx)
+		defer l.Stop()
+		tp = l
+	}
+	q := topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+	r := &topk.Runner{Net: tp, Source: src, Op: mk(), Query: q}
+	results, err := r.Run(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers := make([][]model.Answer, 0, epochs)
+	correct := make([]bool, 0, epochs)
+	for _, res := range results {
+		answers = append(answers, res.Answers)
+		correct = append(correct, res.Correct)
+	}
+	snap := tp.Snap()
+	return answers, snapStats{snap.Messages, snap.TxBytes}, correct
+}
+
+type snapStats struct{ m, b int }
+
+func (s snapStats) Msg() int   { return s.m }
+func (s snapStats) Bytes() int { return s.b }
+
+// TestSubstrateEquivalence pins the engine contract: the same operator
+// attached to the deterministic simulator and to the concurrent goroutine
+// substrate returns identical answers and identical message counts on the
+// paper's scenarios. Run under -race this also exercises the live
+// substrate's concurrency.
+func TestSubstrateEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name string
+		mk   func() *config.Scenario
+	}{
+		{"figure1", config.Figure1Scenario},
+		{"figure3", config.Figure3Scenario},
+	}
+	operators := []struct {
+		name string
+		mk   func() topk.SnapshotOperator
+	}{
+		{"mint", func() topk.SnapshotOperator { return mint.New() }},
+		{"tag", func() topk.SnapshotOperator { return tag.New() }},
+	}
+	const epochs = 12
+	for _, sc := range scenarios {
+		for _, op := range operators {
+			t.Run(fmt.Sprintf("%s/%s", sc.name, op.name), func(t *testing.T) {
+				detAns, detTr, detOK := runOn(t, sc.mk(), op.mk, false, epochs)
+				liveAns, liveTr, liveOK := runOn(t, sc.mk(), op.mk, true, epochs)
+				for e := range detAns {
+					if !model.EqualAnswers(detAns[e], liveAns[e]) {
+						t.Fatalf("epoch %d: deterministic=%v live=%v", e, detAns[e], liveAns[e])
+					}
+					if detOK[e] != liveOK[e] {
+						t.Fatalf("epoch %d: correctness disagrees (det %v, live %v)", e, detOK[e], liveOK[e])
+					}
+				}
+				if detTr.Msg() != liveTr.Msg() {
+					t.Errorf("messages: deterministic %d, live %d", detTr.Msg(), liveTr.Msg())
+				}
+				if detTr.Bytes() != liveTr.Bytes() {
+					t.Errorf("tx bytes: deterministic %d, live %d", detTr.Bytes(), liveTr.Bytes())
+				}
+				if op.name == "mint" {
+					for e, ok := range detOK {
+						if !ok {
+							t.Errorf("epoch %d: MINT answered incorrectly on the deterministic substrate", e)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"sync"
+
+	"kspot/internal/model"
+	"kspot/internal/trace"
+)
+
+// EpochRunner is the slice of an attached snapshot operator the scheduler
+// drives: one acquisition round per epoch. topk.SnapshotOperator satisfies
+// it after Attach.
+type EpochRunner interface {
+	Epoch(e model.Epoch, readings map[model.NodeID]model.Reading) ([]model.Answer, error)
+}
+
+// Outcome is one epoch's result for one scheduled query.
+type Outcome struct {
+	Epoch   model.Epoch
+	Answers []model.Answer
+	// Readings are the epoch's per-node inputs as this query saw them
+	// (shared across queries unless the query declared its own source).
+	// Treat as read-only.
+	Readings map[model.NodeID]model.Reading
+	// Err is the operator's error for this epoch, if any.
+	Err error
+}
+
+// ScheduledQuery is one query's seat in the scheduler. Epoch outcomes are
+// produced in lock-step for every scheduled query and buffered here until
+// the query's cursor consumes them.
+type ScheduledQuery struct {
+	op      EpochRunner
+	src     trace.Source // nil → the deployment's shared readings
+	pending []Outcome
+	removed bool
+}
+
+// Scheduler drives several queries over one deployment in epoch lock-step:
+// each epoch is sensed once (one idle charge, one sensing sweep) and every
+// scheduled operator runs its acquisition over the same readings — on the
+// live substrate all acquisitions proceed concurrently, interleaving their
+// view sweeps over the shared node goroutines. This is how one KSpot
+// server serves many posted cursors without multiplying the per-epoch
+// acquisition cost.
+//
+// Stepping is demand-driven: the epoch advances when a query with no
+// buffered outcome is stepped, and the outcomes of the other queries are
+// buffered until their cursors catch up. All methods are safe for
+// concurrent use.
+type Scheduler struct {
+	t   Transport
+	src trace.Source
+
+	mu      sync.Mutex
+	queries []*ScheduledQuery
+	epoch   model.Epoch
+	closed  bool
+}
+
+// NewScheduler returns a scheduler over the transport with the
+// deployment's ambient trace source.
+func NewScheduler(t Transport, src trace.Source) *Scheduler {
+	return &Scheduler{t: t, src: src}
+}
+
+// Add schedules an attached operator. src, when non-nil, overrides the
+// per-node readings for this query only (e.g. node-local window
+// aggregation); sensing is still charged once, against the shared source.
+// A query joins at the current epoch — earlier outcomes are not replayed.
+func (s *Scheduler) Add(op EpochRunner, src trace.Source) *ScheduledQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sq := &ScheduledQuery{op: op, src: src}
+	s.queries = append(s.queries, sq)
+	return sq
+}
+
+// Remove unschedules a query; its buffered outcomes are discarded.
+func (s *Scheduler) Remove(sq *ScheduledQuery) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sq.removed = true
+	sq.pending = nil
+	for i, q := range s.queries {
+		if q == sq {
+			s.queries = append(s.queries[:i], s.queries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Epoch returns the next epoch number the scheduler will run.
+func (s *Scheduler) Epoch() model.Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Step returns the query's next epoch outcome, advancing the shared epoch
+// when nothing is buffered for it.
+func (s *Scheduler) Step(sq *ScheduledQuery) (Outcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Outcome{}, errClosed
+	}
+	if sq.removed {
+		return Outcome{}, errRemoved
+	}
+	if len(sq.pending) == 0 {
+		s.runEpochLocked()
+	}
+	out := sq.pending[0]
+	sq.pending = sq.pending[1:]
+	return out, out.Err
+}
+
+// Close rejects further Steps. It blocks until any in-flight epoch has
+// completed, so the transport can be torn down safely afterwards.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+type schedulerError string
+
+func (e schedulerError) Error() string { return string(e) }
+
+const (
+	errRemoved = schedulerError("engine: query was removed from the scheduler")
+	errClosed  = schedulerError("engine: scheduler is closed")
+)
+
+// runEpochLocked executes one shared epoch for every scheduled query.
+func (s *Scheduler) runEpochLocked() {
+	e := s.epoch
+	s.epoch++
+	s.t.ChargeIdleEpoch()
+	shared := SenseEpoch(s.t, s.src, e)
+
+	// On the concurrent substrate all acquisitions run in parallel: the
+	// Live transport supports any number of in-flight sweeps and floods.
+	// The deterministic simulator is a single-threaded state machine, so
+	// there the operators run in sequence.
+	_, parallel := s.t.(*Live)
+	var wg sync.WaitGroup
+	for _, q := range s.queries {
+		readings := shared
+		if q.src != nil {
+			readings = sampleReadings(s.t, q.src, e)
+		}
+		run := func(q *ScheduledQuery, readings map[model.NodeID]model.Reading) {
+			answers, err := q.op.Epoch(e, readings)
+			q.pending = append(q.pending, Outcome{Epoch: e, Answers: answers, Readings: readings, Err: err})
+		}
+		if parallel {
+			wg.Add(1)
+			go func(q *ScheduledQuery, readings map[model.NodeID]model.Reading) {
+				defer wg.Done()
+				run(q, readings)
+			}(q, readings)
+		} else {
+			run(q, readings)
+		}
+	}
+	wg.Wait()
+}

@@ -1,172 +1,35 @@
-// Package runtime is the live two-tier deployment of the paper's §II: one
-// goroutine per KSpot client (the nesC mote software) and a KSpot server
-// goroutine at the sink. Clients sample their sensor, buffer readings in a
-// sliding window, merge their children's view updates, apply MINT's
-// γ-descriptor pruning locally, and push updates to their parent over
-// channels; the server materializes V0, serves the current Top-K, and
-// floods new γ bounds when the ranking moves.
+// Package runtime is the live two-tier deployment of the paper's §II: the
+// KSpot client software runs as one goroutine per sensor node and the
+// KSpot server drives epochs at the sink. Since the engine refactor this
+// package holds no protocol logic of its own — the γ-descriptor pruning,
+// upper-bound math and bound-tightening loop live once, in
+// internal/topk/mint, and run here unchanged on the concurrent substrate
+// (internal/engine.Live). What remains is deployment plumbing: building
+// the substrate over a placement, the epoch clock, and access to traffic
+// and buffered windows.
 //
 // The deterministic simulator (internal/sim + internal/topk) is where the
-// benchmarks run; this package is the same protocol expressed as an actual
-// concurrent system — it is what cmd/kspotd and the examples deploy, and
-// its tests run under -race.
+// benchmarks run; this package is the same protocol deployed as an actual
+// concurrent system — it is what cmd/kspotd and the examples use, and its
+// tests (plus the engine equivalence tests) run under -race.
 package runtime
 
 import (
 	"context"
-	"fmt"
-	"math"
-	"sync"
-	"sync/atomic"
 
+	"kspot/internal/engine"
 	"kspot/internal/model"
-	"kspot/internal/storage"
+	"kspot/internal/sim"
 	"kspot/internal/topk"
+	"kspot/internal/topk/mint"
 	"kspot/internal/topo"
 	"kspot/internal/trace"
 )
 
-// beacon is the downstream control message: start a round of an epoch with
-// the given γ bound. Relayed parent→children like a TinyOS flood.
-type beacon struct {
-	epoch model.Epoch
-	round int
-	bound model.Value
-	stop  bool
-}
-
-// update is the upstream data message: a (possibly empty) pruned view.
-// Empty views cross the channel to keep the rounds in lock-step, but do
-// not count as radio traffic — a silent mote sends nothing on air.
-type update struct {
-	from model.NodeID
-	view *model.View
-}
-
 // Traffic aggregates the deployment's radio accounting.
 type Traffic struct {
-	Messages int64 // non-empty view updates + beacon hops
+	Messages int64
 	TxBytes  int64
-}
-
-// Client is one sensor mote: the KSpot client software.
-type Client struct {
-	id        model.NodeID
-	group     model.GroupID
-	source    trace.Source
-	query     topk.SnapshotQuery
-	groupSize map[model.GroupID]int
-
-	parent   chan<- update
-	children []<-chan update
-	beaconIn chan beacon
-	beaconTo []chan beacon
-
-	window *storage.Window
-
-	msgs    *int64
-	txBytes *int64
-}
-
-// run is the client main loop.
-func (c *Client) run(ctx context.Context, wg *sync.WaitGroup) {
-	defer wg.Done()
-	var reading model.Reading
-	var lastEpoch model.Epoch = math.MaxUint32
-	for {
-		var b beacon
-		select {
-		case <-ctx.Done():
-			return
-		case b = <-c.beaconIn:
-		}
-		// Relay the beacon to children first (flood), counting each hop.
-		for _, ch := range c.beaconTo {
-			atomic.AddInt64(c.msgs, 1)
-			atomic.AddInt64(c.txBytes, 10) // γ beacon wire size
-			select {
-			case <-ctx.Done():
-				return
-			case ch <- b:
-			}
-		}
-		if b.stop {
-			return
-		}
-		// Sample once per epoch, on the epoch's first round.
-		if b.epoch != lastEpoch {
-			v := model.Quantize(c.source.Sample(c.id, b.epoch))
-			reading = model.Reading{Node: c.id, Group: c.group, Epoch: b.epoch, Value: v}
-			lastEpoch = b.epoch
-			// Window pushes can only fail on clock regression, which the
-			// lock-step epochs rule out.
-			if err := c.window.Push(b.epoch, v); err != nil {
-				panic(fmt.Sprintf("runtime: client %d window: %v", c.id, err))
-			}
-		}
-		// Merge own reading with children's updates.
-		v := model.NewView()
-		v.Add(reading)
-		for _, ch := range c.children {
-			select {
-			case <-ctx.Done():
-				return
-			case u := <-ch:
-				v.MergeView(u.view)
-			}
-		}
-		out := pruneView(v, b.bound, c.query, c.groupSize)
-		if out.Len() > 0 {
-			atomic.AddInt64(c.msgs, 1)
-			atomic.AddInt64(c.txBytes, int64(model.ViewWireSize(out)))
-		}
-		select {
-		case <-ctx.Done():
-			return
-		case c.parent <- update{from: c.id, view: out}:
-		}
-	}
-}
-
-// pruneView is the client-side MINT pruning: complete groups below the
-// bound are suppressed; incomplete partials are suppressed only when their
-// γ-descriptor upper bound stays below it.
-func pruneView(v *model.View, bound model.Value, q topk.SnapshotQuery, groupSize map[model.GroupID]int) *model.View {
-	out := v.Clone()
-	for _, g := range out.Groups() {
-		p, _ := out.Get(g)
-		if upperBound(p, q, groupSize) >= bound {
-			continue
-		}
-		out.Remove(g)
-	}
-	return out
-}
-
-func upperBound(p model.Partial, q topk.SnapshotQuery, groupSize map[model.GroupID]int) model.Value {
-	g := groupSize[p.Group]
-	if int(p.Count) >= g {
-		return model.Quantize(p.Eval(q.Agg))
-	}
-	if q.Range == nil {
-		return model.Value(math.Inf(1))
-	}
-	missing := int64(g) - int64(p.Count)
-	vmaxFP := int64(model.ToFixed(q.Range.Max))
-	switch q.Agg {
-	case model.AggAvg:
-		return model.Quantize(model.Value(p.SumFP+missing*vmaxFP) / model.Value(g) / 100)
-	case model.AggSum:
-		return model.Quantize(model.Value(p.SumFP+missing*vmaxFP) / 100)
-	case model.AggMin:
-		return p.Min()
-	case model.AggMax:
-		return q.Range.Max
-	case model.AggCount:
-		return model.Value(g)
-	default:
-		return model.Value(math.Inf(1))
-	}
 }
 
 // Result is one epoch's outcome at the server.
@@ -176,202 +39,89 @@ type Result struct {
 	Rounds  int
 }
 
-// Server is the KSpot server: the base station attached to the sink.
+// Server is the KSpot server: the base station attached to the sink. It
+// owns the shared MINT operator and the epoch clock.
 type Server struct {
-	query     topk.SnapshotQuery
-	groupSize map[model.GroupID]int
-	nGroups   int
-
-	beaconTo []chan beacon
-	fromKids []<-chan update
-
-	bound model.Value
-
-	msgs    *int64
-	txBytes *int64
+	live *engine.Live
+	src  trace.Source
+	op   *mint.Operator
 }
 
-// Deployment wires clients and server over a routing tree.
+// Deployment wires the live substrate and the server together.
 type Deployment struct {
-	Server  *Server
-	clients []*Client
-	wg      sync.WaitGroup
-	cancel  context.CancelFunc
-	msgs    int64
-	txBytes int64
+	Server *Server
+	live   *engine.Live
 }
 
 // New builds a live deployment over a placement: disk links, BFS tree, one
 // goroutine per client once Start is called.
 func New(p *topo.Placement, radius float64, src trace.Source, q topk.SnapshotQuery, window int) (*Deployment, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	links := topo.DiskLinks(p, radius)
-	tree, err := topo.BuildTree(p, links)
+	net, err := sim.New(p, radius, sim.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	return FromTree(p, tree, src, q, window)
+	return fromNetwork(net, src, q, window)
 }
 
 // FromTree builds a deployment over an explicit routing tree.
 func FromTree(p *topo.Placement, tree *topo.Tree, src trace.Source, q topk.SnapshotQuery, window int) (*Deployment, error) {
+	links := topo.NewLinks()
+	for child, parent := range tree.Parent {
+		links.Connect(child, parent)
+	}
+	return fromNetwork(sim.FromTree(p, links, tree, sim.DefaultOptions()), src, q, window)
+}
+
+func fromNetwork(net *sim.Network, src trace.Source, q topk.SnapshotQuery, window int) (*Deployment, error) {
 	if window < 1 {
 		window = 1
 	}
-	d := &Deployment{}
-	groupSize := p.GroupSize()
-
-	// Channels: one beacon channel and one update channel per client.
-	beaconChs := make(map[model.NodeID]chan beacon)
-	updateChs := make(map[model.NodeID]chan update)
-	for _, id := range p.SensorNodes() {
-		beaconChs[id] = make(chan beacon, 4)
-		updateChs[id] = make(chan update, 1)
+	live := engine.NewLive(net, engine.LiveOptions{Window: window})
+	op := mint.New()
+	if err := op.Attach(live, q); err != nil {
+		return nil, err
 	}
-
-	for _, id := range p.SensorNodes() {
-		win, err := storage.NewWindow(window)
-		if err != nil {
-			return nil, err
-		}
-		c := &Client{
-			id:        id,
-			group:     p.Groups[id],
-			source:    src,
-			query:     q,
-			groupSize: groupSize,
-			beaconIn:  beaconChs[id],
-			window:    win,
-			msgs:      &d.msgs,
-			txBytes:   &d.txBytes,
-		}
-		c.parent = updateChs[id]
-		for _, child := range tree.Children[id] {
-			c.children = append(c.children, updateChs[child])
-			c.beaconTo = append(c.beaconTo, beaconChs[child])
-		}
-		d.clients = append(d.clients, c)
-	}
-
-	s := &Server{
-		query:     q,
-		groupSize: groupSize,
-		nGroups:   len(p.GroupIDs()),
-		bound:     topk.MinusInf(),
-		msgs:      &d.msgs,
-		txBytes:   &d.txBytes,
-	}
-	for _, child := range tree.Children[model.Sink] {
-		s.beaconTo = append(s.beaconTo, beaconChs[child])
-		s.fromKids = append(s.fromKids, updateChs[child])
-	}
-	d.Server = s
-	return d, nil
+	return &Deployment{
+		Server: &Server{live: live, src: src, op: op},
+		live:   live,
+	}, nil
 }
 
 // Start launches the client goroutines.
-func (d *Deployment) Start(ctx context.Context) {
-	ctx, d.cancel = context.WithCancel(ctx)
-	for _, c := range d.clients {
-		d.wg.Add(1)
-		go c.run(ctx, &d.wg)
-	}
-}
+func (d *Deployment) Start(ctx context.Context) { d.live.Start(ctx) }
 
-// Stop floods a stop beacon and waits for every client to exit.
-func (d *Deployment) Stop() {
-	done := make(chan struct{})
-	go func() {
-		d.Server.flood(beacon{stop: true})
-		// Drain any in-flight updates so clients blocked on a full parent
-		// channel can reach the stop beacon.
-		for _, ch := range d.Server.fromKids {
-			select {
-			case <-ch:
-			default:
-			}
-		}
-		close(done)
-	}()
-	<-done
-	if d.cancel != nil {
-		d.cancel()
-	}
-	d.wg.Wait()
-}
+// Stop terminates every client goroutine and waits for them to exit.
+func (d *Deployment) Stop() { d.live.Stop() }
 
 // Traffic reports the accumulated radio accounting.
 func (d *Deployment) Traffic() Traffic {
-	return Traffic{Messages: atomic.LoadInt64(&d.msgs), TxBytes: atomic.LoadInt64(&d.txBytes)}
+	s := d.live.Snap()
+	return Traffic{Messages: int64(s.Messages), TxBytes: int64(s.TxBytes)}
 }
 
 // Windows exposes each client's buffered history (for historic queries at
 // the server side).
 func (d *Deployment) Windows() map[model.NodeID][]model.Value {
-	out := make(map[model.NodeID][]model.Value, len(d.clients))
-	for _, c := range d.clients {
-		out[c.id] = c.window.Series()
-	}
-	return out
+	return d.live.Windows()
 }
 
-// flood sends a beacon to the server's direct children (clients relay it
-// further down themselves).
-func (s *Server) flood(b beacon) {
-	for _, ch := range s.beaconTo {
-		atomic.AddInt64(s.msgs, 1)
-		atomic.AddInt64(s.txBytes, 10)
-		ch <- b
-	}
-}
-
-// RunEpoch executes one epoch: beacon down, updates up, recovery rounds as
-// needed; returns the server's fresh Top-K.
+// RunEpoch executes one epoch on the live substrate: sense, beacon down,
+// pruned views up, recovery rounds as needed — all via the shared MINT
+// operator — and returns the server's fresh Top-K.
 func (s *Server) RunEpoch(e model.Epoch) Result {
-	bound := s.bound
-	vSink := model.NewView()
-	var answers []model.Answer
+	readings := engine.SenseEpoch(s.live, s.src, e)
+	answers, err := s.op.Epoch(e, readings)
+	if err != nil {
+		// MINT's Epoch only fails on a malformed query, which Attach
+		// already validated; surface a protocol bug loudly.
+		panic("runtime: " + err.Error())
+	}
 	rounds := 0
-	for {
-		rounds++
-		s.flood(beacon{epoch: e, round: rounds, bound: bound})
-		fresh := model.NewView()
-		for _, ch := range s.fromKids {
-			u := <-ch
-			fresh.MergeView(u.view)
-		}
-		for _, g := range fresh.Groups() {
-			vSink.Remove(g)
-			p, _ := fresh.Get(g)
-			vSink.AddPartial(p)
-		}
-		completeView := model.NewView()
-		for _, g := range vSink.Groups() {
-			p, _ := vSink.Get(g)
-			if int(p.Count) >= s.groupSize[p.Group] {
-				completeView.AddPartial(p)
-			}
-		}
-		answers = completeView.TopK(s.query.Agg, s.query.K)
-		kth := model.KthScore(answers, s.query.K)
-		if kth >= bound || rounds >= 4 {
-			s.bound = kth - s.margin()
-			if s.bound > bound && rounds == 1 {
-				// Bound tightening takes effect next epoch (no extra
-				// flood needed: the next epoch's beacon carries it).
-			}
-			break
-		}
-		bound = kth - s.margin()
+	if n := len(s.op.Rounds); n > 0 {
+		rounds = s.op.Rounds[n-1]
 	}
 	return Result{Epoch: e, Answers: answers, Rounds: rounds}
 }
 
-func (s *Server) margin() model.Value {
-	if s.query.Range == nil {
-		return 0
-	}
-	return (s.query.Range.Max - s.query.Range.Min) * 0.025
-}
+// Gamma exposes the installed γ bound (for panels and tests).
+func (s *Server) Gamma() model.Value { return s.op.Gamma() }

@@ -89,6 +89,14 @@ func FromTree(p *topo.Placement, links *topo.Links, tree *topo.Tree, opts Option
 	return n
 }
 
+// Topology returns the node placement. Together with Routing, Sweep and
+// the send primitives it makes *Network satisfy engine.Transport — the
+// deterministic substrate of the engine layer.
+func (n *Network) Topology() *topo.Placement { return n.Placement }
+
+// Routing returns the sink-rooted routing tree.
+func (n *Network) Routing() *topo.Tree { return n.Tree }
+
 // Alive reports whether a node still has energy (the sink is always alive).
 func (n *Network) Alive(id model.NodeID) bool {
 	if id == model.Sink || n.Budgets == nil {
@@ -223,6 +231,54 @@ func (n *Network) RouteFromSink(to model.NodeID, kind radio.MsgKind, e model.Epo
 		}
 	}
 	return true
+}
+
+// Sweep runs one TAG-style leaf-to-root acquisition sweep: in post-order,
+// every node merges its own reading (if any) with the views received from
+// its children, applies prune to obtain the view it will transmit, and
+// sends the encoded result one hop up. Nodes whose pruned view is empty
+// suppress their packet entirely — that suppression is where in-network
+// top-k saves messages, not just bytes.
+//
+// prune receives the transmitting node and its full local view V_i and
+// returns the view to transmit V'_i (it may return the input unchanged, a
+// subset, or nil for "send nothing"). The sink's merged view is returned.
+func (n *Network) Sweep(e model.Epoch, kind radio.MsgKind,
+	readings map[model.NodeID]model.Reading,
+	prune func(node model.NodeID, v *model.View) *model.View) *model.View {
+
+	inbox := make(map[model.NodeID]*model.View)
+	for _, node := range n.Tree.PostOrder() {
+		v := model.NewView()
+		if r, ok := readings[node]; ok {
+			v.Add(r)
+		}
+		if got := inbox[node]; got != nil {
+			v.MergeView(got)
+		}
+		if node == n.Tree.Root {
+			return v
+		}
+		out := v
+		if prune != nil {
+			out = prune(node, v)
+		}
+		if out == nil || out.Len() == 0 {
+			continue
+		}
+		if !n.Alive(node) {
+			continue
+		}
+		if n.SendUp(node, kind, e, model.EncodeView(out)) {
+			parent := n.Tree.Parent[node]
+			if inbox[parent] == nil {
+				inbox[parent] = model.NewView()
+			}
+			inbox[parent].MergeView(out)
+		}
+	}
+	// Unreachable: PostOrder always ends at the root.
+	return model.NewView()
 }
 
 // ChargeSense charges one sensing operation to a node.

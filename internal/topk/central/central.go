@@ -6,15 +6,15 @@
 package central
 
 import (
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/radio"
-	"kspot/internal/sim"
 	"kspot/internal/topk"
 )
 
 // Snapshot is the centralized snapshot operator.
 type Snapshot struct {
-	net       *sim.Network
+	net       engine.Transport
 	q         topk.SnapshotQuery
 	installed bool
 }
@@ -26,7 +26,7 @@ func NewSnapshot() *Snapshot { return &Snapshot{} }
 func (o *Snapshot) Name() string { return "central" }
 
 // Attach implements topk.SnapshotOperator.
-func (o *Snapshot) Attach(net *sim.Network, q topk.SnapshotQuery) error {
+func (o *Snapshot) Attach(net engine.Transport, q topk.SnapshotQuery) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
@@ -43,7 +43,7 @@ func (o *Snapshot) Epoch(e model.Epoch, readings map[model.NodeID]model.Reading)
 		o.installed = true
 	}
 	v := model.NewView()
-	for _, id := range o.net.Placement.SensorNodes() {
+	for _, id := range o.net.Topology().SensorNodes() {
 		r, ok := readings[id]
 		if !ok {
 			continue
@@ -65,7 +65,7 @@ func NewHistoric() *Historic { return &Historic{} }
 func (o *Historic) Name() string { return "central-historic" }
 
 // Run implements topk.HistoricOperator.
-func (o *Historic) Run(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
+func (o *Historic) Run(net engine.Transport, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,7 +73,7 @@ func (o *Historic) Run(net *sim.Network, q topk.HistoricQuery, data topk.Histori
 		return nil, err
 	}
 	received := make(topk.HistoricData)
-	for _, id := range net.Placement.SensorNodes() {
+	for _, id := range net.Topology().SensorNodes() {
 		series, ok := data[id]
 		if !ok {
 			continue

@@ -35,9 +35,9 @@ import (
 	"math"
 	"sort"
 
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/radio"
-	"kspot/internal/sim"
 	"kspot/internal/topk"
 )
 
@@ -73,7 +73,7 @@ type Config struct {
 type Operator struct {
 	cfg Config
 
-	net    *sim.Network
+	net    engine.Transport
 	q      topk.SnapshotQuery
 	node2  map[model.NodeID]model.GroupID
 	group2 map[model.GroupID]model.NodeID
@@ -101,11 +101,11 @@ func NewWithConfig(cfg Config) *Operator {
 func (o *Operator) Name() string { return "fila" }
 
 // Attach implements topk.SnapshotOperator.
-func (o *Operator) Attach(net *sim.Network, q topk.SnapshotQuery) error {
+func (o *Operator) Attach(net engine.Transport, q topk.SnapshotQuery) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
-	for g, n := range net.Placement.GroupSize() {
+	for g, n := range net.Topology().GroupSize() {
 		if n != 1 {
 			return fmt.Errorf("fila: group %d has %d members; FILA monitors per-node top-k (singleton groups)", g, n)
 		}
@@ -113,7 +113,7 @@ func (o *Operator) Attach(net *sim.Network, q topk.SnapshotQuery) error {
 	o.net, o.q = net, q
 	o.node2 = make(map[model.NodeID]model.GroupID)
 	o.group2 = make(map[model.GroupID]model.NodeID)
-	for id, g := range net.Placement.Groups {
+	for id, g := range net.Topology().Groups {
 		if id == model.Sink {
 			continue
 		}

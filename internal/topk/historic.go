@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
+	"kspot/internal/engine"
 	"kspot/internal/model"
-	"kspot/internal/sim"
 )
 
 // HistoricQuery is the paper's vertically-fragmented historic form:
@@ -57,9 +57,9 @@ func (d HistoricData) Validate(q HistoricQuery) error {
 // a one-shot protocol over the buffered windows.
 type HistoricOperator interface {
 	Name() string
-	// Run executes the protocol on the network and returns the sink's
+	// Run executes the protocol on the transport and returns the sink's
 	// ranked answers (item = window offset, score = aggregate).
-	Run(net *sim.Network, q HistoricQuery, data HistoricData) ([]model.Answer, error)
+	Run(t engine.Transport, q HistoricQuery, data HistoricData) ([]model.Answer, error)
 }
 
 // ExactHistoric computes the ground-truth historic answer centrally. Sums

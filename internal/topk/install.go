@@ -1,9 +1,9 @@
 package topk
 
 import (
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/radio"
-	"kspot/internal/sim"
 )
 
 // QueryInstallSize is the on-air size of the one-time query installation
@@ -16,7 +16,7 @@ const QueryInstallSize = 16
 
 // InstallQuery floods the one-time query installation down the tree and
 // returns the set of nodes reached.
-func InstallQuery(net *sim.Network, e model.Epoch) map[model.NodeID]bool {
+func InstallQuery(t engine.Transport, e model.Epoch) map[model.NodeID]bool {
 	payload := make([]byte, QueryInstallSize)
-	return net.BroadcastDown(radio.KindCtrl, e, func(model.NodeID) []byte { return payload })
+	return t.BroadcastDown(radio.KindCtrl, e, func(model.NodeID) []byte { return payload })
 }

@@ -46,9 +46,9 @@ import (
 	"fmt"
 	"math"
 
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/radio"
-	"kspot/internal/sim"
 	"kspot/internal/topk"
 	"kspot/internal/topo"
 )
@@ -103,7 +103,7 @@ func (o *Operator) margin() model.Value {
 type Operator struct {
 	cfg Config
 
-	net       *sim.Network
+	net       engine.Transport
 	q         topk.SnapshotQuery
 	groupSize map[model.GroupID]int
 	masters   map[model.GroupID]model.NodeID
@@ -136,7 +136,7 @@ func (o *Operator) Name() string {
 }
 
 // Attach implements topk.SnapshotOperator.
-func (o *Operator) Attach(net *sim.Network, q topk.SnapshotQuery) error {
+func (o *Operator) Attach(net engine.Transport, q topk.SnapshotQuery) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
@@ -144,9 +144,9 @@ func (o *Operator) Attach(net *sim.Network, q topk.SnapshotQuery) error {
 		return fmt.Errorf("mint: negative slack %v", o.cfg.Slack)
 	}
 	o.net, o.q = net, q
-	o.groupSize = net.Placement.GroupSize()
-	o.masters = topo.GroupMaster(net.Tree, net.Placement)
-	o.nGroups = len(net.Placement.GroupIDs())
+	o.groupSize = net.Topology().GroupSize()
+	o.masters = topo.GroupMaster(net.Routing(), net.Topology())
+	o.nGroups = len(net.Topology().GroupIDs())
 	o.created = false
 	o.bcast = topk.MinusInf()
 	o.topKNow = nil

@@ -6,15 +6,15 @@
 package naive
 
 import (
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/radio"
-	"kspot/internal/sim"
 	"kspot/internal/topk"
 )
 
 // Operator is the naive greedy snapshot operator.
 type Operator struct {
-	net       *sim.Network
+	net       engine.Transport
 	q         topk.SnapshotQuery
 	installed bool
 }
@@ -26,7 +26,7 @@ func New() *Operator { return &Operator{} }
 func (o *Operator) Name() string { return "naive" }
 
 // Attach implements topk.SnapshotOperator.
-func (o *Operator) Attach(net *sim.Network, q topk.SnapshotQuery) error {
+func (o *Operator) Attach(net engine.Transport, q topk.SnapshotQuery) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}

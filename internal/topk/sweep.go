@@ -1,55 +1,18 @@
 package topk
 
 import (
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/radio"
-	"kspot/internal/sim"
 )
 
-// Sweep runs one TAG-style leaf-to-root acquisition sweep: in post-order,
-// every node merges its own reading (if any) with the views received from
-// its children, applies prune to obtain the view it will transmit, and
-// sends the encoded result one hop up. Nodes whose pruned view is empty
-// suppress their packet entirely — that suppression is where in-network
-// top-k saves messages, not just bytes.
-//
-// prune receives the transmitting node and its full local view V_i and
-// returns the view to transmit V'_i (it may return the input unchanged, a
-// subset, or nil for "send nothing"). The sink's merged view is returned.
-func Sweep(net *sim.Network, e model.Epoch, kind radio.MsgKind,
+// Sweep runs one TAG-style leaf-to-root acquisition sweep on the given
+// substrate — see engine.Transport.Sweep for the contract. It exists so
+// operator code reads symmetrically with InstallQuery and SenseEpoch; the
+// actual execution (post-order loop on the simulator, goroutine fan-in on
+// the live deployment) belongs to the transport.
+func Sweep(t engine.Transport, e model.Epoch, kind radio.MsgKind,
 	readings map[model.NodeID]model.Reading,
 	prune func(node model.NodeID, v *model.View) *model.View) *model.View {
-
-	inbox := make(map[model.NodeID]*model.View)
-	for _, node := range net.Tree.PostOrder() {
-		v := model.NewView()
-		if r, ok := readings[node]; ok {
-			v.Add(r)
-		}
-		if got := inbox[node]; got != nil {
-			v.MergeView(got)
-		}
-		if node == net.Tree.Root {
-			return v
-		}
-		out := v
-		if prune != nil {
-			out = prune(node, v)
-		}
-		if out == nil || out.Len() == 0 {
-			continue
-		}
-		if !net.Alive(node) {
-			continue
-		}
-		if net.SendUp(node, kind, e, model.EncodeView(out)) {
-			parent := net.Tree.Parent[node]
-			if inbox[parent] == nil {
-				inbox[parent] = model.NewView()
-			}
-			inbox[parent].MergeView(out)
-		}
-	}
-	// Unreachable: PostOrder always ends at the root.
-	return model.NewView()
+	return t.Sweep(e, kind, readings, prune)
 }

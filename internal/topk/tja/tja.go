@@ -28,9 +28,9 @@ import (
 	"fmt"
 	"sort"
 
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/radio"
-	"kspot/internal/sim"
 	"kspot/internal/topk"
 )
 
@@ -57,7 +57,7 @@ const hjRecordSize = 12 // id(2) + sum(4) + coverage(2) + thrsum(4)
 const hjTrailerSize = 6
 
 // Run implements topk.HistoricOperator.
-func (o *Operator) Run(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
+func (o *Operator) Run(net engine.Transport, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,9 +118,9 @@ func (o *Operator) Run(net *sim.Network, q topk.HistoricQuery, data topk.Histori
 }
 
 // lbPhase unions local top-k id sets up the tree and returns L_sink.
-func (o *Operator) lbPhase(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData) map[model.GroupID]bool {
+func (o *Operator) lbPhase(net engine.Transport, q topk.HistoricQuery, data topk.HistoricData) map[model.GroupID]bool {
 	inbox := make(map[model.NodeID]map[model.GroupID]bool)
-	for _, node := range net.Tree.PostOrder() {
+	for _, node := range net.Routing().PostOrder() {
 		ids := inbox[node]
 		if ids == nil {
 			ids = make(map[model.GroupID]bool)
@@ -130,7 +130,7 @@ func (o *Operator) lbPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 				ids[model.GroupID(t)] = true
 			}
 		}
-		if node == net.Tree.Root {
+		if node == net.Routing().Root {
 			return ids
 		}
 		if len(ids) == 0 || !net.Alive(node) {
@@ -138,7 +138,7 @@ func (o *Operator) lbPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 		}
 		payload := encodeIDs(ids)
 		if net.SendUp(node, radio.KindLB, 0, payload) {
-			parent := net.Tree.Parent[node]
+			parent := net.Routing().Parent[node]
 			if inbox[parent] == nil {
 				inbox[parent] = make(map[model.GroupID]bool)
 			}
@@ -153,7 +153,7 @@ func (o *Operator) lbPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 // hjPhase multicasts L_sink, joins threshold reports up the tree, and
 // returns the sink's item map, the network-wide Σθ, and the number of nodes
 // that participated.
-func (o *Operator) hjPhase(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData, lSink map[model.GroupID]bool) (map[model.GroupID]*item, int64, int) {
+func (o *Operator) hjPhase(net engine.Transport, q topk.HistoricQuery, data topk.HistoricData, lSink map[model.GroupID]bool) (map[model.GroupID]*item, int64, int) {
 	lPayload := encodeIDs(lSink)
 	reached := net.BroadcastDown(radio.KindHJ, 0, func(model.NodeID) []byte { return lPayload })
 
@@ -164,13 +164,13 @@ func (o *Operator) hjPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 	}
 	inbox := make(map[model.NodeID]*subtree)
 	var sinkState *subtree
-	for _, node := range net.Tree.PostOrder() {
+	for _, node := range net.Routing().PostOrder() {
 		st := inbox[node]
 		if st == nil {
 			st = &subtree{items: make(map[model.GroupID]*item)}
 		}
 		series, hasData := data[node]
-		if hasData && reached[node] && node != net.Tree.Root {
+		if hasData && reached[node] && node != net.Routing().Root {
 			// θ_i = min local value among L_sink items.
 			thrFP := int64(1<<62 - 1)
 			for id := range lSink {
@@ -196,7 +196,7 @@ func (o *Operator) hjPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 				}
 			}
 		}
-		if node == net.Tree.Root {
+		if node == net.Routing().Root {
 			sinkState = st
 			break
 		}
@@ -205,7 +205,7 @@ func (o *Operator) hjPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 		}
 		payload := encodeHJ(st.items, st.thrFP, st.nodes)
 		if net.SendUp(node, radio.KindHJ, 0, payload) {
-			parent := net.Tree.Parent[node]
+			parent := net.Routing().Parent[node]
 			pst := inbox[parent]
 			if pst == nil {
 				pst = &subtree{items: make(map[model.GroupID]*item)}
@@ -233,7 +233,7 @@ func (o *Operator) hjPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 
 // clPhase multicasts the candidate id list and sum-joins every node's exact
 // values for those items.
-func (o *Operator) clPhase(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData, candidates []model.GroupID) map[model.GroupID]int64 {
+func (o *Operator) clPhase(net engine.Transport, q topk.HistoricQuery, data topk.HistoricData, candidates []model.GroupID) map[model.GroupID]int64 {
 	cSet := make(map[model.GroupID]bool, len(candidates))
 	for _, id := range candidates {
 		cSet[id] = true
@@ -242,19 +242,19 @@ func (o *Operator) clPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 	reached := net.BroadcastDown(radio.KindCL, 0, func(model.NodeID) []byte { return cPayload })
 
 	inbox := make(map[model.NodeID]map[model.GroupID]int64)
-	for _, node := range net.Tree.PostOrder() {
+	for _, node := range net.Routing().PostOrder() {
 		sums := inbox[node]
 		if sums == nil {
 			sums = make(map[model.GroupID]int64)
 		}
-		if series, ok := data[node]; ok && reached[node] && node != net.Tree.Root {
+		if series, ok := data[node]; ok && reached[node] && node != net.Routing().Root {
 			for _, id := range candidates {
 				if int(id) < len(series) {
 					sums[id] += int64(model.ToFixed(series[id]))
 				}
 			}
 		}
-		if node == net.Tree.Root {
+		if node == net.Routing().Root {
 			return sums
 		}
 		if len(sums) == 0 || !net.Alive(node) {
@@ -270,7 +270,7 @@ func (o *Operator) clPhase(net *sim.Network, q topk.HistoricQuery, data topk.His
 			payload = model.AppendAnswer(payload, model.Answer{Group: id, Score: model.Value(sums[id]) / 100})
 		}
 		if net.SendUp(node, radio.KindCL, 0, payload) {
-			parent := net.Tree.Parent[node]
+			parent := net.Routing().Parent[node]
 			if inbox[parent] == nil {
 				inbox[parent] = make(map[model.GroupID]int64)
 			}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/sim"
 	"kspot/internal/trace"
@@ -48,12 +49,13 @@ func (q SnapshotQuery) Validate() error {
 }
 
 // SnapshotOperator is a distributed top-k algorithm for snapshot queries.
-// Attach binds it to a network and query; Epoch runs one acquisition round
-// over the epoch's readings (one per live sensor) and returns the sink's
-// current top-k answer.
+// Attach binds it to a transport (the deterministic simulator or the live
+// concurrent deployment — see internal/engine) and a query; Epoch runs one
+// acquisition round over the epoch's readings (one per live sensor) and
+// returns the sink's current top-k answer.
 type SnapshotOperator interface {
 	Name() string
-	Attach(net *sim.Network, q SnapshotQuery) error
+	Attach(t engine.Transport, q SnapshotQuery) error
 	Epoch(e model.Epoch, readings map[model.NodeID]model.Reading) ([]model.Answer, error)
 }
 
@@ -69,21 +71,8 @@ func ExactSnapshot(readings map[model.NodeID]model.Reading, q SnapshotQuery) []m
 
 // SenseEpoch samples every live sensor once and charges the sensing cost,
 // returning the epoch's readings keyed by node.
-func SenseEpoch(net *sim.Network, src trace.Source, e model.Epoch) map[model.NodeID]model.Reading {
-	readings := make(map[model.NodeID]model.Reading)
-	for _, id := range net.Placement.SensorNodes() {
-		if !net.Alive(id) {
-			continue
-		}
-		net.ChargeSense(id)
-		readings[id] = model.Reading{
-			Node:  id,
-			Group: net.Placement.Groups[id],
-			Epoch: e,
-			Value: model.Quantize(src.Sample(id, e)),
-		}
-	}
-	return readings
+func SenseEpoch(t engine.Transport, src trace.Source, e model.Epoch) map[model.NodeID]model.Reading {
+	return engine.SenseEpoch(t, src, e)
 }
 
 // EpochResult records one epoch of a Runner execution.
@@ -97,9 +86,11 @@ type EpochResult struct {
 }
 
 // Runner drives a snapshot operator over a trace for a number of epochs,
-// scoring every epoch against the exact oracle.
+// scoring every epoch against the exact oracle. Net is any engine
+// substrate; benchmarks pass the deterministic *sim.Network, the
+// equivalence tests also pass the concurrent *engine.Live.
 type Runner struct {
-	Net    *sim.Network
+	Net    engine.Transport
 	Source trace.Source
 	Op     SnapshotOperator
 	Query  SnapshotQuery

@@ -24,9 +24,9 @@ import (
 	"encoding/binary"
 	"sort"
 
+	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/radio"
-	"kspot/internal/sim"
 	"kspot/internal/topk"
 )
 
@@ -40,7 +40,7 @@ func New() *Operator { return &Operator{} }
 func (o *Operator) Name() string { return "tput" }
 
 // Run implements topk.HistoricOperator.
-func (o *Operator) Run(net *sim.Network, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
+func (o *Operator) Run(net engine.Transport, q topk.HistoricQuery, data topk.HistoricData) ([]model.Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -48,7 +48,7 @@ func (o *Operator) Run(net *sim.Network, q topk.HistoricQuery, data topk.Histori
 		return nil, err
 	}
 
-	nodes := net.Placement.SensorNodes()
+	nodes := net.Topology().SensorNodes()
 	// reported[node][item] tracks which (node,item) values the sink holds.
 	reported := make(map[model.NodeID]map[model.GroupID]bool, len(nodes))
 	sums := make(map[model.GroupID]int64)

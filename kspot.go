@@ -23,9 +23,12 @@
 package kspot
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"kspot/internal/config"
+	"kspot/internal/engine"
 	"kspot/internal/gui"
 	"kspot/internal/model"
 	"kspot/internal/query"
@@ -79,13 +82,22 @@ const (
 	AlgoTPUT Algorithm = "tput"
 )
 
-// System is an opened deployment: the network simulation, its workload and
-// the query engine, i.e. the KSpot server attached to a sensor field.
+// System is an opened deployment: the network state, its workload and the
+// query engine, i.e. the KSpot server attached to a sensor field. Queries
+// run on one of two substrates of the same engine layer (see DESIGN.md):
+// the deterministic simulator (default) or the concurrent live deployment
+// (PostWith ... WithLive()), which runs one goroutine per sensor node and
+// serves every live cursor from a shared epoch sweep.
 type System struct {
 	scenario *config.Scenario
 	net      *sim.Network
 	source   trace.Source
 	schema   query.Schema
+
+	mu         sync.Mutex
+	live       *engine.Live
+	sched      *engine.Scheduler
+	liveCancel context.CancelFunc
 }
 
 // Open builds a System from a scenario.
@@ -130,24 +142,100 @@ func (s *System) Network() *sim.Network { return s.net }
 // warm-up and a measured window.
 func (s *System) ResetAccounting() { s.net.Reset() }
 
+// PostOption tunes how a query is posted.
+type PostOption func(*postConfig)
+
+type postConfig struct {
+	live   bool
+	window int
+}
+
+// WithLive deploys the query on the concurrent substrate: one goroutine
+// per sensor node, views passed over channels, the identical operator
+// logic (the engine's equivalence tests pin answers and message counts to
+// the deterministic substrate). All live cursors of a System share one
+// deployment and advance in epoch lock-step — the epoch is sensed once no
+// matter how many queries are posted — and Step is safe to call from
+// concurrent goroutines. Call Close when done to stop the node goroutines.
+func WithLive() PostOption { return func(c *postConfig) { c.live = true } }
+
+// WithLiveWindow sets the live deployment's per-node history buffer
+// capacity (default 64). Only the first live post sizes the deployment.
+func WithLiveWindow(n int) PostOption { return func(c *postConfig) { c.window = n } }
+
 // Post parses, plans and prepares a query. Snapshot (continuous) queries
 // return a cursor advanced with Step; historic queries are executed by Run.
-func (s *System) Post(sql string) (*Cursor, error) {
-	return s.PostWith(sql, AlgoAuto)
+func (s *System) Post(sql string, opts ...PostOption) (*Cursor, error) {
+	return s.PostWith(sql, AlgoAuto, opts...)
 }
 
 // PostWith posts a query pinned to a specific algorithm (the System Panel
 // uses this to compare MINT against the baselines on identical workloads).
-func (s *System) PostWith(sql string, algo Algorithm) (*Cursor, error) {
+func (s *System) PostWith(sql string, algo Algorithm, opts ...PostOption) (*Cursor, error) {
+	cfg := postConfig{window: 64}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	plan, err := query.PlanText(sql, s.schema)
 	if err != nil {
 		return nil, err
 	}
-	cur := &Cursor{sys: s, plan: plan, algo: algo}
+	cur := &Cursor{sys: s, plan: plan, algo: algo, live: cfg.live}
+	if cfg.live {
+		s.ensureLive(cfg.window)
+	}
 	if err := cur.prepare(); err != nil {
 		return nil, err
 	}
 	return cur, nil
+}
+
+// ensureLive lazily starts the shared concurrent deployment and its
+// multi-query scheduler.
+func (s *System) ensureLive(window int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live == nil {
+		live := engine.NewLive(s.net, engine.LiveOptions{Window: window})
+		ctx, cancel := context.WithCancel(context.Background())
+		live.Start(ctx)
+		s.live, s.liveCancel = live, cancel
+		s.sched = engine.NewScheduler(live, s.source)
+	}
+}
+
+// liveState snapshots the live deployment under the System lock (it can
+// be torn down by Close concurrently with cursor use).
+func (s *System) liveState() (*engine.Live, *engine.Scheduler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live, s.sched
+}
+
+// Close stops the live deployment's node goroutines, if any were started.
+// In-flight Steps complete first; later Steps on live cursors return an
+// error. Safe to call multiple times; deterministic-only Systems need no
+// Close.
+func (s *System) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live != nil {
+		s.sched.Close() // waits out any in-flight epoch
+		s.live.Stop()
+		s.liveCancel()
+		s.live, s.sched, s.liveCancel = nil, nil, nil
+	}
+}
+
+// LiveWindows exposes the live deployment's buffered per-node history
+// (empty when no live query has been posted).
+func (s *System) LiveWindows() map[NodeID][]model.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live == nil {
+		return nil
+	}
+	return s.live.Windows()
 }
 
 // SystemPanel renders the current traffic/energy statistics, optionally

@@ -1,0 +1,183 @@
+package kspot
+
+import (
+	"sync"
+	"testing"
+
+	"kspot/internal/trace"
+)
+
+// TestLiveCursorFigure1 posts a query on the concurrent substrate and
+// checks it answers exactly, epoch after epoch.
+func TestLiveCursorFigure1(t *testing.T) {
+	sys, err := Open(Figure1Scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cur, err := sys.PostWith("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid", AlgoMINT, WithLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Live() {
+		t.Fatal("cursor not live")
+	}
+	for i := 0; i < 5; i++ {
+		res, err := cur.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct || res.Answers[0].Group != trace.Fig1RoomC || res.Answers[0].Score != 75 {
+			t.Fatalf("epoch %d: %v, want (C,75)", res.Epoch, res.Answers)
+		}
+	}
+}
+
+// TestLiveMultiQuery is the multi-query acceptance path: one live
+// deployment serves several concurrently posted snapshot cursors, all
+// sharing the epoch sweep, each stepped from its own goroutine.
+func TestLiveMultiQuery(t *testing.T) {
+	sys, err := Open(DemoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	queries := []struct {
+		sql  string
+		algo Algorithm
+	}{
+		{"SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", AlgoMINT},
+		{"SELECT TOP 3 roomid, MAX(sound) FROM sensors GROUP BY roomid", AlgoTAG},
+		{"SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid", AlgoAuto},
+	}
+	cursors := make([]*Cursor, len(queries))
+	for i, q := range queries {
+		cur, err := sys.PostWith(q.sql, q.algo, WithLive())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cursors[i] = cur
+	}
+
+	const epochs = 6
+	var wg sync.WaitGroup
+	for i, cur := range cursors {
+		wg.Add(1)
+		go func(i int, cur *Cursor) {
+			defer wg.Done()
+			for e := 0; e < epochs; e++ {
+				res, err := cur.Step()
+				if err != nil {
+					t.Errorf("query %d: %v", i, err)
+					return
+				}
+				if res.Epoch != Epoch(e) {
+					t.Errorf("query %d: epoch %d at step %d (lock-step broken)", i, res.Epoch, e)
+					return
+				}
+				if !res.Correct {
+					t.Errorf("query %d epoch %d: %v vs exact %v", i, e, res.Answers, res.Exact)
+					return
+				}
+			}
+		}(i, cur)
+	}
+	wg.Wait()
+
+	// The epoch sweep is shared: three cursors × 6 steps advanced one
+	// deployment exactly 6 epochs, so a cursor posted now joins at epoch
+	// 6 — it does not get a private clock starting at 0.
+	late, err := sys.PostWith("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", AlgoTAG, WithLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := late.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != Epoch(epochs) {
+		t.Fatalf("late cursor started at epoch %d, want %d (shared epoch clock)", res.Epoch, epochs)
+	}
+}
+
+// TestLiveHistoricGroupQuery runs a node-local window-aggregate query on
+// the live substrate: answers must match the oracle over the derived
+// readings, while the per-node history windows keep buffering the RAW
+// sensed values (not the window aggregates the query's sweeps carry).
+func TestLiveHistoricGroupQuery(t *testing.T) {
+	sys, err := Open(Figure1Scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cur, err := sys.Post("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8", WithLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		res, err := cur.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("epoch %d: %v vs %v", res.Epoch, res.Answers, res.Exact)
+		}
+	}
+	raw := trace.Figure1Values()
+	for id, series := range sys.LiveWindows() {
+		for _, v := range series {
+			if v != raw[id] {
+				t.Fatalf("node %d window holds %v, want raw sensed %v", id, v, raw[id])
+			}
+		}
+	}
+}
+
+// TestStepAfterClose: closing the system must turn later live Steps into
+// errors, not panics.
+func TestStepAfterClose(t *testing.T) {
+	sys, err := Open(Figure1Scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sys.Post("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid", WithLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Step(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Close()
+	if _, err := cur.Step(); err == nil {
+		t.Fatal("Step after Close succeeded")
+	}
+	sys.Close() // idempotent
+}
+
+// TestLiveWindowsExposed: live deployments buffer per-node history.
+func TestLiveWindowsExposed(t *testing.T) {
+	sys, err := Open(Figure1Scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	cur, err := sys.Post("SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid", WithLive(), WithLiveWindow(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := cur.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wins := sys.LiveWindows()
+	if len(wins) != 9 {
+		t.Fatalf("windows for %d nodes, want 9", len(wins))
+	}
+	for id, series := range wins {
+		if len(series) != 4 {
+			t.Fatalf("node %d buffered %d values, want 4 (capacity)", id, len(series))
+		}
+	}
+}
