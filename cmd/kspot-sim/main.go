@@ -9,17 +9,82 @@
 //	kspot-sim -query "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid"
 //	kspot-sim -algo tag                        # pin a baseline
 //	kspot-sim -emit demo.json                  # write the built-in scenario out
+//
+// Fault injection (see scenarios/README.md; flags override a scenario's
+// faults block):
+//
+//	kspot-sim -loss 0.1 -fault-seed 7          # 10% deterministic frame loss
+//	kspot-sim -burst 0.05,0.3,0.6              # Gilbert-Elliott fades
+//	kspot-sim -churn 4@10:20 -churn 7@15       # node 4 dies at 10, revives at 20
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"kspot"
 )
 
+// churnFlags collects repeatable -churn values: "node@down" kills the node
+// at epoch down forever, "node@down:up" revives it at epoch up.
+type churnFlags []kspot.ChurnEvent
+
+func (c *churnFlags) String() string { return fmt.Sprint(*c) }
+
+func (c *churnFlags) Set(s string) error {
+	node, spans, ok := strings.Cut(s, "@")
+	if !ok {
+		return fmt.Errorf("churn %q: want node@epoch or node@down:up", s)
+	}
+	id, err := strconv.ParseUint(node, 10, 16)
+	if err != nil {
+		return fmt.Errorf("churn %q: bad node id: %v", s, err)
+	}
+	down, up, revives := strings.Cut(spans, ":")
+	de, err := strconv.ParseUint(down, 10, 32)
+	if err != nil {
+		return fmt.Errorf("churn %q: bad death epoch: %v", s, err)
+	}
+	*c = append(*c, kspot.ChurnEvent{Node: kspot.NodeID(id), Epoch: kspot.Epoch(de), Down: true})
+	if revives {
+		ue, err := strconv.ParseUint(up, 10, 32)
+		if err != nil {
+			return fmt.Errorf("churn %q: bad revival epoch: %v", s, err)
+		}
+		if ue <= de {
+			return fmt.Errorf("churn %q: revival epoch %d must come after death epoch %d", s, ue, de)
+		}
+		*c = append(*c, kspot.ChurnEvent{Node: kspot.NodeID(id), Epoch: kspot.Epoch(ue), Down: false})
+	}
+	return nil
+}
+
+// parseBurst parses "pGoodBad,pBadGood,lossBad[,lossGood]".
+func parseBurst(s string) (*kspot.BurstLossSpec, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 && len(parts) != 4 {
+		return nil, fmt.Errorf("burst %q: want pGoodBad,pBadGood,lossBad[,lossGood]", s)
+	}
+	vals := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("burst %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	spec := &kspot.BurstLossSpec{PGoodBad: vals[0], PBadGood: vals[1], LossBad: vals[2]}
+	if len(vals) == 4 {
+		spec.LossGood = vals[3]
+	}
+	return spec, nil
+}
+
 func main() {
+	var churn churnFlags
 	var (
 		scenarioPath = flag.String("scenario", "", "scenario JSON (default: built-in Figure-3 demo)")
 		queryText    = flag.String("query", "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min", "query to post")
@@ -27,7 +92,13 @@ func main() {
 		algo         = flag.String("algo", "", "pin algorithm: mint|tag|naive|central|tja|tput")
 		emit         = flag.String("emit", "", "write the selected scenario to this file and exit")
 		panelEvery   = flag.Int("panel", 5, "render the display panel every N epochs (0 = final only)")
+		lossP        = flag.Float64("loss", 0, "deterministic Bernoulli per-frame loss probability [0,1)")
+		burstSpec    = flag.String("burst", "", "Gilbert-Elliott loss: pGoodBad,pBadGood,lossBad[,lossGood]")
+		dupP         = flag.Float64("dup", 0, "frame duplication probability [0,1)")
+		delayP       = flag.Float64("delay", 0, "frame delay probability [0,1)")
+		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault environment")
 	)
+	flag.Var(&churn, "churn", "node churn: node@epoch (die) or node@down:up (die and revive); repeatable")
 	flag.Parse()
 
 	scen := kspot.DemoScenario()
@@ -37,6 +108,25 @@ func main() {
 			fail(err)
 		}
 		scen = loaded.Scenario()
+	}
+	switch {
+	case *lossP > 0 || *burstSpec != "" || *dupP > 0 || *delayP > 0 || len(churn) > 0:
+		cfg := &kspot.FaultConfig{Seed: *faultSeed, Loss: *lossP, Duplicate: *dupP, Delay: *delayP, Churn: churn}
+		if *burstSpec != "" {
+			spec, err := parseBurst(*burstSpec)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Burst = spec
+		}
+		scen.Faults = cfg // flags override the scenario's faults block
+	case *faultSeed != 0:
+		// Re-seed the scenario's own fault environment; a bare -fault-seed
+		// with nothing to seed would be silently ignored, so reject it.
+		if scen.Faults == nil {
+			fail(fmt.Errorf("-fault-seed %d has no effect: no fault flags given and the scenario has no faults block", *faultSeed))
+		}
+		scen.Faults.Seed = *faultSeed
 	}
 	if *emit != "" {
 		if err := scen.Save(*emit); err != nil {
@@ -54,8 +144,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("scenario: %s (%d sensors)\nquery   : %s\nplan    : %s\n\n",
+	fmt.Printf("scenario: %s (%d sensors)\nquery   : %s\nplan    : %s\n",
 		scen.Name, len(scen.Nodes), cur.Query(), cur.Plan())
+	if scen.Faults.Enabled() {
+		fmt.Printf("faults  : seed=%d loss=%v burst=%v dup=%v delay=%v churn=%d events\n",
+			scen.Faults.Seed, scen.Faults.Loss, scen.Faults.Burst != nil,
+			scen.Faults.Duplicate, scen.Faults.Delay, len(scen.Faults.Churn))
+	}
+	fmt.Println()
 
 	if !cur.Continuous() {
 		answers, err := cur.Run()
@@ -80,7 +176,11 @@ func main() {
 			fail(err)
 		}
 		lastAnswers = res.Answers
-		fmt.Printf("epoch %3d: %s\n", res.Epoch, sys.RankingStrip(res.Answers))
+		miss := ""
+		if !res.Correct {
+			miss = "   [diverged from oracle]"
+		}
+		fmt.Printf("epoch %3d: %s%s\n", res.Epoch, sys.RankingStrip(res.Answers), miss)
 		if *panelEvery > 0 && (i+1)%*panelEvery == 0 {
 			fmt.Print(sys.DisplayPanel(res.Answers, 72, 18))
 		}

@@ -51,6 +51,7 @@ type state struct {
 	answers  []model.Answer
 	messages int
 	txBytes  int
+	drops    int
 }
 
 func main() {
@@ -61,6 +62,10 @@ func main() {
 		k            = flag.Int("k", 3, "K of the default Top-K query")
 		interval     = flag.Duration("interval", time.Second, "epoch duration")
 		window       = flag.Int("window", 64, "per-node history window")
+		lossP        = flag.Float64("loss", 0, "deterministic Bernoulli per-frame loss probability [0,1)")
+		dupP         = flag.Float64("dup", 0, "frame duplication probability [0,1)")
+		delayP       = flag.Float64("delay", 0, "frame delay probability [0,1)")
+		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault environment")
 	)
 	flag.Var(&queries, "query", "extra SQL to post on the same deployment (repeatable)")
 	flag.Parse()
@@ -72,6 +77,17 @@ func main() {
 		if err != nil {
 			log.Fatal("kspotd: ", err)
 		}
+	}
+	switch {
+	case *lossP > 0 || *dupP > 0 || *delayP > 0:
+		// Flags override the scenario's faults block; richer environments
+		// (bursts, churn, distance loss) come from the scenario file.
+		scen.Faults = &kspot.FaultConfig{Seed: *faultSeed, Loss: *lossP, Duplicate: *dupP, Delay: *delayP}
+	case *faultSeed != 0:
+		if scen.Faults == nil {
+			log.Fatalf("kspotd: -fault-seed %d has no effect: no fault flags given and the scenario has no faults block", *faultSeed)
+		}
+		scen.Faults.Seed = *faultSeed
 	}
 	placement := scen.Placement()
 	sys, err := kspot.Open(scen)
@@ -125,6 +141,7 @@ func main() {
 			st.answers = primaryRes.Answers
 			st.messages = snap.Messages
 			st.txBytes = snap.TxBytes
+			st.drops = snap.Drops
 			st.mu.Unlock()
 		}
 	}()
@@ -152,6 +169,7 @@ func main() {
 			"epoch":    st.epoch,
 			"messages": st.messages,
 			"tx_bytes": st.txBytes,
+			"drops":    st.drops,
 			"queries":  len(cursors),
 		}
 		st.mu.Unlock()

@@ -53,17 +53,18 @@ func (c *Cursor) Continuous() bool {
 	return c.plan.Kind != query.PlanHistoricTopK
 }
 
-// transport returns the substrate this cursor's traffic runs on.
+// transport returns the substrate this cursor's traffic runs on (behind
+// the fault injector when an environment is armed).
 func (c *Cursor) transport() (engine.Transport, error) {
 	if !c.live {
-		return c.sys.net, nil
+		return c.sys.detTransport(), nil
 	}
 	if c.tp == nil {
-		live, sched := c.sys.liveState()
-		if live == nil {
+		tp, sched := c.sys.liveState()
+		if tp == nil {
 			return nil, fmt.Errorf("kspot: system is closed")
 		}
-		c.tp, c.sched = live, sched
+		c.tp, c.sched = tp, sched
 	}
 	return c.tp, nil
 }
@@ -129,12 +130,16 @@ func (c *Cursor) Step() (StepResult, error) {
 			Correct: model.EqualAnswers(out.Answers, exact),
 		}, nil
 	}
+	tp, err := c.transport()
+	if err != nil {
+		return StepResult{}, err
+	}
 	e := c.epoch
 	c.epoch++
-	c.sys.net.ChargeIdleEpoch()
+	tp.ChargeIdleEpoch()
 
 	src := c.source()
-	readings := topk.SenseEpoch(c.sys.net, src, e)
+	readings := topk.SenseEpoch(tp, src, e)
 	answers, err := c.snapOp.Epoch(e, readings)
 	if err != nil {
 		return StepResult{}, err

@@ -11,6 +11,7 @@ import (
 	"os"
 	"sort"
 
+	"kspot/internal/faults"
 	"kspot/internal/model"
 	"kspot/internal/sim"
 	"kspot/internal/topo"
@@ -62,6 +63,14 @@ type Scenario struct {
 	// node id, value = parent id) instead of deriving it from radio
 	// connectivity — how the paper's Figure 1 draws its exact tree.
 	Parents map[string]uint16 `json:"parents,omitempty"`
+	// Faults, when present, declares the deployment's unreliable-world
+	// environment: seeded deterministic link loss (Bernoulli,
+	// distance-weighted or Gilbert-Elliott bursts), frame duplication and
+	// delay, and scheduled node churn. Unlike the legacy loss_rate (an
+	// rng stream whose draws depend on transmission order), a faults block
+	// replays identically on the simulator and the live substrate. The
+	// scenarios/lossy-*.json family exercises it; kspot.Open arms it.
+	Faults *faults.Config `json:"faults,omitempty"`
 }
 
 // Validate checks structural consistency.
@@ -97,6 +106,22 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Loss < 0 || s.Loss >= 1 {
 		return fmt.Errorf("config: loss rate %v outside [0,1)", s.Loss)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+		for _, ev := range s.Faults.Churn {
+			if !seen[uint16(ev.Node)] {
+				return fmt.Errorf("config: churn event references unknown node %d", ev.Node)
+			}
+		}
+		if s.Faults.Enabled() && s.Loss > 0 {
+			// The legacy rng stream's draws depend on transmission order
+			// and would break the faults block's substrate-equivalence
+			// guarantee (or be silently shadowed by a frame fault model).
+			return fmt.Errorf("config: loss_rate and a faults block cannot be combined; use the faults block's loss instead")
+		}
 	}
 	return nil
 }

@@ -124,11 +124,14 @@ func (l *Ledger) Charge(node int, microjoules float64) {
 // Node returns one node's total consumption in µJ.
 func (l *Ledger) Node(node int) float64 { return l.perNode[node] }
 
-// Total returns the network-wide consumption in µJ.
+// Total returns the network-wide consumption in µJ. Summation runs in
+// node order so the floating-point result is identical across runs (map
+// iteration order would perturb the last ulp, which the fault layer's
+// determinism tests compare).
 func (l *Ledger) Total() float64 {
 	var t float64
-	for _, v := range l.perNode {
-		t += v
+	for _, id := range l.Nodes() {
+		t += l.perNode[id]
 	}
 	return t
 }

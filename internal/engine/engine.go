@@ -82,12 +82,32 @@ type Transport interface {
 	Reset()
 }
 
-// readingsRecorder is implemented by substrates that buffer each node's
+// ReadingsRecorder is implemented by substrates that buffer each node's
 // sensed history (the live deployment's per-node windows). SenseEpoch
 // feeds it the raw sensed values, exactly once per epoch — derived
-// readings (sampleReadings) are never buffered.
-type readingsRecorder interface {
-	recordReadings(e model.Epoch, readings map[model.NodeID]model.Reading)
+// readings (sampleReadings) are never buffered. Transport decorators (the
+// fault-injection layer) forward it so a wrapped live deployment keeps
+// buffering.
+type ReadingsRecorder interface {
+	RecordReadings(e model.Epoch, readings map[model.NodeID]model.Reading)
+}
+
+// Unwrapper is implemented by Transport decorators (the fault-injection
+// layer); Unwrap returns the wrapped transport. Baseof follows the chain.
+type Unwrapper interface {
+	Unwrap() Transport
+}
+
+// Baseof strips decorators off a transport, returning the innermost
+// substrate.
+func Baseof(t Transport) Transport {
+	for {
+		u, ok := t.(Unwrapper)
+		if !ok {
+			return t
+		}
+		t = u.Unwrap()
+	}
 }
 
 // SenseEpoch samples every live sensor once and charges the sensing cost,
@@ -98,8 +118,8 @@ func SenseEpoch(t Transport, src trace.Source, e model.Epoch) map[model.NodeID]m
 	for id := range readings {
 		t.ChargeSense(id)
 	}
-	if r, ok := t.(readingsRecorder); ok {
-		r.recordReadings(e, readings)
+	if r, ok := t.(ReadingsRecorder); ok {
+		r.RecordReadings(e, readings)
 	}
 	return readings
 }

@@ -154,9 +154,9 @@ func (l *Live) Windows() map[model.NodeID][]model.Value {
 	return out
 }
 
-// recordReadings buffers the epoch's raw sensed values into the per-node
-// history windows (readingsRecorder, called by SenseEpoch once per epoch).
-func (l *Live) recordReadings(e model.Epoch, readings map[model.NodeID]model.Reading) {
+// RecordReadings buffers the epoch's raw sensed values into the per-node
+// history windows (ReadingsRecorder, called by SenseEpoch once per epoch).
+func (l *Live) RecordReadings(e model.Epoch, readings map[model.NodeID]model.Reading) {
 	for id, rd := range readings {
 		w, ok := l.workers[id]
 		if !ok {
@@ -368,6 +368,23 @@ func (l *Live) Sweep(e model.Epoch, kind radio.MsgKind, readings map[model.NodeI
 		}
 	}
 	return v
+}
+
+// SetNodeDown administratively kills or revives a node (fault-injection
+// churn), delegating to the shared network state under the lock.
+func (l *Live) SetNodeDown(id model.NodeID, down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.base.SetNodeDown(id, down)
+}
+
+// SetFault installs a deterministic link-layer fault model on the shared
+// link. Installation must precede traffic (the fault model itself is
+// concurrency-safe; the swap is not synchronized against in-flight sends).
+func (l *Live) SetFault(m radio.FaultModel) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.base.SetFault(m)
 }
 
 // ChargeSense implements Transport.

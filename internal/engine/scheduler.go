@@ -143,8 +143,9 @@ func (s *Scheduler) runEpochLocked() {
 	// On the concurrent substrate all acquisitions run in parallel: the
 	// Live transport supports any number of in-flight sweeps and floods.
 	// The deterministic simulator is a single-threaded state machine, so
-	// there the operators run in sequence.
-	_, parallel := s.t.(*Live)
+	// there the operators run in sequence. Decorators (fault injection)
+	// are stripped first — they forward concurrency-safely.
+	_, parallel := Baseof(s.t).(*Live)
 	var wg sync.WaitGroup
 	for _, q := range s.queries {
 		readings := shared

@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"sync"
+
+	"kspot/internal/engine"
+	"kspot/internal/model"
+	"kspot/internal/radio"
+	"kspot/internal/sim"
+	"kspot/internal/topo"
+)
+
+// Injector is the churn decorator: a Transport that forwards every
+// primitive to the wrapped substrate, firing scheduled ChurnEvents as the
+// epoch stream passes them. It observes epochs on the transmitting
+// primitives, so an event at epoch e takes effect before e's transmissions
+// but after e's sensing (both substrates sense before they transmit, which
+// keeps them equivalent).
+//
+// All methods are safe for concurrent use when the wrapped transport is.
+type Injector struct {
+	inner engine.Transport
+
+	mu     sync.Mutex
+	events []ChurnEvent // sorted by epoch
+	next   int          // first unapplied event
+}
+
+var (
+	_ engine.Transport        = (*Injector)(nil)
+	_ engine.Unwrapper        = (*Injector)(nil)
+	_ engine.ReadingsRecorder = (*Injector)(nil)
+)
+
+// Unwrap returns the wrapped transport (engine.Unwrapper).
+func (in *Injector) Unwrap() engine.Transport { return in.inner }
+
+// Advance fires every churn event scheduled at or before epoch e. The
+// transmitting primitives call it automatically; tests and drivers may call
+// it directly to take explicit control of churn timing. Idempotent and
+// monotone: an event fires exactly once.
+func (in *Injector) Advance(e model.Epoch) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for in.next < len(in.events) && in.events[in.next].Epoch <= e {
+		ev := in.events[in.next]
+		in.next++
+		in.inner.(vitality).SetNodeDown(ev.Node, ev.Down)
+	}
+}
+
+// RecordReadings forwards history buffering to the wrapped substrate when
+// it records (engine.ReadingsRecorder — the live deployment's windows keep
+// filling through the decorator).
+func (in *Injector) RecordReadings(e model.Epoch, readings map[model.NodeID]model.Reading) {
+	if r, ok := in.inner.(engine.ReadingsRecorder); ok {
+		r.RecordReadings(e, readings)
+	}
+}
+
+// --- engine.Transport, by delegation ---
+
+// Topology implements Transport.
+func (in *Injector) Topology() *topo.Placement { return in.inner.Topology() }
+
+// Routing implements Transport.
+func (in *Injector) Routing() *topo.Tree { return in.inner.Routing() }
+
+// Alive implements Transport.
+func (in *Injector) Alive(id model.NodeID) bool { return in.inner.Alive(id) }
+
+// SendUp implements Transport.
+func (in *Injector) SendUp(from model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool {
+	in.Advance(e)
+	return in.inner.SendUp(from, kind, e, payload)
+}
+
+// SendDown implements Transport.
+func (in *Injector) SendDown(from, to model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool {
+	in.Advance(e)
+	return in.inner.SendDown(from, to, kind, e, payload)
+}
+
+// BroadcastDown implements Transport.
+func (in *Injector) BroadcastDown(kind radio.MsgKind, e model.Epoch, payloadFor func(child model.NodeID) []byte) map[model.NodeID]bool {
+	in.Advance(e)
+	return in.inner.BroadcastDown(kind, e, payloadFor)
+}
+
+// RouteToSink implements Transport.
+func (in *Injector) RouteToSink(from model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool {
+	in.Advance(e)
+	return in.inner.RouteToSink(from, kind, e, payload)
+}
+
+// RouteFromSink implements Transport.
+func (in *Injector) RouteFromSink(to model.NodeID, kind radio.MsgKind, e model.Epoch, payload []byte) bool {
+	in.Advance(e)
+	return in.inner.RouteFromSink(to, kind, e, payload)
+}
+
+// Sweep implements Transport.
+func (in *Injector) Sweep(e model.Epoch, kind radio.MsgKind, readings map[model.NodeID]model.Reading, prune engine.PruneFunc) *model.View {
+	in.Advance(e)
+	return in.inner.Sweep(e, kind, readings, prune)
+}
+
+// ChargeSense implements Transport.
+func (in *Injector) ChargeSense(id model.NodeID) { in.inner.ChargeSense(id) }
+
+// ChargeIdleEpoch implements Transport.
+func (in *Injector) ChargeIdleEpoch() { in.inner.ChargeIdleEpoch() }
+
+// Snap implements Transport.
+func (in *Injector) Snap() sim.Snapshot { return in.inner.Snap() }
+
+// Delta implements Transport.
+func (in *Injector) Delta(s sim.Snapshot) sim.Snapshot { return in.inner.Delta(s) }
+
+// Reset implements Transport.
+func (in *Injector) Reset() { in.inner.Reset() }

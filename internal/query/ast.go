@@ -65,7 +65,24 @@ func (a *AST) String() string {
 		fmt.Fprintf(&b, " GROUP BY %s", a.GroupBy)
 	}
 	if a.Epoch > 0 {
-		fmt.Fprintf(&b, " EPOCH DURATION %s", a.Epoch)
+		// Emit the dialect's "n unit" syntax (not Go's "1m0s" form, which
+		// the parser rejects), choosing the largest unit that divides
+		// evenly so the canonical form reparses to the identical AST.
+		switch {
+		case a.Epoch%time.Minute == 0:
+			fmt.Fprintf(&b, " EPOCH DURATION %d min", a.Epoch/time.Minute)
+		case a.Epoch%time.Second == 0:
+			fmt.Fprintf(&b, " EPOCH DURATION %d s", a.Epoch/time.Second)
+		default:
+			// The dialect's smallest unit is a millisecond; clamp hand-built
+			// sub-millisecond durations up to 1 ms so the canonical form
+			// always reparses (parsed ASTs are whole-ms by construction).
+			ms := a.Epoch / time.Millisecond
+			if ms < 1 {
+				ms = 1
+			}
+			fmt.Fprintf(&b, " EPOCH DURATION %d ms", ms)
+		}
 	}
 	if a.History > 0 {
 		fmt.Fprintf(&b, " WITH HISTORY %d", a.History)

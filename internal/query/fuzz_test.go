@@ -1,0 +1,85 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text through the lexer and parser. Properties:
+// no panic on any input, and accepted queries are printable-and-reparsable
+// — the AST's canonical String() must itself parse, to an AST with the
+// identical canonical form (a parse/print fixpoint).
+//
+// Seed corpus: every query shape the paper shows plus the syntax corners
+// (committed under testdata/fuzz/FuzzParse; go test -fuzz=FuzzParse
+// explores further).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min",
+		"SELECT TOP 1 roomid, MAX(sound) FROM sensors GROUP BY roomid",
+		"SELECT TOP 4 timeinstant, SUM(temp) FROM sensors WITH HISTORY 32",
+		"SELECT sound FROM sensors",
+		"SELECT sound, temp FROM sensors EPOCH DURATION 500 ms",
+		"select top 2 roomid , avg ( sound ) from sensors group by roomid",
+		"SELECT * FROM sensors",
+		"SELECT TOP 0 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+		"SELECT TOP -1 x, MIN(y) FROM sensors GROUP BY x",
+		"SELECT TOP 3 roomid AVG(sound) FROM sensors",
+		"SELECT TOP 99999999999999999999 a, COUNT(b) FROM sensors GROUP BY a",
+		"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 1.5",
+		"(((((",
+		"",
+		"\x00\x01\x02",
+		"SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ast, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are the bug
+		}
+		canon := ast.String()
+		re, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form of %q failed to reparse: %q: %v", src, canon, err)
+		}
+		if re.String() != canon {
+			t.Fatalf("canonical form is not a fixpoint: %q -> %q -> %q", src, canon, re.String())
+		}
+	})
+}
+
+// FuzzLex checks the lexer in isolation: it must never panic, and every
+// token it emits must carry a position inside the input with non-empty
+// text (except EOF).
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{
+		"SELECT TOP 3 roomid, AVG(sound) FROM sensors",
+		"a_b2 -3 3.5 , ( ) *",
+		"3..5 -.5 -", "日本語 id", "\tx\n\ry",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream must end with EOF: %v", toks)
+		}
+		for _, tok := range toks[:len(toks)-1] {
+			if tok.Text == "" {
+				t.Fatalf("non-EOF token with empty text at %d in %q", tok.Pos, src)
+			}
+			if tok.Pos < 0 || tok.Pos >= len(src) {
+				t.Fatalf("token position %d outside input %q", tok.Pos, src)
+			}
+			if !strings.HasPrefix(src[tok.Pos:], tok.Text) {
+				t.Fatalf("token %q does not appear at its position %d in %q", tok.Text, tok.Pos, src)
+			}
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // TokenKind classifies lexemes.
@@ -76,15 +77,24 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("query: syntax error at offset %d: %s", e.Pos, e.Msg)
 }
 
-// Lex tokenizes a query string.
+// isASCIIDigit gates number literals to ASCII: other Unicode digit runes
+// would survive the lexer only to fail strconv with a worse message.
+func isASCIIDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+// Lex tokenizes a query string. Input must be valid UTF-8: identifiers are
+// decoded rune-wise (a stray high byte is a syntax error, not a Latin-1
+// letter — case-folding an invalid-UTF-8 identifier would corrupt it).
 func Lex(src string) ([]Token, error) {
 	var out []Token
 	i := 0
 	for i < len(src) {
-		c := rune(src[i])
+		c, size := utf8.DecodeRuneInString(src[i:])
+		if c == utf8.RuneError && size == 1 {
+			return nil, &SyntaxError{Pos: i, Msg: fmt.Sprintf("invalid UTF-8 byte 0x%02x", src[i])}
+		}
 		switch {
 		case unicode.IsSpace(c):
-			i++
+			i += size
 		case c == ',':
 			out = append(out, Token{TokComma, ",", i})
 			i++
@@ -97,11 +107,11 @@ func Lex(src string) ([]Token, error) {
 		case c == '*':
 			out = append(out, Token{TokStar, "*", i})
 			i++
-		case unicode.IsDigit(c) || (c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+		case (c < utf8.RuneSelf && isASCIIDigit(byte(c))) || (c == '-' && i+1 < len(src) && isASCIIDigit(src[i+1])):
 			start := i
 			i++
 			seenDot := false
-			for i < len(src) && (unicode.IsDigit(rune(src[i])) || (!seenDot && src[i] == '.')) {
+			for i < len(src) && (isASCIIDigit(src[i]) || (!seenDot && src[i] == '.')) {
 				if src[i] == '.' {
 					seenDot = true
 				}
@@ -110,8 +120,12 @@ func Lex(src string) ([]Token, error) {
 			out = append(out, Token{TokNumber, src[start:i], start})
 		case unicode.IsLetter(c) || c == '_':
 			start := i
-			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
-				i++
+			for i < len(src) {
+				r, sz := utf8.DecodeRuneInString(src[i:])
+				if !(unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_') {
+					break
+				}
+				i += sz
 			}
 			out = append(out, Token{TokIdent, src[start:i], start})
 		default:

@@ -54,6 +54,35 @@ const (
 	DefaultPayload    = 29
 )
 
+// FrameFate is the outcome the fault model assigns to one frame attempt.
+type FrameFate uint8
+
+const (
+	// FrameOK: the frame is received within its receive window.
+	FrameOK FrameFate = iota
+	// FrameLost: the frame never arrives (collision, fade); the receiver
+	// spends nothing, the AM layer retries.
+	FrameLost
+	// FrameDelayed: the frame arrives after its receive window closed. The
+	// receiver pays to hear it but the AM layer discards it and retries —
+	// a loss that also costs receive energy.
+	FrameDelayed
+	// FrameDuplicated: the frame is received, but a spurious retransmission
+	// (e.g. a lost acknowledgement) puts one extra copy on air, doubling
+	// this frame's transmit and receive cost.
+	FrameDuplicated
+)
+
+// FaultModel decides the fate of individual frame attempts. Implementations
+// MUST be deterministic functions of the message identity (sender, receiver,
+// kind, epoch, payload, fragment, attempt) and their own seed — never of
+// call order — so that concurrent substrates replay the exact fault pattern
+// of the deterministic simulator. They must also be safe for concurrent use.
+// internal/faults provides the standard models.
+type FaultModel interface {
+	Frame(msg Message, frag, attempt int) FrameFate
+}
+
 // Config describes the link layer.
 type Config struct {
 	HeaderSize int     // bytes of per-frame header
@@ -61,6 +90,11 @@ type Config struct {
 	LossRate   float64 // independent per-frame loss probability [0,1)
 	MaxRetries int     // link-layer retransmissions after a loss
 	Seed       int64   // seed for the loss process
+	// Fault, when non-nil, replaces the LossRate/Seed process with a
+	// deterministic per-frame fault model (see internal/faults). The rng
+	// draw order of LossRate depends on transmission order, which differs
+	// between substrates under concurrency; Fault does not.
+	Fault FaultModel
 }
 
 // DefaultConfig returns a lossless MICA2-style link layer.
@@ -111,6 +145,11 @@ func NewLink(cfg Config) *Link {
 // Config returns the link configuration.
 func (l *Link) Config() Config { return l.cfg }
 
+// SetFault installs (or clears) the deterministic fault model. Callers must
+// install it before traffic flows: the link itself does not synchronize the
+// swap against concurrent Transmits.
+func (l *Link) SetFault(m FaultModel) { l.cfg.Fault = m }
+
 // FramesFor reports how many frames a payload of n bytes needs. A zero-byte
 // payload still needs one frame (an empty beacon is a frame on air).
 func (l *Link) FramesFor(n int) int {
@@ -150,12 +189,33 @@ func (l *Link) Transmit(msg Message) Accounting {
 		for attempt := 0; attempt <= l.cfg.MaxRetries; attempt++ {
 			acc.Frames++
 			acc.TxBytes += wire
-			if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
+			fate := FrameOK
+			if l.cfg.Fault != nil {
+				fate = l.cfg.Fault.Frame(msg, f, attempt)
+			} else if l.cfg.LossRate > 0 && l.rng.Float64() < l.cfg.LossRate {
+				fate = FrameLost
+			}
+			switch fate {
+			case FrameLost:
 				acc.Drops++
 				continue
+			case FrameDelayed:
+				// The late frame is heard (receive cost accrues) but missed
+				// its window, so the AM layer drops and retries it.
+				acc.RxBytes += wire
+				acc.RxFrames++
+				acc.Drops++
+				continue
+			case FrameDuplicated:
+				// One spurious extra copy on air, received twice, kept once.
+				acc.Frames++
+				acc.TxBytes += wire
+				acc.RxBytes += 2 * wire
+				acc.RxFrames += 2
+			default:
+				acc.RxBytes += wire
+				acc.RxFrames++
 			}
-			acc.RxBytes += wire
-			acc.RxFrames++
 			ok = true
 			break
 		}

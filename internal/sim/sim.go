@@ -38,6 +38,12 @@ type Network struct {
 	// nodes stop transmitting and receiving.
 	Budgets map[model.NodeID]*energy.Budget
 
+	// downed marks nodes administratively killed by fault injection
+	// (internal/faults churn). A downed node is dead exactly like a
+	// budget-exhausted one; revival clears the mark but never resurrects a
+	// node whose energy budget ran out.
+	downed map[model.NodeID]bool
+
 	// Delivered is an optional hook invoked for every successfully
 	// delivered message (the concurrent runtime and the GUI subscribe).
 	Delivered func(msg radio.Message)
@@ -97,14 +103,45 @@ func (n *Network) Topology() *topo.Placement { return n.Placement }
 // Routing returns the sink-rooted routing tree.
 func (n *Network) Routing() *topo.Tree { return n.Tree }
 
-// Alive reports whether a node still has energy (the sink is always alive).
+// Alive reports whether a node still has energy and has not been struck
+// down by fault injection (the sink is mains-powered and always alive).
 func (n *Network) Alive(id model.NodeID) bool {
-	if id == model.Sink || n.Budgets == nil {
+	if id == model.Sink {
+		return true
+	}
+	if n.downed[id] {
+		return false
+	}
+	if n.Budgets == nil {
 		return true
 	}
 	b, ok := n.Budgets[id]
 	return !ok || !b.Dead()
 }
+
+// SetNodeDown administratively kills or revives a node — the churn
+// primitive of the fault-injection layer. It rides the same Alive pathway
+// as energy death: a downed node neither transmits, receives, nor senses.
+// The sink cannot be downed, and reviving a node whose energy budget is
+// exhausted leaves it dead.
+func (n *Network) SetNodeDown(id model.NodeID, down bool) {
+	if id == model.Sink {
+		return
+	}
+	if n.downed == nil {
+		n.downed = make(map[model.NodeID]bool)
+	}
+	if down {
+		n.downed[id] = true
+	} else {
+		delete(n.downed, id)
+	}
+}
+
+// SetFault installs (or clears) a deterministic link-layer fault model —
+// the loss/duplication/delay primitive of the fault-injection layer. Must
+// be called before traffic flows.
+func (n *Network) SetFault(m radio.FaultModel) { n.Link.SetFault(m) }
 
 // chargeTx charges a transmission to a node, returning false if the node is
 // dead. The sink draws mains power and is never charged.
@@ -315,6 +352,7 @@ type Snapshot struct {
 	Messages int
 	Frames   int
 	TxBytes  int
+	Drops    int
 	EnergyUJ float64
 }
 
@@ -324,6 +362,7 @@ func (n *Network) Snap() Snapshot {
 		Messages: n.Counter.TotalMessages(),
 		Frames:   n.Counter.TotalFrames(),
 		TxBytes:  n.Counter.TotalTxBytes(),
+		Drops:    n.Counter.Drops,
 		EnergyUJ: n.Ledger.Total(),
 	}
 }
@@ -336,6 +375,7 @@ func (n *Network) Delta(s Snapshot) Snapshot {
 		Messages: now.Messages - s.Messages,
 		Frames:   now.Frames - s.Frames,
 		TxBytes:  now.TxBytes - s.TxBytes,
+		Drops:    now.Drops - s.Drops,
 		EnergyUJ: now.EnergyUJ - s.EnergyUJ,
 	}
 }

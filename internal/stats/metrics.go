@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+
+	"kspot/internal/model"
+)
+
+// Metrics quantifies one epoch's (or one run's) answer set against the
+// exact oracle. Membership is judged on group identity — the set the user
+// sees ranked — matching model.Recall; Exact additionally demands the
+// paper's strict criterion (order and quantized scores).
+type Metrics struct {
+	Recall    float64 // |got ∩ want| / |want|
+	Precision float64 // |got ∩ want| / |got|
+	F1        float64 // harmonic mean of the two
+	Exact     bool    // order- and score-exact (model.EqualAnswers)
+}
+
+// Score computes the metrics of got against the oracle want. Degenerate
+// sets follow the usual conventions: an empty oracle is perfectly
+// recalled; an empty answer against a non-empty oracle has zero precision.
+func Score(got, want []model.Answer) Metrics {
+	m := Metrics{Exact: model.EqualAnswers(got, want)}
+	ws := model.AnswerSet(want)
+	hit := 0
+	for _, a := range got {
+		if ws[a.Group] {
+			hit++
+		}
+	}
+	if len(want) == 0 {
+		m.Recall = 1
+	} else {
+		m.Recall = float64(hit) / float64(len(want))
+	}
+	if len(got) == 0 {
+		m.Precision = 0
+		if len(want) == 0 {
+			m.Precision = 1
+		}
+	} else {
+		m.Precision = float64(hit) / float64(len(got))
+	}
+	if m.Recall+m.Precision > 0 {
+		m.F1 = 2 * m.Recall * m.Precision / (m.Recall + m.Precision)
+	}
+	return m
+}
+
+// MetricsAccumulator folds per-epoch Metrics into run-level aggregates —
+// what the conformance suite and the bench reports tabulate.
+type MetricsAccumulator struct {
+	n         int
+	recall    float64
+	precision float64
+	f1        float64
+	exact     int
+	minRecall float64
+}
+
+// Add folds one observation.
+func (a *MetricsAccumulator) Add(m Metrics) {
+	if a.n == 0 || m.Recall < a.minRecall {
+		a.minRecall = m.Recall
+	}
+	a.n++
+	a.recall += m.Recall
+	a.precision += m.Precision
+	a.f1 += m.F1
+	if m.Exact {
+		a.exact++
+	}
+}
+
+// N returns the number of observations folded in.
+func (a *MetricsAccumulator) N() int { return a.n }
+
+// Mean returns the averaged metrics; Exact is true only when every
+// observation was exact. An empty accumulator is all zeros.
+func (a *MetricsAccumulator) Mean() Metrics {
+	if a.n == 0 {
+		return Metrics{}
+	}
+	return Metrics{
+		Recall:    a.recall / float64(a.n),
+		Precision: a.precision / float64(a.n),
+		F1:        a.f1 / float64(a.n),
+		Exact:     a.exact == a.n,
+	}
+}
+
+// MinRecall returns the worst observed recall (0 for an empty accumulator).
+func (a *MetricsAccumulator) MinRecall() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.minRecall
+}
+
+// ExactPct returns the percentage of exact observations.
+func (a *MetricsAccumulator) ExactPct() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return 100 * float64(a.exact) / float64(a.n)
+}
+
+// String summarizes the aggregate for reports.
+func (a *MetricsAccumulator) String() string {
+	m := a.Mean()
+	return fmt.Sprintf("n=%d recall=%.3f (min %.3f) precision=%.3f f1=%.3f exact=%.1f%%",
+		a.n, m.Recall, a.MinRecall(), m.Precision, m.F1, a.ExactPct())
+}

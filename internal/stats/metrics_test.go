@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"kspot/internal/model"
+)
+
+func ans(pairs ...float64) []model.Answer {
+	out := make([]model.Answer, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, model.Answer{Group: model.GroupID(pairs[i]), Score: model.Value(pairs[i+1])})
+	}
+	return out
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestScore(t *testing.T) {
+	cases := []struct {
+		name      string
+		got, want []model.Answer
+		recall    float64
+		precision float64
+		f1        float64
+		exact     bool
+	}{
+		{"identical", ans(1, 10, 2, 9), ans(1, 10, 2, 9), 1, 1, 1, true},
+		{"same set, swapped order", ans(2, 9, 1, 10), ans(1, 10, 2, 9), 1, 1, 1, false},
+		{"same set, drifted score", ans(1, 10, 2, 8.5), ans(1, 10, 2, 9), 1, 1, 1, false},
+		{"half hit", ans(1, 10, 3, 7), ans(1, 10, 2, 9), 0.5, 0.5, 0.5, false},
+		{"all miss", ans(3, 7, 4, 6), ans(1, 10, 2, 9), 0, 0, 0, false},
+		{"short answer", ans(1, 10), ans(1, 10, 2, 9), 0.5, 1, 2.0 / 3.0, false},
+		{"long answer", ans(1, 10, 2, 9, 3, 7), ans(1, 10, 2, 9), 1, 2.0 / 3.0, 0.8, false},
+		{"empty answer", nil, ans(1, 10), 0, 0, 0, false},
+		{"empty oracle", ans(1, 10), nil, 1, 0, 0, false},
+		{"both empty", nil, nil, 1, 1, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := Score(tc.got, tc.want)
+			if !near(m.Recall, tc.recall) || !near(m.Precision, tc.precision) || !near(m.F1, tc.f1) || m.Exact != tc.exact {
+				t.Errorf("Score = %+v, want recall=%v precision=%v f1=%v exact=%v",
+					m, tc.recall, tc.precision, tc.f1, tc.exact)
+			}
+			// Recall must agree with the model package's metric.
+			if !near(m.Recall, model.Recall(tc.got, tc.want)) {
+				t.Errorf("Recall %v disagrees with model.Recall %v", m.Recall, model.Recall(tc.got, tc.want))
+			}
+		})
+	}
+}
+
+func TestMetricsAccumulator(t *testing.T) {
+	var a MetricsAccumulator
+	if got := a.Mean(); got != (Metrics{}) {
+		t.Errorf("empty accumulator mean = %+v, want zero", got)
+	}
+	if a.MinRecall() != 0 || a.ExactPct() != 0 || a.N() != 0 {
+		t.Error("empty accumulator must report zeros")
+	}
+
+	a.Add(Metrics{Recall: 1, Precision: 1, F1: 1, Exact: true})
+	a.Add(Metrics{Recall: 0.5, Precision: 1, F1: 2.0 / 3.0})
+	a.Add(Metrics{Recall: 0.75, Precision: 0.75, F1: 0.75})
+
+	if a.N() != 3 {
+		t.Errorf("N = %d, want 3", a.N())
+	}
+	m := a.Mean()
+	if !near(m.Recall, 0.75) || !near(m.Precision, 11.0/12.0) {
+		t.Errorf("mean = %+v, want recall 0.75 precision 11/12", m)
+	}
+	if m.Exact {
+		t.Error("mean.Exact must be false when any observation was inexact")
+	}
+	if !near(a.MinRecall(), 0.5) {
+		t.Errorf("min recall = %v, want 0.5", a.MinRecall())
+	}
+	if !near(a.ExactPct(), 100.0/3.0) {
+		t.Errorf("exact%% = %v, want 33.3", a.ExactPct())
+	}
+}

@@ -32,15 +32,39 @@ func Fig1NetworkOpts(t testing.TB, opts sim.Options) *sim.Network {
 	return sim.FromTree(p, links, tree, opts)
 }
 
+// roomsRetries is how many derived seeds a random layout gets before a
+// suite gives up on it.
+const roomsRetries = 5
+
+// connectedRooms builds a g×perRoom rooms placement that is radio-connected
+// at radius 30, retrying with derived seeds (seed+1, seed+2, ...) when the
+// random layout disconnects. Returns the placement, the seed that
+// produced it, and the last error when every derived seed failed.
+func connectedRooms(g, perRoom int, seed int64) (*topo.Placement, int64, error) {
+	var err error
+	for i := int64(0); i < roomsRetries; i++ {
+		p := topo.Rooms(g, perRoom, 12, seed+i)
+		if _, err = topo.BuildTree(p, topo.DiskLinks(p, 30)); err == nil {
+			return p, seed + i, nil
+		}
+	}
+	return nil, seed, err
+}
+
 // RoomsNetwork builds a g-room, perRoom-sensors-per-room network with a
-// radio radius that keeps it connected; skips the test when the random
-// layout happens to disconnect.
+// radio radius that keeps it connected. A disconnected random layout is
+// retried on derived seeds (seed+1, ...) so randomized suites don't
+// silently lose coverage; only when every retry disconnects is the test
+// skipped.
 func RoomsNetwork(t testing.TB, g, perRoom int, seed int64) *sim.Network {
 	t.Helper()
-	p := topo.Rooms(g, perRoom, 12, seed)
+	p, _, err := connectedRooms(g, perRoom, seed)
+	if err != nil {
+		t.Skipf("topology disconnected for seeds %d..%d: %v", seed, seed+roomsRetries-1, err)
+	}
 	net, err := sim.New(p, 30, sim.DefaultOptions())
 	if err != nil {
-		t.Skipf("topology disconnected (seed %d): %v", seed, err)
+		t.Fatalf("connected placement failed to build: %v", err)
 	}
 	return net
 }

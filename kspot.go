@@ -29,6 +29,7 @@ import (
 
 	"kspot/internal/config"
 	"kspot/internal/engine"
+	"kspot/internal/faults"
 	"kspot/internal/gui"
 	"kspot/internal/model"
 	"kspot/internal/query"
@@ -60,6 +61,17 @@ type (
 	NodeID = model.NodeID
 	// Epoch numbers acquisition rounds.
 	Epoch = model.Epoch
+
+	// FaultConfig declares an unreliable-world environment: seeded
+	// deterministic link loss, frame duplication/delay and node churn
+	// (see internal/faults for the determinism contract).
+	FaultConfig = faults.Config
+	// ChurnEvent schedules one node's death or revival.
+	ChurnEvent = faults.ChurnEvent
+	// DistanceLossSpec weights link loss by hop length.
+	DistanceLossSpec = faults.DistanceSpec
+	// BurstLossSpec is a per-link Gilbert-Elliott loss channel.
+	BurstLossSpec = faults.BurstSpec
 )
 
 // Algorithm selects the snapshot operator for a query. The default,
@@ -96,11 +108,24 @@ type System struct {
 
 	mu         sync.Mutex
 	live       *engine.Live
+	liveTP     engine.Transport // live behind its fault injector when armed
 	sched      *engine.Scheduler
 	liveCancel context.CancelFunc
+
+	// faultCfg, when non-nil, is the armed fault environment; det is the
+	// deterministic substrate behind its churn injector (s.net when no
+	// faults are armed). posted records that at least one cursor has
+	// attached, posting counts attachments in flight — arming while
+	// either holds would leave those cursors' operators below the
+	// injector, churning nothing.
+	faultCfg *faults.Config
+	det      engine.Transport
+	posted   bool
+	posting  int
 }
 
-// Open builds a System from a scenario.
+// Open builds a System from a scenario. A scenario carrying a faults block
+// opens with that environment armed.
 func Open(s *Scenario) (*System, error) {
 	net, err := s.Network()
 	if err != nil {
@@ -110,7 +135,13 @@ func Open(s *Scenario) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{scenario: s, net: net, source: src, schema: query.DefaultSchema()}, nil
+	sys := &System{scenario: s, net: net, source: src, schema: query.DefaultSchema(), det: net}
+	if s.Faults.Enabled() {
+		if err := sys.armFaults(s.Faults); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
 }
 
 // OpenFile loads a scenario JSON file and opens it.
@@ -148,6 +179,18 @@ type PostOption func(*postConfig)
 type postConfig struct {
 	live   bool
 	window int
+	faults *FaultConfig
+}
+
+// WithFaults arms the deployment's fault environment — deterministic
+// seeded link loss, frame duplication/delay and node churn — before the
+// query attaches. Faults are physical and therefore deployment-wide: they
+// degrade every query on this System, on both substrates. Arm them in the
+// scenario file or at the first posted query; posting WithFaults after a
+// different fault environment is armed, or after the live deployment has
+// started, is an error.
+func WithFaults(cfg FaultConfig) PostOption {
+	return func(c *postConfig) { c.faults = &cfg }
 }
 
 // WithLive deploys the query on the concurrent substrate: one goroutine
@@ -180,18 +223,96 @@ func (s *System) PostWith(sql string, algo Algorithm, opts ...PostOption) (*Curs
 	if err != nil {
 		return nil, err
 	}
+	// Arm (when requested) and register this post in one critical section:
+	// arming is refused while any other post is attaching or attached, so
+	// no cursor can slip below the churn injector concurrently.
+	s.mu.Lock()
+	armed := false
+	if cfg.faults != nil {
+		if err := s.armFaultsLocked(cfg.faults); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		armed = true
+	}
+	s.posting++
+	s.mu.Unlock()
+
 	cur := &Cursor{sys: s, plan: plan, algo: algo, live: cfg.live}
 	if cfg.live {
 		s.ensureLive(cfg.window)
 	}
-	if err := cur.prepare(); err != nil {
+	err = cur.prepare()
+
+	s.mu.Lock()
+	s.posting--
+	if err != nil {
+		if armed && !s.posted && s.posting == 0 {
+			// Nothing attached (or is attaching) under this environment:
+			// disarm so a corrected retry can arm again instead of being
+			// stuck with "already armed" from a post that never existed.
+			// If another post did attach meanwhile, it attached to the
+			// injector — the environment is in use and must stay armed.
+			s.disarmFaultsLocked()
+		}
+		s.mu.Unlock()
 		return nil, err
 	}
+	s.posted = true
+	s.mu.Unlock()
 	return cur, nil
 }
 
+// armFaults installs the fault environment on the deterministic substrate
+// and remembers the config so ensureLive degrades the concurrent one
+// identically. First arm wins; re-arming is an error, and so is arming
+// after (or while) any cursor attached — its operator would sit below the
+// churn injector and degrade inconsistently. The environment is shared
+// physical state, not a per-query knob.
+func (s *System) armFaults(cfg *faults.Config) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.armFaultsLocked(cfg)
+}
+
+func (s *System) armFaultsLocked(cfg *faults.Config) error {
+	if s.faultCfg != nil {
+		return fmt.Errorf("kspot: fault environment already armed")
+	}
+	if s.posted || s.posting > 0 {
+		return fmt.Errorf("kspot: faults must be armed before the first posted query")
+	}
+	if s.live != nil {
+		return fmt.Errorf("kspot: faults must be armed before the live deployment starts")
+	}
+	inj, err := faults.Wrap(s.net, *cfg)
+	if err != nil {
+		return err
+	}
+	s.faultCfg, s.det = cfg, inj
+	return nil
+}
+
+// disarmFaultsLocked undoes an arm that no cursor ever attached under:
+// the link's fault model is removed and the deterministic transport drops
+// back to the bare network.
+func (s *System) disarmFaultsLocked() {
+	s.net.SetFault(nil)
+	s.faultCfg, s.det = nil, s.net
+}
+
+// detTransport returns the deterministic substrate, behind its fault
+// injector when armed.
+func (s *System) detTransport() engine.Transport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.det
+}
+
 // ensureLive lazily starts the shared concurrent deployment and its
-// multi-query scheduler.
+// multi-query scheduler. An armed fault environment wraps the live
+// transport with its own churn injector (frame faults already live in the
+// shared link), so both substrates degrade identically.
 func (s *System) ensureLive(window int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -200,16 +321,31 @@ func (s *System) ensureLive(window int) {
 		ctx, cancel := context.WithCancel(context.Background())
 		live.Start(ctx)
 		s.live, s.liveCancel = live, cancel
-		s.sched = engine.NewScheduler(live, s.source)
+		var tp engine.Transport = live
+		if s.faultCfg != nil {
+			inj, err := faults.Wrap(live, *s.faultCfg)
+			if err != nil {
+				// Unreachable: the config validated when the deterministic
+				// substrate armed, and Live hosts every fault kind. A
+				// silent fall-through would leave the live substrate in a
+				// perfect world while det runs degraded — fail loudly.
+				panic("kspot: wrapping live substrate with armed faults: " + err.Error())
+			}
+			tp = inj
+		}
+		s.liveTP = tp
+		s.sched = engine.NewScheduler(tp, s.source)
 	}
 }
 
-// liveState snapshots the live deployment under the System lock (it can
-// be torn down by Close concurrently with cursor use).
-func (s *System) liveState() (*engine.Live, *engine.Scheduler) {
+// liveState snapshots the live deployment's transport (behind the fault
+// injector when armed — operators must attach to it, or churn would never
+// observe their epochs) and scheduler under the System lock (both can be
+// torn down by Close concurrently with cursor use).
+func (s *System) liveState() (engine.Transport, *engine.Scheduler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.live, s.sched
+	return s.liveTP, s.sched
 }
 
 // Close stops the live deployment's node goroutines, if any were started.
@@ -223,7 +359,7 @@ func (s *System) Close() {
 		s.sched.Close() // waits out any in-flight epoch
 		s.live.Stop()
 		s.liveCancel()
-		s.live, s.sched, s.liveCancel = nil, nil, nil
+		s.live, s.liveTP, s.sched, s.liveCancel = nil, nil, nil, nil
 	}
 }
 

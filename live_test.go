@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"kspot/internal/model"
 	"kspot/internal/trace"
 )
 
@@ -179,5 +180,94 @@ func TestLiveWindowsExposed(t *testing.T) {
 		if len(series) != 4 {
 			t.Fatalf("node %d buffered %d values, want 4 (capacity)", id, len(series))
 		}
+	}
+}
+
+// TestLiveFaultEquivalence pins the fault layer through the public API:
+// the same lossy+churning scenario stepped on the deterministic substrate
+// and on the concurrent live substrate must produce identical answers and
+// identical traffic, and churn must actually strike the live deployment
+// (a regression test for live cursors attaching below the fault injector,
+// where churn silently never fired).
+func TestLiveFaultEquivalence(t *testing.T) {
+	const epochs = 16
+	run := func(live bool) ([]StepResult, int, int) {
+		sys, err := OpenFile("scenarios/lossy-churn.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		var opts []PostOption
+		if live {
+			opts = append(opts, WithLive())
+		}
+		cur, err := sys.Post("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]StepResult, 0, epochs)
+		for i := 0; i < epochs; i++ {
+			res, err := cur.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		// lossy-churn.json: node 5 dies at 6 and revives at 14; node 11
+		// dies at 10 for good.
+		if sys.Network().Alive(11) {
+			t.Errorf("live=%v: node 11 should be churned down after epoch 10", live)
+		}
+		if !sys.Network().Alive(5) {
+			t.Errorf("live=%v: node 5 should be revived after epoch 14", live)
+		}
+		snap := sys.Network().Snap()
+		return out, snap.Messages, snap.TxBytes
+	}
+	det, detMsgs, detBytes := run(false)
+	liv, livMsgs, livBytes := run(true)
+	for e := range det {
+		if !model.EqualAnswers(det[e].Answers, liv[e].Answers) {
+			t.Fatalf("epoch %d: det %v, live %v", e, det[e].Answers, liv[e].Answers)
+		}
+	}
+	if detMsgs != livMsgs || detBytes != livBytes {
+		t.Errorf("traffic diverged: det %d msgs/%d bytes, live %d msgs/%d bytes",
+			detMsgs, detBytes, livMsgs, livBytes)
+	}
+}
+
+// TestFaultArmingOrder pins when a fault environment may be armed: before
+// any cursor attaches, once per System.
+func TestFaultArmingOrder(t *testing.T) {
+	cfg := FaultConfig{Seed: 1, Loss: 0.1}
+	sql := "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid"
+
+	// Arming at the first post works; re-arming does not.
+	sys, err := Open(DemoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Post(sql, WithFaults(cfg)); err != nil {
+		t.Fatalf("first post with faults: %v", err)
+	}
+	if _, err := sys.Post(sql, WithFaults(cfg)); err == nil {
+		t.Error("re-arming an armed environment must fail")
+	}
+	if _, err := sys.Post(sql); err != nil {
+		t.Errorf("plain post on an armed system: %v", err)
+	}
+
+	// Arming after a plain cursor attached must fail: that cursor's
+	// operator sits below the churn injector.
+	sys2, err := Open(DemoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.Post(sql); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys2.Post(sql, WithFaults(cfg)); err == nil {
+		t.Error("arming after a posted query must fail")
 	}
 }

@@ -3,6 +3,7 @@ package kspot
 import (
 	"testing"
 
+	"kspot/internal/model"
 	"kspot/internal/trace"
 )
 
@@ -31,5 +32,50 @@ func TestShippedScenariosLoad(t *testing.T) {
 	}
 	if res.Answers[0].Group != trace.Fig1RoomC || res.Answers[0].Score != 75 {
 		t.Fatalf("figure1 from file answered %v, want (C,75)", res.Answers)
+	}
+}
+
+// TestLossyScenariosLoad keeps the unreliable-world family loadable, armed,
+// and reproducible: the same lossy scenario stepped twice must produce the
+// identical answer stream (the fault layer's determinism contract).
+func TestLossyScenariosLoad(t *testing.T) {
+	files := map[string]func(f *FaultConfig) bool{
+		"scenarios/lossy-bernoulli10.json": func(f *FaultConfig) bool { return f.Loss == 0.10 },
+		"scenarios/lossy-bernoulli30.json": func(f *FaultConfig) bool { return f.Loss == 0.30 },
+		"scenarios/lossy-burst.json":       func(f *FaultConfig) bool { return f.Burst != nil },
+		"scenarios/lossy-churn.json":       func(f *FaultConfig) bool { return len(f.Churn) == 3 },
+	}
+	for file, check := range files {
+		t.Run(file, func(t *testing.T) {
+			run := func() []StepResult {
+				sys, err := OpenFile(file)
+				if err != nil {
+					t.Fatalf("%s: %v", file, err)
+				}
+				f := sys.Scenario().Faults
+				if !f.Enabled() || !check(f) {
+					t.Fatalf("%s: faults block missing or unexpected: %+v", file, f)
+				}
+				cur, err := sys.Post("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid")
+				if err != nil {
+					t.Fatal(err)
+				}
+				out := make([]StepResult, 0, 16)
+				for i := 0; i < 16; i++ {
+					res, err := cur.Step()
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, res)
+				}
+				return out
+			}
+			a, b := run(), run()
+			for e := range a {
+				if !model.EqualAnswers(a[e].Answers, b[e].Answers) {
+					t.Fatalf("epoch %d: two runs of %s diverged: %v vs %v", e, file, a[e].Answers, b[e].Answers)
+				}
+			}
+		})
 	}
 }
