@@ -1,0 +1,65 @@
+package kspot
+
+import (
+	"testing"
+
+	"kspot/internal/bench"
+	"kspot/internal/model"
+	"kspot/internal/topk"
+	"kspot/internal/topk/mint"
+	"kspot/internal/topk/tag"
+)
+
+// mintEpochAllocCeiling bounds the allocations one steady-state MINT epoch
+// may perform on the standard 64-node / 16-cluster deployment. The pre-PR3
+// hot path allocated ~1100 times per epoch (a fresh map-backed view per
+// node per sweep, per-call codec buffers); the pooled views, reusable sweep
+// scratch and caller-buffer codec brought it to ~26. The ceiling leaves
+// headroom for recovery-round variance while still catching any return of
+// per-node allocation (which costs O(nodes) ≈ 64+ per epoch at this size).
+const mintEpochAllocCeiling = 150
+
+// TestMintEpochAllocationCeiling is the end-to-end allocation regression
+// test: sensing + one full MINT epoch (beacon, pruned sweep, ranking) on
+// the deterministic substrate must stay under the ceiling.
+func TestMintEpochAllocationCeiling(t *testing.T) {
+	allocs := measureEpochAllocs(t, mint.New())
+	if allocs > mintEpochAllocCeiling {
+		t.Errorf("MINT epoch allocates %.0f times, ceiling %d (pre-PR3: ~1100)", allocs, mintEpochAllocCeiling)
+	}
+}
+
+// TestTagEpochAllocationCeiling pins the TAG baseline too — it shares the
+// sweep machinery, so a transport-level regression shows up here even if
+// MINT's pruning happens to mask it.
+func TestTagEpochAllocationCeiling(t *testing.T) {
+	allocs := measureEpochAllocs(t, tag.New())
+	if allocs > mintEpochAllocCeiling {
+		t.Errorf("TAG epoch allocates %.0f times, ceiling %d (pre-PR3: ~717)", allocs, mintEpochAllocCeiling)
+	}
+}
+
+func measureEpochAllocs(t *testing.T, op topk.SnapshotOperator) float64 {
+	t.Helper()
+	net, src, q, err := bench.StandardDeployment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Attach(net, q); err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: creation phase plus a few steady epochs so every reusable
+	// buffer (sweep scratch, pooled views, answer slices) reaches capacity.
+	e := model.Epoch(0)
+	step := func() {
+		readings := topk.SenseEpoch(net, src, e)
+		if _, err := op.Epoch(e, readings); err != nil {
+			t.Fatal(err)
+		}
+		e++
+	}
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	return testing.AllocsPerRun(50, step)
+}

@@ -16,27 +16,24 @@ import (
 	"testing"
 
 	"kspot/internal/bench"
-	"kspot/internal/model"
 	"kspot/internal/query"
-	"kspot/internal/sim"
 	"kspot/internal/topk"
 	"kspot/internal/topk/mint"
 	"kspot/internal/topk/tag"
-	"kspot/internal/topo"
-	"kspot/internal/trace"
 )
 
-// benchExperiment wraps one harness experiment as a benchmark.
+// benchExperiment wraps one harness experiment as a benchmark. Scale is
+// per-run configuration, so parallel benchmark processes (-cpu sweeps)
+// never observe each other's sizing.
 func benchExperiment(b *testing.B, id string) {
 	e, ok := bench.Get(id)
 	if !ok {
 		b.Fatalf("unknown experiment %s", id)
 	}
-	bench.SetScale(0.1)
-	defer bench.SetScale(1)
+	cfg := bench.RunConfig{Scale: 0.1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard); err != nil {
+		if err := e.Run(io.Discard, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,76 +67,21 @@ func BenchmarkTagEpoch(b *testing.B) {
 }
 
 func benchOperatorEpoch(b *testing.B, op topk.SnapshotOperator) {
-	p, err := topo.Grid(64, 10)
-	if err != nil {
-		b.Fatal(err)
-	}
-	p.RegroupContiguous(16)
-	net, err := sim.New(p, 15, sim.DefaultOptions())
-	if err != nil {
-		b.Fatal(err)
-	}
-	src := trace.NewRoomActivity(7, p.Groups, 16)
-	q := topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
-	if err := op.Attach(net, q); err != nil {
-		b.Fatal(err)
-	}
-	// Warm-up (creation phase), then measure steady state.
-	readings := topk.SenseEpoch(net, src, 0)
-	if _, err := op.Epoch(0, readings); err != nil {
-		b.Fatal(err)
-	}
-	net.Reset()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e := model.Epoch(i + 1)
-		r := topk.SenseEpoch(net, src, e)
-		if _, err := op.Epoch(e, r); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.StopTimer()
+	// Shared body (internal/bench), so `go test -bench` and the -json
+	// trajectory always measure the identical deployment and loop.
+	txBytes, msgs := bench.RunOperatorEpochBench(b, op)
 	if b.N > 0 {
-		b.ReportMetric(float64(net.Counter.TotalTxBytes())/float64(b.N), "tx_bytes/epoch")
-		b.ReportMetric(float64(net.Counter.TotalMessages())/float64(b.N), "msgs/epoch")
+		b.ReportMetric(txBytes, "tx_bytes/epoch")
+		b.ReportMetric(msgs, "msgs/epoch")
 	}
 }
 
-// BenchmarkViewEncode measures the wire codec on a 16-group view.
-func BenchmarkViewEncode(b *testing.B) {
-	v := model.NewView()
-	for i := 0; i < 64; i++ {
-		v.Add(model.Reading{Node: model.NodeID(i), Group: model.GroupID(i % 16), Value: model.Value(i)})
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf := model.EncodeView(v)
-		if _, err := model.DecodeView(buf); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// BenchmarkViewEncode measures the wire codec on a 16-group view, round-
+// tripping through caller-owned buffers the way the sweep hot path does.
+func BenchmarkViewEncode(b *testing.B) { bench.RunViewCodecBench(b) }
 
-// BenchmarkViewMerge measures the TAG merge path.
-func BenchmarkViewMerge(b *testing.B) {
-	a := model.NewView()
-	c := model.NewView()
-	for i := 0; i < 64; i++ {
-		a.Add(model.Reading{Node: model.NodeID(i), Group: model.GroupID(i % 16), Value: model.Value(i)})
-		c.Add(model.Reading{Node: model.NodeID(i + 64), Group: model.GroupID(i % 16), Value: model.Value(i)})
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m := a.Clone()
-		m.MergeView(c)
-		if m.Len() != 16 {
-			b.Fatal("merge lost groups")
-		}
-	}
-}
+// BenchmarkViewMerge measures the TAG merge path with a reused accumulator.
+func BenchmarkViewMerge(b *testing.B) { bench.RunViewMergeBench(b) }
 
 // BenchmarkQueryPlan measures the §II parser + router.
 func BenchmarkQueryPlan(b *testing.B) {

@@ -7,6 +7,17 @@
 //	kspot-bench -exp e3           # run one experiment
 //	kspot-bench -exp all          # run everything (the default)
 //	kspot-bench -exp e7 -scale .2 # quick run at reduced size
+//
+// Benchmark trajectory (machine-readable, see BENCH_PR3.json):
+//
+//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR3.json
+//	kspot-bench -json -json-run pr4         # record under a new run name
+//	kspot-bench -json -json-out other.json  # write elsewhere
+//
+// -json measures the hot-path micro-benchmarks (ns/op, allocs/op, tx_bytes
+// and messages per epoch) plus one timed pass of every experiment, and
+// merges the result into the trajectory file without disturbing runs
+// recorded by earlier PRs.
 package main
 
 import (
@@ -20,24 +31,36 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (e1..e14) or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		scale = flag.Float64("scale", 1.0, "size scale factor in (0,1], for quick runs")
+		exp      = flag.String("exp", "all", "experiment id (e1..e14) or 'all'")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		scale    = flag.Float64("scale", 1.0, "size scale factor in (0,1], for quick runs")
+		emitJSON = flag.Bool("json", false, "measure benchmarks and merge into the JSON trajectory file")
+		jsonOut  = flag.String("json-out", "BENCH_PR3.json", "trajectory file -json writes")
+		jsonRun  = flag.String("json-run", "pr3", "run name -json records the measurement under")
 	)
 	flag.Parse()
 
+	if *emitJSON {
+		cfg := bench.RunConfig{Scale: *scale}
+		if err := bench.WriteJSON(os.Stdout, *jsonOut, *jsonRun, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "kspot-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote run %q (scale %v) to %s\n", *jsonRun, *scale, *jsonOut)
+		return
+	}
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-5s %s\n", e.ID, e.Title)
 		}
 		return
 	}
-	bench.SetScale(*scale)
+	cfg := bench.RunConfig{Scale: *scale}
 
 	run := func(e bench.Experiment) error {
 		start := time.Now()
 		fmt.Printf("## %s — %s\n", e.ID, e.Title)
-		if err := e.Run(os.Stdout); err != nil {
+		if err := e.Run(os.Stdout, cfg); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))

@@ -9,6 +9,8 @@
 //	kspot-sim -query "SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid"
 //	kspot-sim -algo tag                        # pin a baseline
 //	kspot-sim -emit demo.json                  # write the built-in scenario out
+//	kspot-sim -gen-scale 1000 -emit scenarios/scale-1000.json
+//	                                           # regenerate a scale-* scenario
 //
 // Fault injection (see scenarios/README.md; flags override a scenario's
 // faults block):
@@ -97,11 +99,22 @@ func main() {
 		dupP         = flag.Float64("dup", 0, "frame duplication probability [0,1)")
 		delayP       = flag.Float64("delay", 0, "frame delay probability [0,1)")
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault environment")
+		genScale     = flag.Int("gen-scale", 0, "generate the scale-<n> scenario (n sensors, multiple of 20) instead of loading one; use with -emit")
 	)
 	flag.Var(&churn, "churn", "node churn: node@epoch (die) or node@down:up (die and revive); repeatable")
 	flag.Parse()
 
 	scen := kspot.DemoScenario()
+	if *genScale > 0 {
+		if *scenarioPath != "" {
+			fail(fmt.Errorf("-gen-scale and -scenario are mutually exclusive"))
+		}
+		gen, err := kspot.ScaleScenario(*genScale)
+		if err != nil {
+			fail(err)
+		}
+		scen = gen
+	}
 	if *scenarioPath != "" {
 		loaded, err := kspot.OpenFile(*scenarioPath)
 		if err != nil {

@@ -26,8 +26,8 @@ func init() {
 
 // runE9 quantifies how often, and how badly, the naive strategy of §III-A
 // errs across seeded random deployments.
-func runE9(w io.Writer) error {
-	runs := scaled(200)
+func runE9(w io.Writer, cfg RunConfig) error {
+	runs := cfg.scaled(200)
 	epochsPer := 10
 	var sumRecall float64
 	wrongRuns := 0
@@ -61,7 +61,7 @@ func runE9(w io.Writer) error {
 
 // runE10 exercises the router of §II on a query workload and reports
 // dispatch decisions.
-func runE10(w io.Writer) error {
+func runE10(w io.Writer, cfg RunConfig) error {
 	schema := query.DefaultSchema()
 	queries := []string{
 		"SELECT TOP 1 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 1 min",
@@ -84,8 +84,8 @@ func runE10(w io.Writer) error {
 
 // runE11 measures what the recovery loop buys: correctness under answer
 // churn, and its traffic cost.
-func runE11(w io.Writer) error {
-	epochs := scaled(100)
+func runE11(w io.Writer, cfg RunConfig) error {
+	epochs := cfg.scaled(100)
 	var rows []stats.RunStats
 	for _, cfg := range []struct {
 		name string
@@ -121,8 +121,8 @@ func runE11(w io.Writer) error {
 // runE12 sweeps the radio payload size: small TinyOS frames fragment TAG's
 // wide views while MINT's pruned views fit; larger payloads close the
 // frame-count gap but not the byte gap.
-func runE12(w io.Writer) error {
-	epochs := scaled(60)
+func runE12(w io.Writer, cfg RunConfig) error {
+	epochs := cfg.scaled(60)
 	var series []stats.Series
 	for _, payload := range []int{16, 29, 64, 128} {
 		opts := sim.DefaultOptions()
@@ -154,8 +154,8 @@ func runE12(w io.Writer) error {
 // runE13 injects frame loss and reports retransmission overhead and result
 // staleness (exactness is only guaranteed on lossless links; the question
 // is how gracefully accuracy degrades).
-func runE13(w io.Writer) error {
-	epochs := scaled(80)
+func runE13(w io.Writer, cfg RunConfig) error {
+	epochs := cfg.scaled(80)
 	var series []stats.Series
 	for _, loss := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
 		opts := sim.DefaultOptions()

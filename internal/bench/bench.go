@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 
+	"kspot/internal/model"
 	"kspot/internal/sim"
 	"kspot/internal/stats"
 	"kspot/internal/topk"
@@ -20,12 +21,38 @@ import (
 	"kspot/internal/trace"
 )
 
+// RunConfig parameterizes one experiment execution. It is passed by value
+// through Experiment.Run, so concurrent runs (parallel benchmarks, -cpu
+// sweeps) can use different scales without sharing any mutable state — the
+// predecessor, a package-global scale set and restored around each run, was
+// racy and leaked a dirty scale when a run aborted.
+type RunConfig struct {
+	// Scale shrinks experiment sizes by the factor (0 < Scale ≤ 1); zero
+	// or out-of-range values mean full scale.
+	Scale float64
+}
+
+// scaled applies the configured scale to a size, with a floor of 2 so that
+// warm-up + measurement epochs always exist.
+func (c RunConfig) scaled(n int) int {
+	s := c.Scale
+	if s <= 0 || s > 1 {
+		s = 1
+	}
+	v := int(float64(n) * s)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
 // Experiment is one reproducible experiment.
 type Experiment struct {
 	ID    string
 	Title string
-	// Run executes the experiment at full scale and writes its tables.
-	Run func(w io.Writer) error
+	// Run executes the experiment at the configured scale and writes its
+	// tables.
+	Run func(w io.Writer, cfg RunConfig) error
 }
 
 var registry = map[string]Experiment{}
@@ -65,6 +92,21 @@ func gridNetwork(n, g int, opts sim.Options) (*sim.Network, error) {
 	}
 	p.RegroupContiguous(g)
 	return sim.New(p, 15, opts)
+}
+
+// StandardDeployment builds the canonical hot-path measurement workload —
+// the 64-node / 16-cluster grid with the seeded room-activity trace and a
+// TOP-2 AVG query — shared by the module-root operator benchmarks, the
+// allocation regression tests and the -json trajectory emitter, so all
+// three always measure the identical deployment.
+func StandardDeployment() (*sim.Network, trace.Source, topk.SnapshotQuery, error) {
+	net, err := gridNetwork(64, 16, sim.DefaultOptions())
+	if err != nil {
+		return nil, nil, topk.SnapshotQuery{}, err
+	}
+	src := trace.NewRoomActivity(7, net.Placement.Groups, 16)
+	q := topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: soundRange()}
+	return net, src, q, nil
 }
 
 // snapshotRun drives one operator over a workload and collects steady-state
@@ -154,25 +196,4 @@ func checkBigSavings(w io.Writer, rows []stats.RunStats, minSavePct float64) {
 	if save < minSavePct {
 		fmt.Fprintf(w, "!! SHAPE VIOLATION: mint saves only %.1f%% of tag bytes (expected >= %.0f%%)\n", save, minSavePct)
 	}
-}
-
-// epochsOr returns the requested epoch count, honouring a harness-wide
-// scale factor for quick benchmark runs.
-var scale = 1.0
-
-// SetScale shrinks experiment sizes by the factor (0 < f ≤ 1), used by the
-// testing.B wrappers to keep iterations fast. Full runs use 1.
-func SetScale(f float64) {
-	if f <= 0 || f > 1 {
-		f = 1
-	}
-	scale = f
-}
-
-func scaled(n int) int {
-	v := int(float64(n) * scale)
-	if v < 2 {
-		v = 2
-	}
-	return v
 }

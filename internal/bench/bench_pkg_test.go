@@ -34,13 +34,12 @@ func TestAllExperimentsRunClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments in -short mode")
 	}
-	SetScale(0.2)
-	defer SetScale(1)
+	cfg := RunConfig{Scale: 0.2}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(&buf); err != nil {
+			if err := e.Run(&buf, cfg); err != nil {
 				t.Fatalf("%s: %v\noutput so far:\n%s", e.ID, err, buf.String())
 			}
 			if out := buf.String(); strings.Contains(out, "SHAPE VIOLATION") {
@@ -53,17 +52,17 @@ func TestAllExperimentsRunClean(t *testing.T) {
 	}
 }
 
-func TestSetScaleClamps(t *testing.T) {
-	SetScale(-3)
-	if scale != 1 {
-		t.Errorf("scale = %v after invalid SetScale", scale)
+func TestRunConfigClamps(t *testing.T) {
+	if got := (RunConfig{Scale: -3}).scaled(100); got != 100 {
+		t.Errorf("invalid scale: scaled(100) = %d, want 100", got)
 	}
-	SetScale(0.5)
-	if got := scaled(100); got != 50 {
+	if got := (RunConfig{}).scaled(100); got != 100 {
+		t.Errorf("zero-value config: scaled(100) = %d, want 100", got)
+	}
+	if got := (RunConfig{Scale: 0.5}).scaled(100); got != 50 {
 		t.Errorf("scaled(100) = %d", got)
 	}
-	if got := scaled(1); got != 2 {
+	if got := (RunConfig{Scale: 0.5}).scaled(1); got != 2 {
 		t.Errorf("scaled floor = %d", got)
 	}
-	SetScale(1)
 }

@@ -23,8 +23,8 @@ func init() {
 // top-k problem, across workload stability. FILA's contract is exact
 // membership with possibly stale member scores, so the table reports both
 // set-correctness and exact-correctness.
-func runE14(w io.Writer) error {
-	epochs := scaled(100)
+func runE14(w io.Writer, cfg RunConfig) error {
+	epochs := cfg.scaled(100)
 	const n = 64
 	// Part A: room-activity workload — the membership boundary sits in
 	// dense values and churns; FILA stays set-exact and far under TAG,

@@ -44,7 +44,7 @@ func historicRun(name string, op topk.HistoricOperator, q topk.HistoricQuery, da
 // runE7 sweeps window size and k for the three historic algorithms on the
 // homogeneous diurnal workload (TPUT's favourable case, so the comparison
 // is fair to the baseline).
-func runE7(w io.Writer) error {
+func runE7(w io.Writer, cfg RunConfig) error {
 	const n, g = 36, 6
 	src := trace.NewDiurnal(5)
 	src.NodeSpread = 0
@@ -57,7 +57,7 @@ func runE7(w io.Writer) error {
 
 	var winSeries []stats.Series
 	for _, window := range []int{64, 128, 256, 512, 1024} {
-		window = scaled(window)
+		window = cfg.scaled(window)
 		data := topk.HistoricData(trace.Series(src, nodes, window))
 		q := topk.HistoricQuery{K: 4, Agg: model.AggAvg, Window: window}
 		var rows []stats.RunStats
@@ -80,7 +80,7 @@ func runE7(w io.Writer) error {
 	fmt.Fprint(w, stats.SweepTable("E7a: historic bytes vs window, n=36, k=4", "window", winSeries))
 
 	var kSeries []stats.Series
-	window := scaled(256)
+	window := cfg.scaled(256)
 	data := topk.HistoricData(trace.Series(src, nodes, window))
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		q := topk.HistoricQuery{K: k, Agg: model.AggAvg, Window: window}
@@ -102,9 +102,9 @@ func runE7(w io.Writer) error {
 }
 
 // runE8 breaks TJA's traffic down by phase across k and workload skew.
-func runE8(w io.Writer) error {
+func runE8(w io.Writer, cfg RunConfig) error {
 	const n, g = 36, 6
-	window := scaled(256)
+	window := cfg.scaled(256)
 	nodes := make([]model.NodeID, 0, n)
 	for i := 1; i <= n; i++ {
 		nodes = append(nodes, model.NodeID(i))

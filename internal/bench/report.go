@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"kspot/internal/model"
+	"kspot/internal/topk"
+	"kspot/internal/topk/mint"
+	"kspot/internal/topk/tag"
+)
+
+// This file is the machine-readable side of the harness: kspot-bench -json
+// appends one named run — micro-benchmark numbers (ns/op, allocs/op, plus
+// the domain metrics tx_bytes and messages per epoch) and per-experiment
+// timings — to a JSON trajectory file (BENCH_PR3.json). Runs from earlier
+// PRs are preserved on re-generation, so the committed file accumulates a
+// benchmark history the way EXPERIMENTS.md accumulates tables.
+
+// MicroResult is one micro-benchmark's measurement.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	// Domain metrics, for the operator-epoch benchmarks: what one epoch
+	// costs the network, independent of host speed.
+	TxBytesPerEpoch float64 `json:"tx_bytes_per_epoch,omitempty"`
+	MsgsPerEpoch    float64 `json:"msgs_per_epoch,omitempty"`
+}
+
+// ExperimentTiming is one harness experiment's single-run measurement.
+type ExperimentTiming struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	NsPerOp     int64  `json:"ns_op"`
+	AllocsPerOp uint64 `json:"allocs_op"`
+	BytesPerOp  uint64 `json:"bytes_op"`
+}
+
+// Run is one recorded benchmark pass (one PR's entry in the trajectory).
+type Run struct {
+	Recorded    string             `json:"recorded"`
+	Source      string             `json:"source"`
+	Scale       float64            `json:"scale"`
+	Micro       []MicroResult      `json:"micro"`
+	Experiments []ExperimentTiming `json:"experiments,omitempty"`
+}
+
+// File is the whole trajectory file.
+type File struct {
+	GeneratedBy string         `json:"generated_by"`
+	Note        string         `json:"note"`
+	Runs        map[string]Run `json:"runs"`
+}
+
+// WriteJSON measures the current build (micro-benchmarks at full size,
+// experiments at cfg.Scale) and merges the result into path under runName,
+// preserving every other recorded run.
+func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
+	run := Run{
+		Recorded: time.Now().UTC().Format(time.RFC3339),
+		Source:   "kspot-bench -json",
+		Scale:    cfg.Scale,
+	}
+	micros := []struct {
+		name string
+		fn   func() (MicroResult, error)
+	}{
+		{"mint-epoch", func() (MicroResult, error) {
+			return microOperatorEpoch(func() topk.SnapshotOperator { return mint.New() })
+		}},
+		{"tag-epoch", func() (MicroResult, error) {
+			return microOperatorEpoch(func() topk.SnapshotOperator { return tag.New() })
+		}},
+		{"view-codec", func() (MicroResult, error) { return microViewCodec() }},
+		{"view-merge", func() (MicroResult, error) { return microViewMerge() }},
+	}
+	for _, m := range micros {
+		fmt.Fprintf(w, "bench %-12s ... ", m.name)
+		res, err := m.fn()
+		if err != nil {
+			return fmt.Errorf("bench: micro %s: %w", m.name, err)
+		}
+		res.Name = m.name
+		run.Micro = append(run.Micro, res)
+		fmt.Fprintf(w, "%12.0f ns/op %6d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+	}
+	for _, e := range All() {
+		fmt.Fprintf(w, "exp   %-12s ... ", e.ID)
+		t, err := timeExperiment(e, cfg)
+		if err != nil {
+			return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
+		}
+		run.Experiments = append(run.Experiments, t)
+		fmt.Fprintf(w, "%12d ns %9d allocs\n", t.NsPerOp, t.AllocsPerOp)
+	}
+	return mergeJSON(path, runName, run)
+}
+
+// mergeJSON folds a run into the trajectory file, creating it if needed.
+func mergeJSON(path, runName string, run Run) error {
+	f := File{
+		GeneratedBy: "kspot-bench -json",
+		Note: "Benchmark trajectory: one run per PR (plus recorded baselines). " +
+			"Regenerate with `kspot-bench -json -json-run <name>`; existing runs are preserved.",
+		Runs: map[string]Run{},
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("bench: existing %s is not a trajectory file: %w", path, err)
+		}
+		if f.Runs == nil {
+			f.Runs = map[string]Run{}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	f.Runs[runName] = run
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunOperatorEpochBench is the shared measurement body of the operator
+// epoch benchmarks: attach on the standard deployment, run the creation
+// epoch as warm-up, reset accounting, then measure b.N steady-state epochs.
+// The module-root BenchmarkMintEpoch/BenchmarkTagEpoch and the -json
+// trajectory both call this, so they always measure the identical loop.
+// Returns per-epoch tx bytes and messages.
+func RunOperatorEpochBench(b *testing.B, op topk.SnapshotOperator) (txBytesPerEpoch, msgsPerEpoch float64) {
+	net, src, q, err := StandardDeployment()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := op.Attach(net, q); err != nil {
+		b.Fatal(err)
+	}
+	readings := topk.SenseEpoch(net, src, 0)
+	if _, err := op.Epoch(0, readings); err != nil {
+		b.Fatal(err)
+	}
+	net.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := model.Epoch(i + 1)
+		rd := topk.SenseEpoch(net, src, e)
+		if _, err := op.Epoch(e, rd); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		txBytesPerEpoch = float64(net.Counter.TotalTxBytes()) / float64(b.N)
+		msgsPerEpoch = float64(net.Counter.TotalMessages()) / float64(b.N)
+	}
+	return txBytesPerEpoch, msgsPerEpoch
+}
+
+// RunViewCodecBench is the shared body of the view-codec benchmark: a
+// 16-group view's encode+decode round-trip through caller-owned buffers
+// (the steady-state wire path).
+func RunViewCodecBench(b *testing.B) {
+	v := model.NewView()
+	for i := 0; i < 64; i++ {
+		v.Add(model.Reading{Node: model.NodeID(i), Group: model.GroupID(i % 16), Value: model.Value(i)})
+	}
+	buf := make([]byte, 0, model.ViewWireSize(v))
+	dec := model.NewView()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = model.AppendView(buf[:0], v)
+		if err := model.DecodeViewInto(dec, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RunViewMergeBench is the shared body of the view-merge benchmark: the
+// TAG merge path folding two 16-group views into a reused accumulator.
+func RunViewMergeBench(b *testing.B) {
+	a := model.NewView()
+	c := model.NewView()
+	for i := 0; i < 64; i++ {
+		a.Add(model.Reading{Node: model.NodeID(i), Group: model.GroupID(i % 16), Value: model.Value(i)})
+		c.Add(model.Reading{Node: model.NodeID(i + 64), Group: model.GroupID(i % 16), Value: model.Value(i)})
+	}
+	m := model.NewView()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		m.MergeView(a)
+		m.MergeView(c)
+		if m.Len() != 16 {
+			b.Fatal("merge lost groups")
+		}
+	}
+}
+
+// micro converts a testing.Benchmark result into a MicroResult; r.N == 0
+// means the body failed (b.Fatal aborts the run).
+func micro(r testing.BenchmarkResult, txBytes, msgs float64) (MicroResult, error) {
+	if r.N == 0 {
+		return MicroResult{}, fmt.Errorf("benchmark body failed")
+	}
+	return MicroResult{
+		Iterations:      r.N,
+		NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp:     r.AllocsPerOp(),
+		BytesPerOp:      r.AllocedBytesPerOp(),
+		TxBytesPerEpoch: txBytes,
+		MsgsPerEpoch:    msgs,
+	}, nil
+}
+
+// microOperatorEpoch measures one steady-state operator epoch on the
+// standard deployment — the same body as the module-root benchmarks.
+func microOperatorEpoch(mk func() topk.SnapshotOperator) (MicroResult, error) {
+	var txBytes, msgs float64
+	r := testing.Benchmark(func(b *testing.B) {
+		txBytes, msgs = RunOperatorEpochBench(b, mk())
+	})
+	return micro(r, txBytes, msgs)
+}
+
+// microViewCodec measures the view codec round-trip.
+func microViewCodec() (MicroResult, error) {
+	return micro(testing.Benchmark(RunViewCodecBench), 0, 0)
+}
+
+// microViewMerge measures the view merge path.
+func microViewMerge() (MicroResult, error) {
+	return micro(testing.Benchmark(RunViewMergeBench), 0, 0)
+}
+
+// timeExperiment runs one experiment once at the configured scale and
+// measures wall time and heap churn via MemStats deltas — coarse but cheap,
+// and enough to catch an experiment's cost regressing across PRs.
+func timeExperiment(e Experiment, cfg RunConfig) (ExperimentTiming, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := e.Run(io.Discard, cfg)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return ExperimentTiming{}, err
+	}
+	return ExperimentTiming{
+		ID:          e.ID,
+		Title:       e.Title,
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: after.Mallocs - before.Mallocs,
+		BytesPerOp:  after.TotalAlloc - before.TotalAlloc,
+	}, nil
+}

@@ -28,11 +28,11 @@ func init() {
 // runE1 reproduces the paper's worked example: on the exact Figure 1
 // deployment and routing tree, MINT (and TAG, and centralized) return
 // (C, 75) while naive greedy pruning returns the erroneous (D, 76.5).
-func runE1(w io.Writer) error {
+func runE1(w io.Writer, cfg RunConfig) error {
 	mkNet := func() (*sim.Network, error) { return config.Figure1Scenario().Network() }
 	src := trace.Figure1Source()
 	q := topk.SnapshotQuery{K: 1, Agg: model.AggAvg, Range: soundRange()}
-	epochs := scaled(10)
+	epochs := cfg.scaled(10)
 
 	rows, err := snapshotSuite(mkNet, src, q, epochs)
 	if err != nil {
@@ -72,7 +72,7 @@ func runE1(w io.Writer) error {
 
 // runE2 reproduces the Figure 3 demo: a continuous Top-3 query over the
 // 14-node, 6-cluster conference deployment, with the Display Panel.
-func runE2(w io.Writer) error {
+func runE2(w io.Writer, cfg RunConfig) error {
 	scen := config.Figure3Scenario()
 	// E2 is a 14-node scenario: cheap enough to always run full length,
 	// which the churn-amortized savings check needs.
@@ -119,8 +119,8 @@ func runE2(w io.Writer) error {
 // runE3 is the System Panel's headline: per-epoch messages, frames, bytes
 // and energy for MINT vs TAG vs naive vs centralized on a 64-node network
 // with 16 clusters, across k.
-func runE3(w io.Writer) error {
-	epochs := scaled(100)
+func runE3(w io.Writer, cfg RunConfig) error {
+	epochs := cfg.scaled(100)
 	var series []stats.Series
 	for _, k := range []int{1, 2, 4, 8} {
 		src := trace.NewRoomActivity(7, nil, 16) // groups bound per network below
@@ -192,8 +192,8 @@ func runE3(w io.Writer) error {
 
 // runE4 measures energy distribution and network lifetime under a finite
 // per-node budget.
-func runE4(w io.Writer) error {
-	epochs := scaled(100)
+func runE4(w io.Writer, cfg RunConfig) error {
+	epochs := cfg.scaled(100)
 	q := topk.SnapshotQuery{K: 4, Agg: model.AggAvg, Range: soundRange()}
 	src := trace.NewRoomActivity(7, nil, 16)
 	mkNet := func() (*sim.Network, error) {
@@ -228,8 +228,8 @@ func runE4(w io.Writer) error {
 // runE5 sweeps network size at fixed k. G scales with n (one cluster per
 // two sensors) so the suppressible fraction (G−k)/G stays high — the
 // regime the paper's savings claims live in; E6 covers the k→G limit.
-func runE5(w io.Writer) error {
-	epochs := scaled(60)
+func runE5(w io.Writer, cfg RunConfig) error {
+	epochs := cfg.scaled(60)
 	q := topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: soundRange()}
 	var series []stats.Series
 	for _, n := range []int{16, 36, 64, 100, 144} {
@@ -266,8 +266,8 @@ func runE5(w io.Writer) error {
 }
 
 // runE6 sweeps K at fixed size.
-func runE6(w io.Writer) error {
-	epochs := scaled(60)
+func runE6(w io.Writer, cfg RunConfig) error {
+	epochs := cfg.scaled(60)
 	var series []stats.Series
 	for _, k := range []int{1, 2, 4, 8, 16} {
 		src := trace.NewRoomActivity(11, nil, 16)

@@ -8,6 +8,7 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 
@@ -331,6 +332,40 @@ func Figure3Scenario() *Scenario {
 	s := FromPlacement("icde09-demo", trace.Figure3Placement(), 15)
 	s.Workload = Workload{Kind: "rooms", Seed: 42, Period: 10, ActiveFrac: 0.5}
 	return s
+}
+
+// scalePerRoom is the sensors-per-room density of the scale-* scenario
+// family.
+const scalePerRoom = 20
+
+// ScaleScenario deterministically generates the scale-<n> deployment: n
+// sensors in rooms of 20 on a square building grid, the production-scale
+// workload family of the benchmark trajectory (scenarios/scale-1000.json,
+// scale-4000.json are its committed outputs — regenerate with
+// `kspot-sim -gen-scale <n> -emit <file>`). n must be a positive multiple
+// of 20. The generator is a pure function of n: positions derive from a
+// seeded layout and are rounded to centimeters so the JSON stays compact
+// and byte-stable across regenerations.
+func ScaleScenario(n int) (*Scenario, error) {
+	if n < scalePerRoom || n%scalePerRoom != 0 {
+		return nil, fmt.Errorf("config: scale scenario size %d must be a positive multiple of %d", n, scalePerRoom)
+	}
+	rooms := n / scalePerRoom
+	p := topo.Rooms(rooms, scalePerRoom, 12, int64(1009+n))
+	for id, pt := range p.Positions {
+		p.Positions[id] = topo.Point{
+			X: math.Round(pt.X*100) / 100,
+			Y: math.Round(pt.Y*100) / 100,
+		}
+	}
+	s := FromPlacement(fmt.Sprintf("scale-%d", n), p, 15)
+	s.Workload = Workload{Kind: "rooms", Seed: int64(n), Period: 10, ActiveFrac: 0.3}
+	// A scale scenario must actually deploy: reject a layout whose routing
+	// tree does not connect rather than shipping a dead file.
+	if _, err := s.Network(); err != nil {
+		return nil, fmt.Errorf("config: scale scenario %d does not deploy: %w", n, err)
+	}
+	return s, nil
 }
 
 // Figure1Scenario returns the paper's worked example with its exact values

@@ -34,6 +34,11 @@ import (
 // transmit V'_i (the input unchanged, a subset, or nil for "send nothing").
 // A PruneFunc may be invoked from per-node goroutines on the concurrent
 // substrate, so it must not mutate operator state.
+//
+// Ownership: both the received view and the returned one belong to the
+// transport. A PruneFunc must not retain either beyond the call; when it
+// returns a new view (rather than v or nil) it should build it with
+// model.AcquireView — the transport recycles it once transmitted.
 type PruneFunc = func(node model.NodeID, v *model.View) *model.View
 
 // Transport is the communication contract the operators program against:
@@ -68,7 +73,10 @@ type Transport interface {
 	// Sweep runs one TAG-style leaf-to-root acquisition: every node merges
 	// its own reading with its children's views, applies prune, and ships
 	// the result one hop up; empty views suppress the packet entirely. The
-	// sink's merged view is returned.
+	// sink's merged view is returned; it is owned by the transport and
+	// valid only until the next Sweep on this transport — callers must
+	// extract what they keep (answers, merged partials) before sweeping
+	// again.
 	Sweep(e model.Epoch, kind radio.MsgKind, readings map[model.NodeID]model.Reading, prune PruneFunc) *model.View
 
 	// ChargeSense charges one sensing operation to a node.

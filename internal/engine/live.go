@@ -56,6 +56,7 @@ type worker struct {
 	id       model.NodeID
 	children []model.NodeID
 	req      chan any // floodReq | sweepReq
+	buf      []byte   // encode buffer, reused across sweeps (worker-serial)
 
 	winMu     sync.Mutex
 	win       *storage.Window
@@ -223,9 +224,14 @@ func (l *Live) handleFlood(w *worker, r floodReq) {
 // own reading with the children's views, prune, ship one hop up. (History
 // buffering happens in recordReadings, fed by SenseEpoch — sweeps may
 // carry derived readings that must not pollute the windows.)
+//
+// Views flow through the pool: the local view and every child view are
+// recycled here once merged; the transmitted view is recycled by whoever
+// consumes it from the collect channel (the parent worker, or Sweep's
+// coordinator at the sink).
 func (l *Live) handleSweep(w *worker, r sweepReq) {
 	rd, sensed := r.readings[w.id]
-	v := model.NewView()
+	v := model.AcquireView()
 	if sensed {
 		v.Add(rd)
 	}
@@ -234,8 +240,10 @@ func (l *Live) handleSweep(w *worker, r sweepReq) {
 		case cv := <-r.collect[c]:
 			if cv != nil {
 				v.MergeView(cv)
+				model.ReleaseView(cv)
 			}
 		case <-l.ctx.Done():
+			model.ReleaseView(v)
 			return
 		}
 	}
@@ -244,8 +252,17 @@ func (l *Live) handleSweep(w *worker, r sweepReq) {
 		out = r.prune(w.id, v)
 	}
 	var res *model.View
-	if out != nil && out.Len() > 0 && l.lockedSendUp(w.id, r.kind, r.e, model.EncodeView(out)) {
-		res = out
+	if out != nil && out.Len() > 0 {
+		w.buf = model.AppendView(w.buf[:0], out)
+		if l.lockedSendUp(w.id, r.kind, r.e, w.buf) {
+			res = out
+		}
+	}
+	if out != v {
+		model.ReleaseView(v) // pruned copy made; the local view is done
+	}
+	if res == nil && out != nil {
+		model.ReleaseView(out) // suppressed or lost: nothing travels up
 	}
 	r.collect[w.id] <- res // cap-1 channel, single producer: never blocks
 }
@@ -362,6 +379,7 @@ func (l *Live) Sweep(e model.Epoch, kind radio.MsgKind, readings map[model.NodeI
 		case cv := <-collect[child]:
 			if cv != nil {
 				v.MergeView(cv)
+				model.ReleaseView(cv)
 			}
 		case <-l.ctx.Done():
 			return v

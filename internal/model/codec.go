@@ -116,28 +116,44 @@ func DecodeReading(b []byte) (Reading, []byte, error) {
 	return r, b[ReadingWireSize:], nil
 }
 
+// AppendView appends the wire form of a view to dst — all partials, sorted
+// by group for determinism — and returns the result. With enough capacity in
+// dst it allocates nothing; the transports reuse one buffer per epoch sweep.
+func AppendView(dst []byte, v *View) []byte {
+	for _, p := range v.sortedPartials() {
+		dst = AppendPartial(dst, p)
+	}
+	return dst
+}
+
 // EncodeView encodes all partials of a view, sorted by group for determinism.
 func EncodeView(v *View) []byte {
-	out := make([]byte, 0, v.Len()*PartialWireSize)
-	for _, p := range v.Partials() {
-		out = AppendPartial(out, p)
+	return AppendView(make([]byte, 0, v.Len()*PartialWireSize), v)
+}
+
+// DecodeViewInto resets v and decodes a concatenation of partials into it,
+// reusing v's storage. This is the allocation-free counterpart of DecodeView.
+func DecodeViewInto(v *View, b []byte) error {
+	if len(b)%PartialWireSize != 0 {
+		return fmt.Errorf("model: view payload length %d not a multiple of %d", len(b), PartialWireSize)
 	}
-	return out
+	v.Reset()
+	for len(b) > 0 {
+		p, rest, err := DecodePartial(b)
+		if err != nil {
+			return err
+		}
+		v.AddPartial(p)
+		b = rest
+	}
+	return nil
 }
 
 // DecodeView decodes a concatenation of partials into a fresh view.
 func DecodeView(b []byte) (*View, error) {
-	if len(b)%PartialWireSize != 0 {
-		return nil, fmt.Errorf("model: view payload length %d not a multiple of %d", len(b), PartialWireSize)
-	}
 	v := NewView()
-	for len(b) > 0 {
-		p, rest, err := DecodePartial(b)
-		if err != nil {
-			return nil, err
-		}
-		v.AddPartial(p)
-		b = rest
+	if err := DecodeViewInto(v, b); err != nil {
+		return nil, err
 	}
 	return v, nil
 }

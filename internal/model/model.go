@@ -10,9 +10,11 @@
 package model
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // NodeID identifies a sensor node. The sink (base station) is always node 0,
@@ -211,15 +213,70 @@ type Answer struct {
 
 func (a Answer) String() string { return fmt.Sprintf("(g%d, %.2f)", a.Group, a.Score) }
 
+// viewMapThreshold is the group count above which a View switches from its
+// sorted-slice representation to a map. Hot-path views (one node's subtree)
+// hold at most a handful of groups and stay in the slice; only wide sink
+// views on large deployments spill.
+const viewMapThreshold = 48
+
 // View is an in-network view V_i: the per-group partial aggregates a node
 // knows about its routing subtree. Views merge associatively (the superset
 // property of MINT's hierarchy of views).
+//
+// Small views (the common case on the epoch hot path) are a slice of
+// partials sorted by group id, so that building, merging, encoding and
+// ranking one allocates nothing once capacity exists; views wider than
+// viewMapThreshold groups fall back to a map. Reset clears a view for reuse
+// keeping its capacity, and AcquireView/ReleaseView recycle views through a
+// pool — the transports and operators use them to run steady-state epochs
+// without allocating.
 type View struct {
-	partials map[GroupID]Partial
+	sorted  []Partial           // sorted by Group; authoritative when m == nil
+	m       map[GroupID]Partial // authoritative when non-nil
+	scratch []Partial           // reused by sortedPartials in map mode
 }
 
 // NewView returns an empty view.
-func NewView() *View { return &View{partials: make(map[GroupID]Partial)} }
+func NewView() *View { return &View{} }
+
+// viewPool recycles views for the epoch hot path.
+var viewPool = sync.Pool{New: func() any { return new(View) }}
+
+// AcquireView returns an empty view from the pool. Pair with ReleaseView
+// when the view's lifetime is over.
+func AcquireView() *View { return viewPool.Get().(*View) }
+
+// ReleaseView resets a view and returns it to the pool. The caller must not
+// use v afterwards. Releasing nil is a no-op.
+func ReleaseView(v *View) {
+	if v == nil {
+		return
+	}
+	v.Reset()
+	viewPool.Put(v)
+}
+
+// Reset empties the view for reuse, keeping the slice capacity.
+func (v *View) Reset() {
+	v.sorted = v.sorted[:0]
+	v.m = nil
+}
+
+// find locates a group in the sorted-slice representation.
+func (v *View) find(g GroupID) (int, bool) {
+	return slices.BinarySearchFunc(v.sorted, g, func(p Partial, g GroupID) int {
+		return cmp.Compare(p.Group, g)
+	})
+}
+
+// spill migrates the slice representation into a map.
+func (v *View) spill() {
+	v.m = make(map[GroupID]Partial, 2*viewMapThreshold)
+	for _, p := range v.sorted {
+		v.m[p.Group] = p
+	}
+	v.sorted = v.sorted[:0]
+}
 
 // Add merges a single reading into the view.
 func (v *View) Add(r Reading) { v.AddPartial(NewPartial(r.Group, r.Value)) }
@@ -229,11 +286,25 @@ func (v *View) AddPartial(p Partial) {
 	if p.Count == 0 {
 		return
 	}
-	if cur, ok := v.partials[p.Group]; ok {
-		v.partials[p.Group] = cur.Merge(p)
-	} else {
-		v.partials[p.Group] = p
+	if v.m != nil {
+		if cur, ok := v.m[p.Group]; ok {
+			v.m[p.Group] = cur.Merge(p)
+		} else {
+			v.m[p.Group] = p
+		}
+		return
 	}
+	i, ok := v.find(p.Group)
+	if ok {
+		v.sorted[i] = v.sorted[i].Merge(p)
+		return
+	}
+	if len(v.sorted) >= viewMapThreshold {
+		v.spill()
+		v.m[p.Group] = p
+		return
+	}
+	v.sorted = slices.Insert(v.sorted, i, p)
 }
 
 // MergeView folds another view into this one.
@@ -241,47 +312,98 @@ func (v *View) MergeView(o *View) {
 	if o == nil {
 		return
 	}
-	for _, p := range o.partials {
+	if o.m != nil {
+		for _, p := range o.m {
+			v.AddPartial(p)
+		}
+		return
+	}
+	for _, p := range o.sorted {
 		v.AddPartial(p)
+	}
+}
+
+// ForEach calls f for every partial in the view, in unspecified order (the
+// zero-allocation iteration of the epoch hot path; partial merging is
+// commutative, so order never affects results). f must not mutate the view.
+func (v *View) ForEach(f func(p Partial)) {
+	if v.m != nil {
+		for _, p := range v.m {
+			f(p)
+		}
+		return
+	}
+	for _, p := range v.sorted {
+		f(p)
 	}
 }
 
 // Get returns the partial for a group, if present.
 func (v *View) Get(g GroupID) (Partial, bool) {
-	p, ok := v.partials[g]
-	return p, ok
+	if v.m != nil {
+		p, ok := v.m[g]
+		return p, ok
+	}
+	if i, ok := v.find(g); ok {
+		return v.sorted[i], true
+	}
+	return Partial{}, false
 }
 
 // Remove deletes a group's partial from the view (used by pruning phases).
-func (v *View) Remove(g GroupID) { delete(v.partials, g) }
+func (v *View) Remove(g GroupID) {
+	if v.m != nil {
+		delete(v.m, g)
+		return
+	}
+	if i, ok := v.find(g); ok {
+		v.sorted = slices.Delete(v.sorted, i, i+1)
+	}
+}
 
 // Len reports the number of groups present.
-func (v *View) Len() int { return len(v.partials) }
+func (v *View) Len() int {
+	if v.m != nil {
+		return len(v.m)
+	}
+	return len(v.sorted)
+}
+
+// sortedPartials returns the partials sorted by group id without copying in
+// slice mode; map mode sorts into the view's reusable scratch slice. The
+// returned slice is valid until the view is next mutated.
+func (v *View) sortedPartials() []Partial {
+	if v.m == nil {
+		return v.sorted
+	}
+	v.scratch = v.scratch[:0]
+	for _, p := range v.m {
+		v.scratch = append(v.scratch, p)
+	}
+	slices.SortFunc(v.scratch, func(a, b Partial) int { return cmp.Compare(a.Group, b.Group) })
+	return v.scratch
+}
 
 // Groups returns the group ids present, sorted, for deterministic iteration.
 func (v *View) Groups() []GroupID {
-	gs := make([]GroupID, 0, len(v.partials))
-	for g := range v.partials {
-		gs = append(gs, g)
+	gs := make([]GroupID, 0, v.Len())
+	for _, p := range v.sortedPartials() {
+		gs = append(gs, p.Group)
 	}
-	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
 	return gs
 }
 
-// Partials returns the partials sorted by group id.
+// Partials returns the partials sorted by group id (a fresh copy).
 func (v *View) Partials() []Partial {
-	ps := make([]Partial, 0, len(v.partials))
-	for _, g := range v.Groups() {
-		ps = append(ps, v.partials[g])
-	}
-	return ps
+	return append([]Partial(nil), v.sortedPartials()...)
 }
 
 // Clone returns a deep copy of the view.
 func (v *View) Clone() *View {
 	c := NewView()
-	for g, p := range v.partials {
-		c.partials[g] = p
+	c.sorted = append(c.sorted, v.sortedPartials()...)
+	if len(c.sorted) > viewMapThreshold {
+		c.spill()
 	}
 	return c
 }
@@ -295,25 +417,44 @@ func (v *View) TopK(kind AggKind, k int) []Answer {
 	if k <= 0 {
 		return nil
 	}
-	answers := make([]Answer, 0, len(v.partials))
-	for _, p := range v.Partials() {
-		answers = append(answers, Answer{Group: p.Group, Score: Quantize(p.Eval(kind))})
+	return v.TopKInto(kind, k, make([]Answer, 0, v.Len()))
+}
+
+// TopKInto is TopK ranking into a caller-provided buffer: dst is truncated,
+// filled, ranked and returned (re-sliced or grown as needed). With enough
+// capacity it allocates nothing, which is what lets steady-state epochs run
+// allocation-free.
+func (v *View) TopKInto(kind AggKind, k int, dst []Answer) []Answer {
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
 	}
-	SortAnswers(answers)
-	if len(answers) > k {
-		answers = answers[:k]
+	if v.m != nil {
+		for _, p := range v.m {
+			dst = append(dst, Answer{Group: p.Group, Score: Quantize(p.Eval(kind))})
+		}
+	} else {
+		for _, p := range v.sorted {
+			dst = append(dst, Answer{Group: p.Group, Score: Quantize(p.Eval(kind))})
+		}
 	}
-	return answers
+	SortAnswers(dst)
+	if len(dst) > k {
+		dst = dst[:k]
+	}
+	return dst
 }
 
 // SortAnswers orders answers by descending score, then ascending group id.
-// It is the single ranking order used across the system.
+// It is the single ranking order used across the system. The comparator is a
+// total order (group ids are unique within a slice), so the sort needs no
+// stability and runs without allocating.
 func SortAnswers(answers []Answer) {
-	sort.SliceStable(answers, func(i, j int) bool {
-		if answers[i].Score != answers[j].Score {
-			return answers[i].Score > answers[j].Score
+	slices.SortFunc(answers, func(a, b Answer) int {
+		if c := cmp.Compare(b.Score, a.Score); c != 0 {
+			return c
 		}
-		return answers[i].Group < answers[j].Group
+		return cmp.Compare(a.Group, b.Group)
 	})
 }
 

@@ -278,3 +278,95 @@ func TestTopKPrefixProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestViewReuseAllocationFree pins the steady-state contract of the pooled
+// view representation: once a view and an answer buffer have capacity,
+// Reset + Add + TopKInto cycles allocate nothing. This is the invariant the
+// epoch hot path (sim.Sweep, engine.Live, the operators) is built on.
+func TestViewReuseAllocationFree(t *testing.T) {
+	v := NewView()
+	buf := make([]Answer, 0, 16)
+	cycle := func() {
+		v.Reset()
+		for i := 0; i < 32; i++ {
+			v.Add(Reading{Node: NodeID(i), Group: GroupID(i % 8), Value: Value(i * 3 % 97)})
+		}
+		buf = v.TopKInto(AggAvg, 3, buf)
+		if len(buf) != 3 {
+			t.Fatal("TopKInto lost answers")
+		}
+	}
+	cycle() // warm the capacities
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("View reuse cycle allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestCodecCallerBufferAllocationFree pins the codec side: a view round-trip
+// through AppendView and DecodeViewInto with caller-owned buffers allocates
+// nothing in steady state.
+func TestCodecCallerBufferAllocationFree(t *testing.T) {
+	v := NewView()
+	for i := 0; i < 32; i++ {
+		v.Add(Reading{Node: NodeID(i), Group: GroupID(i % 8), Value: Value(i)})
+	}
+	buf := make([]byte, 0, ViewWireSize(v))
+	dec := NewView()
+	cycle := func() {
+		buf = AppendView(buf[:0], v)
+		if err := DecodeViewInto(dec, buf); err != nil {
+			t.Fatal(err)
+		}
+		if dec.Len() != v.Len() {
+			t.Fatal("round trip lost groups")
+		}
+	}
+	cycle() // warm the decode view's capacity
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("codec round trip allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestViewMapSpillSemantics drives a view across the slice→map threshold
+// and checks the two representations answer identically (Get/Remove/Len,
+// sorted iteration, TopK ranking).
+func TestViewMapSpillSemantics(t *testing.T) {
+	v := NewView()
+	const groups = 3 * viewMapThreshold
+	for i := 0; i < groups; i++ {
+		v.Add(Reading{Node: NodeID(i), Group: GroupID(i), Value: Value(i % 101)})
+	}
+	if v.Len() != groups {
+		t.Fatalf("Len = %d, want %d", v.Len(), groups)
+	}
+	if v.m == nil {
+		t.Fatalf("view with %d groups did not spill to the map representation", groups)
+	}
+	gs := v.Groups()
+	for i := 1; i < len(gs); i++ {
+		if gs[i-1] >= gs[i] {
+			t.Fatal("Groups not sorted after spill")
+		}
+	}
+	if p, ok := v.Get(GroupID(groups - 1)); !ok || p.Count != 1 {
+		t.Fatalf("Get after spill = %+v, %v", p, ok)
+	}
+	v.Remove(GroupID(5))
+	if _, ok := v.Get(GroupID(5)); ok || v.Len() != groups-1 {
+		t.Fatal("Remove after spill failed")
+	}
+	// Ranking agrees with a small-view rebuild of the same content.
+	small := NewView()
+	v.ForEach(func(p Partial) { small.AddPartial(p) })
+	if !EqualAnswers(v.TopK(AggAvg, 10), small.TopK(AggAvg, 10)) {
+		t.Fatal("TopK disagrees across representations")
+	}
+	// And the wire form round-trips identically.
+	got, err := DecodeView(EncodeView(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualAnswers(v.TopK(AggAvg, groups), got.TopK(AggAvg, groups)) {
+		t.Fatal("encode/decode after spill lost content")
+	}
+}

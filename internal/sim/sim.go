@@ -46,7 +46,17 @@ type Network struct {
 
 	// Delivered is an optional hook invoked for every successfully
 	// delivered message (the concurrent runtime and the GUI subscribe).
+	// Payload buffers may be reused by the sender after the hook returns;
+	// subscribers must copy what they keep.
 	Delivered func(msg radio.Message)
+
+	// sweep holds the per-node view accumulators and the encode buffer the
+	// epoch up-sweep reuses, so that steady-state sweeps allocate nothing.
+	// Like the rest of *Network, Sweep is not safe for concurrent use.
+	sweep struct {
+		acc map[model.NodeID]*model.View
+		buf []byte
+	}
 }
 
 // Options configures New.
@@ -279,19 +289,31 @@ func (n *Network) RouteFromSink(to model.NodeID, kind radio.MsgKind, e model.Epo
 //
 // prune receives the transmitting node and its full local view V_i and
 // returns the view to transmit V'_i (it may return the input unchanged, a
-// subset, or nil for "send nothing"). The sink's merged view is returned.
+// subset built with model.AcquireView, or nil for "send nothing"); views it
+// returns that differ from the input are recycled by the transport once
+// transmitted. The sink's merged view is returned; it is owned by the
+// transport and valid only until the next Sweep (see engine.Transport).
 func (n *Network) Sweep(e model.Epoch, kind radio.MsgKind,
 	readings map[model.NodeID]model.Reading,
 	prune func(node model.NodeID, v *model.View) *model.View) *model.View {
 
-	inbox := make(map[model.NodeID]*model.View)
-	for _, node := range n.Tree.PostOrder() {
-		v := model.NewView()
+	order := n.Tree.PostOrder()
+	if n.sweep.acc == nil {
+		n.sweep.acc = make(map[model.NodeID]*model.View, len(order))
+	}
+	// Reset every accumulator up front: children merge into their parent's
+	// accumulator before the parent's own turn comes.
+	for _, node := range order {
+		if v := n.sweep.acc[node]; v != nil {
+			v.Reset()
+		} else {
+			n.sweep.acc[node] = model.NewView()
+		}
+	}
+	for _, node := range order {
+		v := n.sweep.acc[node] // children's contributions already merged
 		if r, ok := readings[node]; ok {
 			v.Add(r)
-		}
-		if got := inbox[node]; got != nil {
-			v.MergeView(got)
 		}
 		if node == n.Tree.Root {
 			return v
@@ -300,18 +322,14 @@ func (n *Network) Sweep(e model.Epoch, kind radio.MsgKind,
 		if prune != nil {
 			out = prune(node, v)
 		}
-		if out == nil || out.Len() == 0 {
-			continue
-		}
-		if !n.Alive(node) {
-			continue
-		}
-		if n.SendUp(node, kind, e, model.EncodeView(out)) {
-			parent := n.Tree.Parent[node]
-			if inbox[parent] == nil {
-				inbox[parent] = model.NewView()
+		if out != nil && out.Len() > 0 && n.Alive(node) {
+			n.sweep.buf = model.AppendView(n.sweep.buf[:0], out)
+			if n.SendUp(node, kind, e, n.sweep.buf) {
+				n.sweep.acc[n.Tree.Parent[node]].MergeView(out)
 			}
-			inbox[parent].MergeView(out)
+		}
+		if out != v {
+			model.ReleaseView(out)
 		}
 	}
 	// Unreachable: PostOrder always ends at the root.

@@ -14,18 +14,24 @@ import (
 // (TJA's HJ threshold scan) and "offsets in value bucket b" — in time
 // proportional to the result, not the window.
 //
-// The index is rebuilt incrementally on Push and tolerates eviction the way
-// the real structure does: stale directory entries are skipped lazily on
-// read (flash cannot update in place, so MicroHash never erases — it
-// out-dates).
+// Chain entries store the window's monotone push counter at insertion time,
+// so the current offset of an entry is a single subtraction against the
+// window's eviction base (Window.OffsetOfPush) — no per-entry search. Stale
+// entries (pushes the window has evicted) always form a prefix of their
+// chain, because counters only grow; they are trimmed lazily on read and by
+// an amortized global compaction on push, which bounds total chain memory
+// at ~2× the window regardless of how skewed the value distribution is
+// (flash cannot update in place, so the real MicroHash never erases — it
+// out-dates; we additionally reclaim, since RAM can).
 type MicroHash struct {
 	win     *Window
 	lo, hi  model.FixedPoint
 	buckets int
-	// chains[b] holds (epoch, offsetAtPush) pairs, newest last. Offsets go
-	// stale as the window slides; lookups re-derive current offsets from
-	// epochs and skip evicted entries.
-	chains [][]model.Epoch
+	// chains[b] holds push counters, oldest first (strictly increasing).
+	chains [][]uint64
+	// entries counts chain entries across all buckets, live and stale;
+	// pushes compact globally once it exceeds 2× the window capacity.
+	entries int
 }
 
 // NewMicroHash indexes the window with the given value range and bucket
@@ -42,7 +48,7 @@ func NewMicroHash(win *Window, lo, hi model.Value, buckets int) (*MicroHash, err
 		lo:      model.ToFixed(lo),
 		hi:      model.ToFixed(hi),
 		buckets: buckets,
-		chains:  make([][]model.Epoch, buckets),
+		chains:  make([][]uint64, buckets),
 	}, nil
 }
 
@@ -68,81 +74,68 @@ func (m *MicroHash) Push(e model.Epoch, v model.Value) error {
 		return err
 	}
 	b := m.bucketOf(model.ToFixed(v))
-	m.chains[b] = append(m.chains[b], e)
-	// Bound chain growth: drop entries older than the window's oldest
-	// epoch (lazy compaction, one amortized pass).
-	if len(m.chains[b]) > 2*m.win.Capacity() {
-		m.compact(b)
+	m.chains[b] = append(m.chains[b], m.win.Pushes()-1)
+	m.entries++
+	// Amortized global compaction: live entries never exceed the window
+	// size, so crossing 2× capacity means at least capacity stale entries
+	// exist somewhere — reclaim them all, O(1) amortized per push. This
+	// bounds memory even when pushes concentrate in a few hot buckets and
+	// the cold chains only ever accumulate staleness.
+	if m.entries > 2*m.win.Capacity() {
+		m.compactAll()
 	}
 	return nil
 }
 
-func (m *MicroHash) compact(b int) {
-	oldest, _, err := m.win.At(0)
-	if err != nil {
-		m.chains[b] = m.chains[b][:0]
+// compactChain trims the stale prefix of bucket b's chain in place.
+func (m *MicroHash) compactChain(b int, evicted uint64) {
+	c := m.chains[b]
+	i := sort.Search(len(c), func(i int) bool { return c[i] >= evicted })
+	if i == 0 {
 		return
 	}
-	kept := m.chains[b][:0]
-	for _, e := range m.chains[b] {
-		if e >= oldest {
-			kept = append(kept, e)
-		}
-	}
-	m.chains[b] = kept
+	n := copy(c, c[i:])
+	m.chains[b] = c[:n]
+	m.entries -= i
 }
 
-// offsetOf maps a buffered epoch to its current window offset, or -1 if
-// evicted.
-func (m *MicroHash) offsetOf(e model.Epoch) int {
-	n := m.win.Len()
-	if n == 0 {
-		return -1
+// compactAll trims every chain's stale prefix.
+func (m *MicroHash) compactAll() {
+	evicted := m.win.Pushes() - uint64(m.win.Len())
+	for b := range m.chains {
+		m.compactChain(b, evicted)
 	}
-	oldest, _, _ := m.win.At(0)
-	if e < oldest {
-		return -1
-	}
-	// Epochs are strictly increasing but not necessarily dense; binary
-	// search the epoch column.
-	lo, hi := 0, n-1
-	for lo <= hi {
-		mid := (lo + hi) / 2
-		me, _, _ := m.win.At(mid)
-		switch {
-		case me == e:
-			return mid
-		case me < e:
-			lo = mid + 1
-		default:
-			hi = mid - 1
-		}
-	}
-	return -1
 }
 
 // OffsetsAtLeast returns the window offsets (sorted ascending) whose value
 // is ≥ v — the TJA HJ-phase scan. It touches only the directory buckets
-// that can contain qualifying values.
+// that can contain qualifying values, and each entry resolves to its
+// current offset in O(1) via the window's push-counter base.
 func (m *MicroHash) OffsetsAtLeast(v model.Value) []int {
 	vFP := model.ToFixed(v)
 	first := m.bucketOf(vFP)
+	evicted := m.win.Pushes() - uint64(m.win.Len())
 	var out []int
 	for b := first; b < m.buckets; b++ {
-		for _, e := range m.chains[b] {
-			off := m.offsetOf(e)
+		m.compactChain(b, evicted) // lazy: drop the stale prefix while here
+		for _, c := range m.chains[b] {
+			off := m.win.OffsetOfPush(c)
 			if off < 0 {
 				continue
 			}
-			_, val, err := m.win.At(off)
-			if err != nil || model.ToFixed(val) < vFP {
-				continue // boundary bucket holds sub-threshold values too
+			if b == first {
+				// Only the boundary bucket can hold sub-threshold values;
+				// higher buckets start strictly above it.
+				_, val, err := m.win.At(off)
+				if err != nil || model.ToFixed(val) < vFP {
+					continue
+				}
 			}
 			out = append(out, off)
 		}
 	}
 	sort.Ints(out)
-	return dedupInts(out)
+	return out
 }
 
 // Bucket returns the live window offsets currently chained in bucket b.
@@ -150,28 +143,21 @@ func (m *MicroHash) Bucket(b int) ([]int, error) {
 	if b < 0 || b >= m.buckets {
 		return nil, fmt.Errorf("storage: bucket %d out of [0,%d)", b, m.buckets)
 	}
+	m.compactChain(b, m.win.Pushes()-uint64(m.win.Len()))
 	var out []int
-	for _, e := range m.chains[b] {
-		if off := m.offsetOf(e); off >= 0 {
+	for _, c := range m.chains[b] {
+		if off := m.win.OffsetOfPush(c); off >= 0 {
 			out = append(out, off)
 		}
 	}
 	sort.Ints(out)
-	return dedupInts(out), nil
+	return out, nil
 }
 
 // Buckets returns the directory size.
 func (m *MicroHash) Buckets() int { return m.buckets }
 
-func dedupInts(s []int) []int {
-	if len(s) < 2 {
-		return s
-	}
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
+// ChainEntries reports the total number of chain entries currently held,
+// live and stale — the quantity the compaction bound caps (tests assert it
+// stays ≤ 2× the window capacity under arbitrarily skewed pushes).
+func (m *MicroHash) ChainEntries() int { return m.entries }

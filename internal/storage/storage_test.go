@@ -271,3 +271,78 @@ func TestWindowTopKProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMicroHashSkewedStreamBoundedMemory pins the stale-chain compaction
+// bound: a heavily skewed stream (almost every push lands in one hot
+// bucket, so the cold buckets only ever go stale) driven past many window
+// turnovers must keep the total chain entry count within 2× the window
+// capacity — the amortized global compaction's invariant. Before the fix,
+// compaction only ran for the bucket being pushed, so stale entries parked
+// in other buckets were never reclaimed.
+func TestMicroHashSkewedStreamBoundedMemory(t *testing.T) {
+	const capacity = 64
+	w, _ := NewWindow(capacity)
+	mh, _ := NewMicroHash(w, 0, 100, 16)
+	// 40 window turnovers; 1 push in 50 is cold (a different bucket each
+	// time), the rest hammer the hot bucket.
+	for e := 1; e <= 40*capacity; e++ {
+		v := model.Value(95) // hot: top bucket
+		if e%50 == 0 {
+			v = model.Value((e / 50 * 7) % 90) // cold: scattered below
+		}
+		if err := mh.Push(model.Epoch(e), v); err != nil {
+			t.Fatal(err)
+		}
+		if got := mh.ChainEntries(); got > 2*capacity {
+			t.Fatalf("epoch %d: %d chain entries, want <= %d", e, got, 2*capacity)
+		}
+	}
+	// The index still answers correctly after all that churn.
+	got := mh.OffsetsAtLeast(90)
+	series := w.Series()
+	want := 0
+	for _, v := range series {
+		if v >= 90 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("OffsetsAtLeast(90) returned %d offsets, want %d", len(got), want)
+	}
+	for _, off := range got {
+		if series[off] < 90 {
+			t.Fatalf("offset %d has value %v < 90", off, series[off])
+		}
+	}
+}
+
+// TestWindowPushCounterOffsets pins the O(1) base-offset contract:
+// OffsetOfPush maps push counters to current offsets and reports eviction,
+// including across Clear (a mote reboot), after which every earlier push
+// must read as evicted rather than aliasing fresh data.
+func TestWindowPushCounterOffsets(t *testing.T) {
+	w, _ := NewWindow(3)
+	for e := 1; e <= 5; e++ {
+		if err := w.Push(model.Epoch(e), model.Value(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Pushes() != 5 {
+		t.Fatalf("Pushes = %d, want 5", w.Pushes())
+	}
+	// Pushes 0,1 (epochs 1,2) evicted; 2,3,4 at offsets 0,1,2.
+	for c, want := range map[uint64]int{0: -1, 1: -1, 2: 0, 3: 1, 4: 2, 5: -1} {
+		if got := w.OffsetOfPush(c); got != want {
+			t.Fatalf("OffsetOfPush(%d) = %d, want %d", c, got, want)
+		}
+	}
+	w.Clear()
+	if w.Pushes() != 5 {
+		t.Fatalf("Pushes after Clear = %d, want 5 (monotone)", w.Pushes())
+	}
+	for c := uint64(0); c < 5; c++ {
+		if got := w.OffsetOfPush(c); got != -1 {
+			t.Fatalf("OffsetOfPush(%d) after Clear = %d, want -1", c, got)
+		}
+	}
+}

@@ -20,6 +20,7 @@ type Window struct {
 	epochs   []model.Epoch
 	start    int // ring index of the oldest element
 	size     int
+	pushed   uint64 // monotone count of every Push ever (survives Clear)
 	lastE    model.Epoch
 	hasLast  bool
 }
@@ -58,9 +59,28 @@ func (w *Window) Push(e model.Epoch, v model.Value) error {
 	}
 	w.values[idx] = model.ToFixed(v)
 	w.epochs[idx] = e
+	w.pushed++
 	w.lastE = e
 	w.hasLast = true
 	return nil
+}
+
+// Pushes returns the monotone count of every Push the window ever accepted.
+// The i-th accepted push (0-based) currently sits at offset i−(Pushes−Len),
+// or has been evicted when that is negative — the O(1) base-offset scheme
+// MicroHash chains rely on. The counter survives Clear (which simply makes
+// every earlier push evicted), so derived offsets can never resurrect.
+func (w *Window) Pushes() uint64 { return w.pushed }
+
+// OffsetOfPush maps a push counter (as observed via Pushes()−1 right after
+// the push) to the current window offset, or −1 if that reading has been
+// evicted.
+func (w *Window) OffsetOfPush(c uint64) int {
+	evicted := w.pushed - uint64(w.size)
+	if c < evicted || c >= w.pushed {
+		return -1
+	}
+	return int(c - evicted)
 }
 
 // At returns the i-th oldest buffered reading (0 = oldest).

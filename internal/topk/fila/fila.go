@@ -193,13 +193,12 @@ func (o *Operator) Epoch(e model.Epoch, readings map[model.NodeID]model.Reading)
 				probes++
 				b := bound
 				v := topk.Sweep(o.net, e, radio.KindCtrl, readings, func(_ model.NodeID, view *model.View) *model.View {
-					out := view.Clone()
-					for _, g := range out.Groups() {
-						p, _ := out.Get(g)
-						if fresh[g] || model.Quantize(p.Eval(o.q.Agg)) < b {
-							out.Remove(g)
+					out := model.AcquireView() // transport-owned, recycled after transmit
+					view.ForEach(func(p model.Partial) {
+						if !fresh[p.Group] && model.Quantize(p.Eval(o.q.Agg)) >= b {
+							out.AddPartial(p)
 						}
-					}
+					})
 					return out
 				})
 				for _, g := range v.Groups() {

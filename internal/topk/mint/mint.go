@@ -193,20 +193,19 @@ func (o *Operator) upperBound(p model.Partial) model.Value {
 	}
 }
 
-// prune builds V'_i from V_i under the bound and resolve set.
+// prune builds V'_i from V_i under the bound and resolve set. The result is
+// a pooled view owned by the transport (see engine.PruneFunc), filled by a
+// single filtering pass — no clone, no per-group deletions.
 func (o *Operator) prune(v *model.View, bound model.Value, resolve map[model.GroupID]bool) *model.View {
-	out := v.Clone()
+	out := model.AcquireView()
 	threshold := bound + o.cfg.Slack
-	for _, g := range out.Groups() {
-		if resolve[g] {
-			continue // resolve targets always flow
+	v.ForEach(func(p model.Partial) {
+		if resolve[p.Group] || o.upperBound(p) >= threshold {
+			// Resolve targets always flow; the rest only while they could
+			// still be (or tie into) the top-k.
+			out.AddPartial(p)
 		}
-		p, _ := out.Get(g)
-		if o.upperBound(p) >= threshold {
-			continue // could still be (or tie into) the top-k: report
-		}
-		out.Remove(g)
-	}
+	})
 	return out
 }
 
@@ -226,7 +225,8 @@ func (o *Operator) Epoch(e model.Epoch, readings map[model.NodeID]model.Reading)
 
 	bound := o.bcast
 	resolve := map[model.GroupID]bool{}
-	vSink := model.NewView()
+	vSink := model.AcquireView()
+	defer model.ReleaseView(vSink)
 	var answers []model.Answer
 	var kth model.Value
 	rounds, floods := 0, 0
@@ -234,24 +234,24 @@ func (o *Operator) Epoch(e model.Epoch, readings map[model.NodeID]model.Reading)
 		rounds++
 		fresh := o.sweep(e, bound, resolve, readings)
 		// Later rounds re-report whole groups from scratch: replace, don't
-		// double-merge.
-		for _, g := range fresh.Groups() {
-			vSink.Remove(g)
-			p, _ := fresh.Get(g)
+		// double-merge. (fresh is transport-owned: consumed before the next
+		// sweep, never retained.)
+		fresh.ForEach(func(p model.Partial) {
+			vSink.Remove(p.Group)
 			vSink.AddPartial(p)
-		}
+		})
 		// Rank complete groups. An incomplete group at the sink means some
 		// node proved its γ-descriptor bound below the broadcast γ (or, on
 		// a lossy link, a frame died); it is excluded unless
 		// ResolveIncomplete asks for a fetch round.
-		completeView := model.NewView()
-		for _, g := range vSink.Groups() {
-			p, _ := vSink.Get(g)
+		completeView := model.AcquireView()
+		vSink.ForEach(func(p model.Partial) {
 			if o.complete(p) {
 				completeView.AddPartial(p)
 			}
-		}
+		})
 		answers = completeView.TopK(o.q.Agg, o.q.K)
+		model.ReleaseView(completeView)
 		// In approximate (slack) mode the materialized view serves stale
 		// entries for suppressed answer slots instead of re-polling; in
 		// exact mode a short answer collapses the bound (KthScore returns
@@ -265,12 +265,11 @@ func (o *Operator) Epoch(e model.Epoch, readings map[model.NodeID]model.Reading)
 		}
 		next := map[model.GroupID]bool{}
 		if o.cfg.ResolveIncomplete {
-			for _, g := range vSink.Groups() {
-				p, _ := vSink.Get(g)
-				if !o.complete(p) && o.upperBound(p) >= kth && !resolve[g] {
-					next[g] = true
+			vSink.ForEach(func(p model.Partial) {
+				if !o.complete(p) && o.upperBound(p) >= kth && !resolve[p.Group] {
+					next[p.Group] = true
 				}
-			}
+			})
 		}
 		boundOK := kth >= bound-o.cfg.Slack
 		if boundOK && len(next) == 0 {

@@ -44,12 +44,12 @@ func (o *Operator) Epoch(e model.Epoch, readings map[model.NodeID]model.Reading)
 	sinkView := topk.Sweep(o.net, e, radio.KindData, readings, func(_ model.NodeID, v *model.View) *model.View {
 		top := v.TopK(o.q.Agg, o.q.K)
 		keep := model.AnswerSet(top)
-		out := v.Clone()
-		for _, g := range out.Groups() {
-			if !keep[g] {
-				out.Remove(g)
+		out := model.AcquireView() // transport-owned, recycled after transmit
+		v.ForEach(func(p model.Partial) {
+			if keep[p.Group] {
+				out.AddPartial(p)
 			}
-		}
+		})
 		return out
 	})
 	return sinkView.TopK(o.q.Agg, o.q.K), nil

@@ -197,15 +197,52 @@ type Beacon struct {
 // beaconFixedSize: epoch(4) + gamma fixed-point(4) + count(2).
 const beaconFixedSize = 10
 
+// The γ field reserves both fixed-point extremes as infinity sentinels:
+// MinInt32 means −Inf ("no bound yet", the creation phase) and MaxInt32
+// means +Inf ("prune everything"). Finite γ values are clamped one step
+// inside the sentinels on encode, so a legitimate bound that quantizes to
+// an extreme can never be mis-decoded as an infinity (and an infinite bound
+// can never silently saturate into a finite one).
+const (
+	gammaNegInfFP model.FixedPoint = math.MinInt32
+	gammaPosInfFP model.FixedPoint = math.MaxInt32
+)
+
+// encodeGamma maps a γ bound to its wire fixed-point, reserving the
+// sentinels.
+func encodeGamma(gamma model.Value) model.FixedPoint {
+	switch {
+	case math.IsInf(float64(gamma), -1):
+		return gammaNegInfFP
+	case math.IsInf(float64(gamma), 1):
+		return gammaPosInfFP
+	}
+	fp := model.ToFixed(gamma)
+	switch fp {
+	case gammaNegInfFP:
+		fp = gammaNegInfFP + 1 // clamp: sentinel reserved for −Inf
+	case gammaPosInfFP:
+		fp = gammaPosInfFP - 1 // clamp: sentinel reserved for +Inf
+	}
+	return fp
+}
+
+// decodeGamma is encodeGamma's inverse.
+func decodeGamma(fp model.FixedPoint) model.Value {
+	switch fp {
+	case gammaNegInfFP:
+		return model.Value(math.Inf(-1))
+	case gammaPosInfFP:
+		return model.Value(math.Inf(1))
+	}
+	return model.FromFixed(fp)
+}
+
 // EncodeBeacon serializes a beacon.
 func EncodeBeacon(b Beacon) []byte {
 	out := make([]byte, beaconFixedSize, beaconFixedSize+2*len(b.TopK))
 	binary.LittleEndian.PutUint32(out[0:], uint32(b.Epoch))
-	gamma := b.Gamma
-	if math.IsInf(float64(gamma), -1) {
-		gamma = model.FromFixed(math.MinInt32)
-	}
-	binary.LittleEndian.PutUint32(out[4:], uint32(model.ToFixed(gamma)))
+	binary.LittleEndian.PutUint32(out[4:], uint32(encodeGamma(b.Gamma)))
 	binary.LittleEndian.PutUint16(out[8:], uint16(len(b.TopK)))
 	for _, g := range b.TopK {
 		var gb [2]byte
@@ -222,14 +259,11 @@ func DecodeBeacon(p []byte) (Beacon, error) {
 	}
 	b := Beacon{
 		Epoch: model.Epoch(binary.LittleEndian.Uint32(p[0:])),
-		Gamma: model.FromFixed(model.FixedPoint(binary.LittleEndian.Uint32(p[4:]))),
+		Gamma: decodeGamma(model.FixedPoint(binary.LittleEndian.Uint32(p[4:]))),
 	}
 	n := int(binary.LittleEndian.Uint16(p[8:]))
 	if len(p) < beaconFixedSize+2*n {
 		return Beacon{}, fmt.Errorf("topk: beacon claims %d groups, payload %d bytes", n, len(p))
-	}
-	if model.ToFixed(b.Gamma) == math.MinInt32 {
-		b.Gamma = model.Value(math.Inf(-1))
 	}
 	for i := 0; i < n; i++ {
 		b.TopK = append(b.TopK, model.GroupID(binary.LittleEndian.Uint16(p[beaconFixedSize+2*i:])))

@@ -190,3 +190,52 @@ func TestSummarizeEmpty(t *testing.T) {
 		t.Errorf("empty summary = %+v", s)
 	}
 }
+
+// TestBeaconGammaSentinels pins the sentinel reservation at both extremes:
+// an infinite γ round-trips as the same infinity, and a finite γ that
+// quantizes exactly to a sentinel fixed-point is clamped one step inside it
+// on encode instead of being mis-decoded as an infinity.
+func TestBeaconGammaSentinels(t *testing.T) {
+	// +Inf round-trips (previously it silently saturated to a finite max).
+	got, err := DecodeBeacon(EncodeBeacon(Beacon{Epoch: 1, Gamma: model.Value(math.Inf(1))}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(got.Gamma), 1) {
+		t.Fatalf("+Inf gamma decoded as %v", got.Gamma)
+	}
+	// −Inf still round-trips.
+	got, err = DecodeBeacon(EncodeBeacon(Beacon{Epoch: 1, Gamma: MinusInf()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(got.Gamma), -1) {
+		t.Fatalf("-Inf gamma decoded as %v", got.Gamma)
+	}
+	// A legitimate γ on the negative sentinel clamps finite (one
+	// centi-unit up), never decodes as −Inf.
+	lowest := model.FromFixed(math.MinInt32) // quantizes exactly to MinInt32
+	got, err = DecodeBeacon(EncodeBeacon(Beacon{Epoch: 1, Gamma: lowest}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(float64(got.Gamma), -1) {
+		t.Fatalf("finite gamma %v decoded as -Inf", lowest)
+	}
+	if want := model.FromFixed(math.MinInt32 + 1); got.Gamma != want {
+		t.Fatalf("clamped gamma = %v, want %v", got.Gamma, want)
+	}
+	// Same at the positive sentinel (values beyond the fixed-point range
+	// saturate onto it).
+	highest := model.FromFixed(math.MaxInt32)
+	got, err = DecodeBeacon(EncodeBeacon(Beacon{Epoch: 1, Gamma: highest}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(float64(got.Gamma), 1) {
+		t.Fatalf("finite gamma %v decoded as +Inf", highest)
+	}
+	if want := model.FromFixed(math.MaxInt32 - 1); got.Gamma != want {
+		t.Fatalf("clamped gamma = %v, want %v", got.Gamma, want)
+	}
+}

@@ -68,6 +68,11 @@ type Tree struct {
 	Children map[model.NodeID][]model.NodeID
 	Depth    map[model.NodeID]int
 	Root     model.NodeID
+
+	// post/pre cache the traversal orders: the epoch hot path walks the
+	// tree once per sweep and must not re-sort the node set every time.
+	// Structural mutation (RemoveNode) invalidates them.
+	post, pre []model.NodeID
 }
 
 // BuildTree runs the first-heard BFS tree construction of TAG: the sink
@@ -131,30 +136,42 @@ func (t *Tree) MaxDepth() int {
 
 // PostOrder returns nodes deepest-first (children strictly before parents):
 // the order in which the epoch up-sweep processes transmissions, mirroring
-// TAG's depth-indexed TDMA schedule.
+// TAG's depth-indexed TDMA schedule. The slice is cached and shared —
+// callers must not modify it.
 func (t *Tree) PostOrder() []model.NodeID {
-	ids := make([]model.NodeID, 0, len(t.Depth))
-	for id := range t.Depth {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		if t.Depth[ids[i]] != t.Depth[ids[j]] {
-			return t.Depth[ids[i]] > t.Depth[ids[j]]
+	if t.post == nil {
+		ids := make([]model.NodeID, 0, len(t.Depth))
+		for id := range t.Depth {
+			ids = append(ids, id)
 		}
-		return ids[i] < ids[j]
-	})
-	return ids
+		sort.Slice(ids, func(i, j int) bool {
+			if t.Depth[ids[i]] != t.Depth[ids[j]] {
+				return t.Depth[ids[i]] > t.Depth[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+		t.post = ids
+	}
+	return t.post
 }
 
 // PreOrder returns nodes shallowest-first (parents before children): the
-// order of the downstream beacon sweep.
+// order of the downstream beacon sweep. The slice is cached and shared —
+// callers must not modify it.
 func (t *Tree) PreOrder() []model.NodeID {
-	ids := t.PostOrder()
-	for i, j := 0, len(ids)-1; i < j; i, j = i+1, j-1 {
-		ids[i], ids[j] = ids[j], ids[i]
+	if t.pre == nil {
+		post := t.PostOrder()
+		ids := make([]model.NodeID, len(post))
+		for i, id := range post {
+			ids[len(ids)-1-i] = id
+		}
+		t.pre = ids
 	}
-	return ids
+	return t.pre
 }
+
+// invalidateOrders drops the cached traversals after structural mutation.
+func (t *Tree) invalidateOrders() { t.post, t.pre = nil, nil }
 
 // Subtree returns the set of nodes in the subtree rooted at n (inclusive).
 func (t *Tree) Subtree(n model.NodeID) map[model.NodeID]bool {
@@ -228,6 +245,7 @@ func (t *Tree) RemoveNode(dead model.NodeID, links *Links) (orphans []model.Node
 	if dead == t.Root {
 		panic("topo: cannot remove the sink")
 	}
+	t.invalidateOrders()
 	children := append([]model.NodeID(nil), t.Children[dead]...)
 	parent := t.Parent[dead]
 	// Detach dead from its parent.

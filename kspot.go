@@ -162,6 +162,11 @@ func DemoScenario() *Scenario { return config.Figure3Scenario() }
 // its exact sound levels.
 func Figure1Scenario() *Scenario { return config.Figure1Scenario() }
 
+// ScaleScenario deterministically generates the scale-<n> benchmark
+// deployment (n sensors, rooms of 20); scenarios/scale-*.json are its
+// committed outputs. n must be a positive multiple of 20.
+func ScaleScenario(n int) (*Scenario, error) { return config.ScaleScenario(n) }
+
 // Scenario returns the opened scenario.
 func (s *System) Scenario() *Scenario { return s.scenario }
 

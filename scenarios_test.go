@@ -1,6 +1,8 @@
 package kspot
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"kspot/internal/model"
@@ -77,5 +79,96 @@ func TestLossyScenariosLoad(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestScaleScenarioConformance extends the substrate-conformance harness to
+// the scale family: scenarios/scale-1000.json (1000 sensors, 50 rooms) must
+// run to completion on both the deterministic simulator and the concurrent
+// live substrate with identical answers and identical traffic, and the file
+// must match its deterministic generator (kspot-sim -gen-scale).
+func TestScaleScenarioConformance(t *testing.T) {
+	sys, err := OpenFile("scenarios/scale-1000.json")
+	if err != nil {
+		t.Fatalf("scale-1000 scenario: %v", err)
+	}
+	scen := sys.Scenario()
+	if got := len(scen.Nodes); got != 1000 {
+		t.Fatalf("scale-1000 nodes = %d, want 1000", got)
+	}
+	gen, err := ScaleScenario(1000)
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	genJSON, err := json.Marshal(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenJSON, err := json.Marshal(scen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(genJSON, scenJSON) {
+		t.Fatalf("checked-in scale-1000.json diverges from its generator (regenerate with kspot-sim -gen-scale 1000 -emit scenarios/scale-1000.json)")
+	}
+
+	const sql = "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid"
+	epochs := 3
+	run := func(live bool) ([]StepResult, RunStats) {
+		s, err := OpenFile("scenarios/scale-1000.json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var opts []PostOption
+		if live {
+			opts = append(opts, WithLive())
+		}
+		cur, err := s.PostWith(sql, AlgoMINT, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]StepResult, 0, epochs)
+		for i := 0; i < epochs; i++ {
+			res, err := cur.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out, s.CaptureStats("scale", epochs)
+	}
+	det, detStats := run(false)
+	live, liveStats := run(true)
+	for e := range det {
+		if !model.EqualAnswers(det[e].Answers, live[e].Answers) {
+			t.Fatalf("epoch %d: det=%v live=%v", e, det[e].Answers, live[e].Answers)
+		}
+		if !det[e].Correct {
+			t.Fatalf("epoch %d: MINT diverged from the oracle at scale", e)
+		}
+	}
+	if detStats.Messages != liveStats.Messages || detStats.TxBytes != liveStats.TxBytes {
+		t.Fatalf("traffic diverged: det %d msgs / %d bytes, live %d msgs / %d bytes",
+			detStats.Messages, detStats.TxBytes, liveStats.Messages, liveStats.TxBytes)
+	}
+}
+
+// TestScaleScenario4000Loads keeps the 4000-node file loadable, valid and
+// generator-faithful; the full conformance run lives at 1000 nodes to keep
+// CI time bounded.
+func TestScaleScenario4000Loads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4000-node topology build in -short mode")
+	}
+	sys, err := OpenFile("scenarios/scale-4000.json")
+	if err != nil {
+		t.Fatalf("scale-4000 scenario: %v", err)
+	}
+	if got := len(sys.Scenario().Nodes); got != 4000 {
+		t.Fatalf("scale-4000 nodes = %d, want 4000", got)
+	}
+	if got := len(sys.Scenario().Clusters); got != 200 {
+		t.Fatalf("scale-4000 clusters = %d, want 200", got)
 	}
 }
