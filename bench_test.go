@@ -76,6 +76,19 @@ func benchOperatorEpoch(b *testing.B, op topk.SnapshotOperator) {
 	}
 }
 
+// BenchmarkFederatedMintEpoch measures one steady-state federated MINT
+// epoch on the sharded scale deployment (scale-1000 split into 4 shard
+// networks, coordinator merge included) — the configuration the
+// sharded-vs-flat conformance suite pins for correctness.
+func BenchmarkFederatedMintEpoch(b *testing.B) {
+	txBytes, msgs, coordBytes := bench.RunFederatedMintEpochBench(b)
+	if b.N > 0 {
+		b.ReportMetric(txBytes, "tx_bytes/epoch")
+		b.ReportMetric(msgs, "msgs/epoch")
+		b.ReportMetric(coordBytes, "coord_bytes/epoch")
+	}
+}
+
 // BenchmarkViewEncode measures the wire codec on a 16-group view, round-
 // tripping through caller-owned buffers the way the sweep hot path does.
 func BenchmarkViewEncode(b *testing.B) { bench.RunViewCodecBench(b) }

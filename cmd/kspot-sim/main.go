@@ -11,6 +11,10 @@
 //	kspot-sim -emit demo.json                  # write the built-in scenario out
 //	kspot-sim -gen-scale 1000 -emit scenarios/scale-1000.json
 //	                                           # regenerate a scale-* scenario
+//	kspot-sim -shards 2                        # federate: split the cluster
+//	                                           # field into 2 shard networks
+//	kspot-sim -gen-scale 1000 -shards 4        # generate + run the sharded
+//	                                           # scale deployment
 //
 // Fault injection (see scenarios/README.md; flags override a scenario's
 // faults block):
@@ -100,6 +104,7 @@ func main() {
 		delayP       = flag.Float64("delay", 0, "frame delay probability [0,1)")
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault environment")
 		genScale     = flag.Int("gen-scale", 0, "generate the scale-<n> scenario (n sensors, multiple of 20) instead of loading one; use with -emit")
+		shards       = flag.Int("shards", 0, "federate the deployment into N shard networks (splits the cluster list; with -gen-scale, validates every shard deploys)")
 	)
 	flag.Var(&churn, "churn", "node churn: node@epoch (die) or node@down:up (die and revive); repeatable")
 	flag.Parse()
@@ -109,7 +114,17 @@ func main() {
 		if *scenarioPath != "" {
 			fail(fmt.Errorf("-gen-scale and -scenario are mutually exclusive"))
 		}
-		gen, err := kspot.ScaleScenario(*genScale)
+		var (
+			gen *kspot.Scenario
+			err error
+		)
+		if *shards > 1 {
+			// The generator validates every shard subfield deploys, so a
+			// sharded scale scenario is never emitted (or run) broken.
+			gen, err = kspot.ScaleScenarioShards(*genScale, *shards)
+		} else {
+			gen, err = kspot.ScaleScenario(*genScale)
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -121,6 +136,11 @@ func main() {
 			fail(err)
 		}
 		scen = loaded.Scenario()
+	}
+	if *shards > 0 && *genScale == 0 {
+		if err := scen.AutoShard(*shards); err != nil {
+			fail(err)
+		}
 	}
 	switch {
 	case *lossP > 0 || *burstSpec != "" || *dupP > 0 || *delayP > 0 || len(churn) > 0:
@@ -159,6 +179,9 @@ func main() {
 	}
 	fmt.Printf("scenario: %s (%d sensors)\nquery   : %s\nplan    : %s\n",
 		scen.Name, len(scen.Nodes), cur.Query(), cur.Plan())
+	if sys.Shards() > 1 {
+		fmt.Printf("shards  : %d networks, top-k merged at the coordinator tier (per-shard fault seeds derive from -fault-seed)\n", sys.Shards())
+	}
 	if scen.Faults.Enabled() {
 		fmt.Printf("faults  : seed=%d loss=%v burst=%v dup=%v delay=%v churn=%d events\n",
 			scen.Faults.Seed, scen.Faults.Loss, scen.Faults.Burst != nil,

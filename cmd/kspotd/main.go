@@ -66,6 +66,7 @@ func main() {
 		dupP         = flag.Float64("dup", 0, "frame duplication probability [0,1)")
 		delayP       = flag.Float64("delay", 0, "frame delay probability [0,1)")
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault environment")
+		shards       = flag.Int("shards", 0, "federate the deployment into N shard networks (splits the cluster list)")
 	)
 	flag.Var(&queries, "query", "extra SQL to post on the same deployment (repeatable)")
 	flag.Parse()
@@ -88,6 +89,11 @@ func main() {
 			log.Fatalf("kspotd: -fault-seed %d has no effect: no fault flags given and the scenario has no faults block", *faultSeed)
 		}
 		scen.Faults.Seed = *faultSeed
+	}
+	if *shards > 0 {
+		if err := scen.AutoShard(*shards); err != nil {
+			log.Fatal("kspotd: ", err)
+		}
 	}
 	placement := scen.Placement()
 	sys, err := kspot.Open(scen)
@@ -134,14 +140,15 @@ func main() {
 				}
 			}
 			// Between steps no epoch is in flight, so the shared network
-			// counters are quiescent and safe to read.
-			snap := sys.Network().Snap()
+			// counters are quiescent and safe to read (summed across every
+			// shard on a federated deployment).
+			total := sys.CaptureStats("live", 0)
 			st.mu.Lock()
 			st.epoch = primaryRes.Epoch
 			st.answers = primaryRes.Answers
-			st.messages = snap.Messages
-			st.txBytes = snap.TxBytes
-			st.drops = snap.Drops
+			st.messages = total.Messages
+			st.txBytes = total.TxBytes
+			st.drops = total.Drops
 			st.mu.Unlock()
 		}
 	}()

@@ -1,29 +1,38 @@
 package kspot
 
 import (
+	"context"
 	"fmt"
 
 	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/query"
 	"kspot/internal/topk"
+	"kspot/internal/topk/fed"
 	"kspot/internal/trace"
 )
 
 // Cursor is a prepared query. Snapshot (continuous) queries advance one
-// epoch per Step call; historic queries execute once via Run.
+// epoch per Step (or StepContext) call; historic queries execute once via
+// Run. On a federated deployment a cursor owns one operator instance per
+// shard plus the coordinator-tier merger; its answers aggregate across
+// every shard.
 type Cursor struct {
 	sys  *System
 	plan *query.Plan
 	algo Algorithm
 	live bool
 
-	snapOp topk.SnapshotOperator
-	epoch  model.Epoch
+	runners []engine.EpochRunner // one snapshot operator per shard
+	merger  *fed.Merger          // nil on flat deployments
+	epoch   model.Epoch
 
-	// Live cursors pin the deployment and scheduler they registered with
-	// at post time (Close tears the System's copies down concurrently).
-	tp    engine.Transport
+	// Deterministic cursors drive their shards through their own
+	// coordinator (a private epoch clock); live cursors pin the
+	// deployment and scheduler they registered with at post time (Close
+	// tears the System's copies down concurrently).
+	coord *engine.Coordinator
+	tps   []engine.Transport
 	sched *engine.Scheduler
 	sq    *engine.ScheduledQuery
 }
@@ -32,8 +41,9 @@ type Cursor struct {
 type StepResult struct {
 	Epoch   Epoch
 	Answers []Answer
-	// Exact is the oracle answer for the same epoch (the simulator knows
-	// ground truth; a real deployment would not).
+	// Exact is the oracle answer for the same epoch over the union of
+	// every shard's readings (the simulator knows ground truth; a real
+	// deployment would not).
 	Exact   []Answer
 	Correct bool
 }
@@ -53,20 +63,23 @@ func (c *Cursor) Continuous() bool {
 	return c.plan.Kind != query.PlanHistoricTopK
 }
 
-// transport returns the substrate this cursor's traffic runs on (behind
-// the fault injector when an environment is armed).
-func (c *Cursor) transport() (engine.Transport, error) {
+// transports returns the shard substrates this cursor's traffic runs on
+// (behind the fault injectors when an environment is armed).
+func (c *Cursor) transports() ([]engine.Transport, error) {
 	if !c.live {
-		return c.sys.detTransport(), nil
+		if c.tps == nil {
+			c.tps = c.sys.detTransports()
+		}
+		return c.tps, nil
 	}
-	if c.tp == nil {
-		tp, sched := c.sys.liveState()
-		if tp == nil {
+	if c.tps == nil {
+		tps, sched := c.sys.liveState()
+		if tps == nil {
 			return nil, fmt.Errorf("kspot: system is closed")
 		}
-		c.tp, c.sched = tp, sched
+		c.tps, c.sched = tps, sched
 	}
-	return c.tp, nil
+	return c.tps, nil
 }
 
 func (c *Cursor) prepare() error {
@@ -75,82 +88,126 @@ func (c *Cursor) prepare() error {
 		if _, err := historicOperator(c.algo); err != nil {
 			return err
 		}
+		if c.sys.Shards() > 1 {
+			// Historic TOP-K ranks time instants, which span every shard;
+			// the federation tier merges GROUP BY answers only.
+			return fmt.Errorf("kspot: historic TOP-K queries are not federated; run %q on a flat deployment", c.plan.Query)
+		}
 		return nil
 	case query.PlanBasic:
 		// Basic queries always run plain acquisition.
 		if c.algo != AlgoAuto && c.algo != AlgoTAG {
 			return fmt.Errorf("kspot: basic queries run on TAG, not %q", c.algo)
 		}
-		op, err := snapshotOperator(AlgoTAG)
-		if err != nil {
-			return err
-		}
-		c.snapOp = op
-	default:
-		op, err := snapshotOperator(c.algo)
-		if err != nil {
-			return err
-		}
-		c.snapOp = op
 	}
-	t, err := c.transport()
+	tps, err := c.transports()
 	if err != nil {
 		return err
 	}
-	if err := c.snapOp.Attach(t, c.plan.Snapshot); err != nil {
-		return err
+	algo := c.algo
+	if c.plan.Kind == query.PlanBasic {
+		algo = AlgoTAG
+	}
+	for _, tp := range tps {
+		op, err := snapshotOperator(algo)
+		if err != nil {
+			return err
+		}
+		if err := op.Attach(tp, c.plan.Snapshot); err != nil {
+			return err
+		}
+		c.runners = append(c.runners, op)
+	}
+	if len(tps) > 1 {
+		m, err := fed.New(c.plan.Snapshot, fed.Config{}, c.sys.fedStats)
+		if err != nil {
+			return err
+		}
+		c.merger = m
+	}
+	var override trace.Source
+	if c.plan.Kind == query.PlanHistoricGroupTopK {
+		override = c.source()
 	}
 	if c.live {
 		// Live snapshot cursors are served by the shared scheduler: one
-		// epoch sweep per epoch, however many queries are posted.
-		var override trace.Source
-		if c.plan.Kind == query.PlanHistoricGroupTopK {
-			override = c.source()
+		// epoch sweep per shard per epoch, however many queries are posted.
+		c.sq = c.sched.Add(c.runners, c.mergeFunc(), override)
+	} else {
+		deps := make([]*engine.Deployment, len(tps))
+		for i, tp := range tps {
+			deps[i] = engine.NewDeployment(c.sys.scenario.ShardName(i), tp, c.sys.source)
 		}
-		c.sq = c.sched.Add(c.snapOp, override)
+		c.coord = engine.NewCoordinator(deps...)
 	}
 	return nil
 }
 
+// mergeFunc adapts the cursor's fed merger to the engine's coordinator
+// hook (nil on flat deployments — answers pass through).
+func (c *Cursor) mergeFunc() engine.MergeFunc {
+	if c.merger == nil {
+		return nil
+	}
+	return c.merger.Merge
+}
+
 // Step runs one epoch of a continuous query.
 func (c *Cursor) Step() (StepResult, error) {
+	return c.StepContext(context.Background())
+}
+
+// StepContext is Step with cancellation. On the live substrate a
+// cancelled step returns promptly while the in-flight epoch completes on
+// the deployment's own goroutines — its outcome is re-buffered, so the
+// next Step resumes the epoch stream without a gap and nothing leaks. On
+// the deterministic substrate cancellation is observed between epochs.
+func (c *Cursor) StepContext(ctx context.Context) (StepResult, error) {
 	if !c.Continuous() {
 		return StepResult{}, fmt.Errorf("kspot: historic query %q executes with Run, not Step", c.plan.Query)
 	}
 	if c.live {
-		out, err := c.sched.Step(c.sq)
+		if _, err := c.transports(); err != nil {
+			return StepResult{}, err
+		}
+		out, err := c.sched.StepContext(ctx, c.sq)
 		if err != nil {
 			return StepResult{}, err
 		}
-		exact := topk.ExactSnapshot(out.Readings, c.plan.Snapshot)
-		return StepResult{
-			Epoch:   out.Epoch,
-			Answers: out.Answers,
-			Exact:   exact,
-			Correct: model.EqualAnswers(out.Answers, exact),
-		}, nil
+		return c.result(out), nil
 	}
-	tp, err := c.transport()
-	if err != nil {
+	// Cancellation is observed here, between epochs: once an epoch number
+	// is consumed the deterministic coordinator runs it to completion, so
+	// the stream can never skip an epoch.
+	if err := ctx.Err(); err != nil {
+		return StepResult{}, err
+	}
+	if _, err := c.transports(); err != nil {
 		return StepResult{}, err
 	}
 	e := c.epoch
 	c.epoch++
-	tp.ChargeIdleEpoch()
-
-	src := c.source()
-	readings := topk.SenseEpoch(tp, src, e)
-	answers, err := c.snapOp.Epoch(e, readings)
-	if err != nil {
-		return StepResult{}, err
+	var override trace.Source
+	if c.plan.Kind == query.PlanHistoricGroupTopK {
+		override = c.source()
 	}
-	exact := topk.ExactSnapshot(readings, c.plan.Snapshot)
+	out := c.coord.Epoch(e, c.runners, override, c.mergeFunc())
+	if out.Err != nil {
+		return StepResult{}, out.Err
+	}
+	return c.result(out), nil
+}
+
+// result scores an epoch outcome against the exact oracle over the union
+// of the shards' readings.
+func (c *Cursor) result(out engine.Outcome) StepResult {
+	exact := topk.ExactSnapshot(out.Readings, c.plan.Snapshot)
 	return StepResult{
-		Epoch:   e,
-		Answers: answers,
+		Epoch:   out.Epoch,
+		Answers: out.Answers,
 		Exact:   exact,
-		Correct: model.EqualAnswers(answers, exact),
-	}, nil
+		Correct: model.EqualAnswers(out.Answers, exact),
+	}
 }
 
 // source returns the per-epoch reading source; GROUP BY ... WITH HISTORY
@@ -174,10 +231,11 @@ func (c *Cursor) Run() ([]Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := c.transport()
+	tps, err := c.transports()
 	if err != nil {
 		return nil, err
 	}
+	t := tps[0] // historic queries are flat-only (prepare rejects shards)
 	data := topk.HistoricData(trace.Series(c.sys.source, t.Topology().SensorNodes(), c.plan.Historic.Window))
 	return op.Run(t, c.plan.Historic, data)
 }

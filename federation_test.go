@@ -1,0 +1,251 @@
+package kspot
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kspot/internal/model"
+)
+
+// shardedDemo returns the Figure-3 conference deployment split into n
+// federated shards.
+func shardedDemo(t *testing.T, n int) *Scenario {
+	t.Helper()
+	scen := DemoScenario()
+	if err := scen.AutoShard(n); err != nil {
+		t.Fatal(err)
+	}
+	return scen
+}
+
+// runCursor steps a query to completion and returns the per-epoch results.
+func runCursor(t *testing.T, sys *System, sql string, algo Algorithm, live bool, epochs int) []StepResult {
+	t.Helper()
+	var opts []PostOption
+	if live {
+		opts = append(opts, WithLive())
+	}
+	cur, err := sys.PostWith(sql, algo, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]StepResult, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		res, err := cur.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// TestFederatedDemoEquivalence is the federation layer's identical-answer
+// pin on the paper's demo deployment: the conference site split into 2 and
+// 3 shards must answer every epoch byte-identically to the flat run, for
+// MINT and TAG, on both the deterministic and the live substrate — and
+// every federated epoch must also match the exact oracle over the union
+// of the shards' readings.
+func TestFederatedDemoEquivalence(t *testing.T) {
+	const sql = "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid"
+	const epochs = 10
+	for _, algo := range []Algorithm{AlgoMINT, AlgoTAG} {
+		flatSys, err := Open(DemoScenario())
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat := runCursor(t, flatSys, sql, algo, false, epochs)
+		for _, shards := range []int{2, 3} {
+			for _, live := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/shards=%d/live=%v", algo, shards, live), func(t *testing.T) {
+					sys, err := Open(shardedDemo(t, shards))
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer sys.Close()
+					if sys.Shards() != shards {
+						t.Fatalf("system has %d shards, want %d", sys.Shards(), shards)
+					}
+					got := runCursor(t, sys, sql, algo, live, epochs)
+					for e := range got {
+						if !model.EqualAnswers(got[e].Answers, flat[e].Answers) {
+							t.Fatalf("epoch %d: federated %v, flat %v", e, got[e].Answers, flat[e].Answers)
+						}
+						if !got[e].Correct {
+							t.Fatalf("epoch %d: federated answers %v diverged from oracle %v",
+								e, got[e].Answers, got[e].Exact)
+						}
+					}
+					f := sys.FederationStats()
+					if f.Rounds != epochs || f.Phase1Msgs == 0 || f.TxBytes == 0 {
+						t.Fatalf("coordinator tier unaccounted: %+v", f)
+					}
+					// Every radio message belongs to exactly one shard: the
+					// per-shard counters must sum to the captured total.
+					sum := 0
+					for _, net := range sys.Networks() {
+						sum += net.Snap().Messages
+					}
+					if total := sys.CaptureStats("check", epochs); total.Messages != sum {
+						t.Fatalf("per-shard messages sum %d, capture total %d", sum, total.Messages)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFederatedMultiQueryLive: several live cursors on one sharded
+// deployment share the per-shard epoch sweeps and all answer exactly.
+func TestFederatedMultiQueryLive(t *testing.T) {
+	sys, err := Open(shardedDemo(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	queries := []struct {
+		sql  string
+		algo Algorithm
+	}{
+		{"SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", AlgoMINT},
+		{"SELECT TOP 3 roomid, MAX(sound) FROM sensors GROUP BY roomid", AlgoTAG},
+	}
+	cursors := make([]*Cursor, len(queries))
+	for i, q := range queries {
+		cur, err := sys.PostWith(q.sql, q.algo, WithLive())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cursors[i] = cur
+	}
+	for e := 0; e < 6; e++ {
+		for i, cur := range cursors {
+			res, err := cur.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Epoch != Epoch(e) {
+				t.Fatalf("query %d: epoch %d at step %d (lock-step broken)", i, res.Epoch, e)
+			}
+			if !res.Correct {
+				t.Fatalf("query %d epoch %d: %v vs exact %v", i, e, res.Answers, res.Exact)
+			}
+		}
+	}
+}
+
+// TestFederatedHistoricRouting: WITH HISTORY queries rank time instants,
+// which span every shard — they must be rejected on a federated
+// deployment with a clear error, while GROUP BY ... WITH HISTORY (the
+// horizontally fragmented case, which rides the snapshot pipeline) keeps
+// working and answering exactly.
+func TestFederatedHistoricRouting(t *testing.T) {
+	sys, err := Open(shardedDemo(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.Post("SELECT TOP 3 epoch, AVG(sound) FROM sensors WITH HISTORY 16"); err == nil {
+		t.Fatal("historic TOP-K accepted on a federated deployment")
+	} else if !strings.Contains(err.Error(), "not federated") {
+		t.Fatalf("historic rejection unclear: %v", err)
+	}
+	cur, err := sys.Post("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		res, err := cur.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("epoch %d: %v vs %v", res.Epoch, res.Answers, res.Exact)
+		}
+	}
+}
+
+// TestFederatedFaultEquivalence: a sharded deployment under an armed fault
+// environment (loss + churn, per-shard derived seeds) must degrade
+// identically on the deterministic and the live substrate — answers and
+// traffic — and churn must strike the shard that owns the node.
+func TestFederatedFaultEquivalence(t *testing.T) {
+	const epochs = 12
+	cfg := FaultConfig{
+		Seed: 11,
+		Loss: 0.05,
+		Churn: []ChurnEvent{
+			{Node: 3, Epoch: 4, Down: true},
+		},
+	}
+	run := func(live bool) ([]StepResult, RunStats) {
+		scen := shardedDemo(t, 2)
+		scen.Faults = &cfg
+		sys, err := Open(scen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		var opts []PostOption
+		if live {
+			opts = append(opts, WithLive())
+		}
+		cur, err := sys.Post("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]StepResult, 0, epochs)
+		for i := 0; i < epochs; i++ {
+			res, err := cur.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		// Only the shard that owns node 3 knows it; churn must have
+		// struck there (other shards report unknown nodes as alive).
+		owned := false
+		for _, net := range sys.Networks() {
+			if _, ok := net.Topology().Positions[3]; !ok {
+				continue
+			}
+			owned = true
+			if net.Alive(3) {
+				t.Errorf("live=%v: node 3 should be churned down in its shard", live)
+			}
+		}
+		if !owned {
+			t.Errorf("live=%v: no shard owns node 3", live)
+		}
+		return out, sys.CaptureStats("run", epochs)
+	}
+	det, detStats := run(false)
+	liv, livStats := run(true)
+	for e := range det {
+		if !model.EqualAnswers(det[e].Answers, liv[e].Answers) {
+			t.Fatalf("epoch %d: det %v, live %v", e, det[e].Answers, liv[e].Answers)
+		}
+	}
+	if detStats.Messages != livStats.Messages || detStats.TxBytes != livStats.TxBytes {
+		t.Errorf("traffic diverged: det %d msgs/%d bytes, live %d msgs/%d bytes",
+			detStats.Messages, detStats.TxBytes, livStats.Messages, livStats.TxBytes)
+	}
+}
+
+// TestFederatedSystemPanel: the federated panel leads with per-shard
+// traffic rows and the coordinator tier's backhaul line.
+func TestFederatedSystemPanel(t *testing.T) {
+	sys, err := Open(shardedDemo(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	runCursor(t, sys, "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", AlgoMINT, false, 4)
+	panel := sys.SystemPanel(nil)
+	for _, want := range []string{"per-shard traffic", "shard-0", "shard-1", "total", "coordinator tier"} {
+		if !strings.Contains(panel, want) {
+			t.Errorf("panel missing %q:\n%s", want, panel)
+		}
+	}
+}

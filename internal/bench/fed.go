@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"testing"
+
+	"kspot/internal/config"
+	"kspot/internal/engine"
+	"kspot/internal/model"
+	"kspot/internal/sim"
+	"kspot/internal/topk"
+	"kspot/internal/topk/fed"
+	"kspot/internal/topk/mint"
+)
+
+// FederatedScaleSize and FederatedShardCount fix the federated measurement
+// deployment: the scale-1000 field split into 4 shard networks — the
+// sharded-vs-flat conformance configuration, so the benchmark measures
+// exactly the deployment the correctness suite pins.
+const (
+	FederatedScaleSize  = 1000
+	FederatedShardCount = 4
+)
+
+// RunFederatedMintEpochBench is the shared measurement body of the
+// federated operator benchmark: MINT attached per shard on the sharded
+// scale deployment, one coordinator-tier merge per epoch. The creation
+// epoch is warm-up; b.N steady-state federated epochs are measured.
+// Returns per-epoch radio tx bytes and messages (summed over the shards)
+// plus per-epoch coordinator backhaul bytes.
+func RunFederatedMintEpochBench(b *testing.B) (txBytesPerEpoch, msgsPerEpoch, coordBytesPerEpoch float64) {
+	scen, err := config.ScaleScenarioShards(FederatedScaleSize, FederatedShardCount)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := scen.ShardScenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := scen.Source() // the flat source, shared by every shard
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := topk.SnapshotQuery{K: 3, Agg: model.AggAvg, Range: soundRange()}
+	nets := make([]*sim.Network, 0, len(subs))
+	deps := make([]*engine.Deployment, 0, len(subs))
+	ops := make([]engine.EpochRunner, 0, len(subs))
+	for i, sub := range subs {
+		net, err := sub.Network()
+		if err != nil {
+			b.Fatal(err)
+		}
+		op := mint.New()
+		if err := op.Attach(net, q); err != nil {
+			b.Fatal(err)
+		}
+		nets = append(nets, net)
+		deps = append(deps, engine.NewDeployment(scen.ShardName(i), net, src))
+		ops = append(ops, op)
+	}
+	var stats fed.Stats
+	merger, err := fed.New(q, fed.Config{}, &stats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord := engine.NewCoordinator(deps...)
+
+	if out := coord.Epoch(0, ops, nil, merger.Merge); out.Err != nil {
+		b.Fatal(out.Err)
+	}
+	for _, net := range nets {
+		net.Reset()
+	}
+	warmCoord := stats.Snapshot().TxBytes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := coord.Epoch(model.Epoch(i+1), ops, nil, merger.Merge)
+		if out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		var tx, msgs int
+		for _, net := range nets {
+			tx += net.Counter.TotalTxBytes()
+			msgs += net.Counter.TotalMessages()
+		}
+		txBytesPerEpoch = float64(tx) / float64(b.N)
+		msgsPerEpoch = float64(msgs) / float64(b.N)
+		coordBytesPerEpoch = float64(stats.Snapshot().TxBytes-warmCoord) / float64(b.N)
+	}
+	return txBytesPerEpoch, msgsPerEpoch, coordBytesPerEpoch
+}

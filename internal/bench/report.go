@@ -33,6 +33,9 @@ type MicroResult struct {
 	// costs the network, independent of host speed.
 	TxBytesPerEpoch float64 `json:"tx_bytes_per_epoch,omitempty"`
 	MsgsPerEpoch    float64 `json:"msgs_per_epoch,omitempty"`
+	// CoordBytesPerEpoch is the coordinator tier's backhaul, for the
+	// federated epoch benchmark.
+	CoordBytesPerEpoch float64 `json:"coord_bytes_per_epoch,omitempty"`
 }
 
 // ExperimentTiming is one harness experiment's single-run measurement.
@@ -81,6 +84,7 @@ func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
 		}},
 		{"view-codec", func() (MicroResult, error) { return microViewCodec() }},
 		{"view-merge", func() (MicroResult, error) { return microViewMerge() }},
+		{"fed-mint-epoch", func() (MicroResult, error) { return microFederatedEpoch() }},
 	}
 	for _, m := range micros {
 		fmt.Fprintf(w, "bench %-12s ... ", m.name)
@@ -242,6 +246,19 @@ func microViewCodec() (MicroResult, error) {
 // microViewMerge measures the view merge path.
 func microViewMerge() (MicroResult, error) {
 	return micro(testing.Benchmark(RunViewMergeBench), 0, 0)
+}
+
+// microFederatedEpoch measures one steady-state federated MINT epoch on
+// the sharded scale deployment (scale-1000 in 4 shards), coordinator
+// merge included.
+func microFederatedEpoch() (MicroResult, error) {
+	var txBytes, msgs, coordBytes float64
+	r := testing.Benchmark(func(b *testing.B) {
+		txBytes, msgs, coordBytes = RunFederatedMintEpochBench(b)
+	})
+	res, err := micro(r, txBytes, msgs)
+	res.CoordBytesPerEpoch = coordBytes
+	return res, err
 }
 
 // timeExperiment runs one experiment once at the configured scale and

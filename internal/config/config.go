@@ -48,6 +48,24 @@ type Workload struct {
 	Fixture map[string][]float64 `json:"fixture,omitempty"`
 }
 
+// Shard assigns a subset of the scenario's clusters to one federated
+// shard network. A sharded deployment runs each shard as its own radio
+// network — own base station, own routing tree, own link layer — and
+// merges shard-local TOP-K views at a coordinator tier (see
+// internal/topk/fed). Clusters are physical regions, so every cluster
+// lives wholly inside one shard; the shards block must partition the
+// cluster list exactly.
+type Shard struct {
+	// Name labels the shard in panels and stats (default "shard-<i>").
+	Name string `json:"name,omitempty"`
+	// Clusters lists the cluster ids deployed in this shard.
+	Clusters []uint16 `json:"clusters"`
+	// FaultSeed, when non-zero, pins this shard's fault-environment seed.
+	// By default shard i derives its seed from the deployment seed (see
+	// ShardFaultSeed) so shards fade independently under one armed config.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+}
+
 // Scenario is a complete deployment description.
 type Scenario struct {
 	Name     string    `json:"name"`
@@ -72,56 +90,109 @@ type Scenario struct {
 	// replays identically on the simulator and the live substrate. The
 	// scenarios/lossy-*.json family exercises it; kspot.Open arms it.
 	Faults *faults.Config `json:"faults,omitempty"`
+	// Shards, when present, declares a federated deployment: the cluster
+	// list is partitioned into shard networks that run the per-shard
+	// operator independently and merge answers at a coordinator tier.
+	// ShardScenarios materializes the per-shard sub-deployments.
+	Shards []Shard `json:"shards,omitempty"`
 }
 
-// Validate checks structural consistency.
+// Validate checks structural consistency. Errors name the offending field
+// path (e.g. "shards[1].clusters[0]: unknown cluster 9") so a hand-edited
+// Configuration Panel file points at its own mistake.
 func (s *Scenario) Validate() error {
 	if s.Name == "" {
-		return fmt.Errorf("config: scenario needs a name")
+		return fmt.Errorf("config: name: missing (scenario needs a name)")
 	}
 	if s.Radius <= 0 {
-		return fmt.Errorf("config: radio radius must be positive, got %v", s.Radius)
+		return fmt.Errorf("config: radio_radius: must be positive, got %v", s.Radius)
 	}
 	if len(s.Nodes) == 0 {
-		return fmt.Errorf("config: scenario has no nodes")
+		return fmt.Errorf("config: nodes: empty (scenario has no nodes)")
 	}
 	clusters := make(map[uint16]bool, len(s.Clusters))
-	for _, c := range s.Clusters {
+	for i, c := range s.Clusters {
 		if clusters[c.ID] {
-			return fmt.Errorf("config: duplicate cluster id %d", c.ID)
+			return fmt.Errorf("config: clusters[%d].id: duplicate cluster id %d", i, c.ID)
 		}
 		clusters[c.ID] = true
 	}
 	seen := make(map[uint16]bool, len(s.Nodes))
-	for _, n := range s.Nodes {
+	for i, n := range s.Nodes {
 		if n.ID == 0 {
-			return fmt.Errorf("config: node id 0 is reserved for the sink")
+			return fmt.Errorf("config: nodes[%d].id: 0 is reserved for the sink", i)
 		}
 		if seen[n.ID] {
-			return fmt.Errorf("config: duplicate node id %d", n.ID)
+			return fmt.Errorf("config: nodes[%d].id: duplicate node id %d", i, n.ID)
 		}
 		seen[n.ID] = true
 		if len(s.Clusters) > 0 && !clusters[n.Cluster] {
-			return fmt.Errorf("config: node %d references unknown cluster %d", n.ID, n.Cluster)
+			return fmt.Errorf("config: nodes[%d].cluster: unknown cluster %d", i, n.Cluster)
 		}
 	}
 	if s.Loss < 0 || s.Loss >= 1 {
-		return fmt.Errorf("config: loss rate %v outside [0,1)", s.Loss)
+		return fmt.Errorf("config: loss_rate: %v outside [0,1)", s.Loss)
 	}
 	if s.Faults != nil {
 		if err := s.Faults.Validate(); err != nil {
-			return fmt.Errorf("config: %w", err)
+			return fmt.Errorf("config: faults: %w", err)
 		}
-		for _, ev := range s.Faults.Churn {
+		for i, ev := range s.Faults.Churn {
 			if !seen[uint16(ev.Node)] {
-				return fmt.Errorf("config: churn event references unknown node %d", ev.Node)
+				return fmt.Errorf("config: faults.churn[%d].node: unknown node %d", i, ev.Node)
 			}
 		}
 		if s.Faults.Enabled() && s.Loss > 0 {
 			// The legacy rng stream's draws depend on transmission order
 			// and would break the faults block's substrate-equivalence
 			// guarantee (or be silently shadowed by a frame fault model).
-			return fmt.Errorf("config: loss_rate and a faults block cannot be combined; use the faults block's loss instead")
+			return fmt.Errorf("config: loss_rate: cannot be combined with a faults block; use the faults block's loss instead")
+		}
+	}
+	return s.validateShards(clusters)
+}
+
+// validateShards checks the federation block: the shards must partition
+// the cluster list exactly (every cluster in exactly one shard), every
+// shard must deploy at least one node, and a pinned routing tree cannot be
+// split (its edges may cross shard boundaries).
+func (s *Scenario) validateShards(clusters map[uint16]bool) error {
+	if len(s.Shards) == 0 {
+		return nil
+	}
+	if len(s.Clusters) == 0 {
+		return fmt.Errorf("config: shards: sharding needs a clusters list to partition")
+	}
+	if len(s.Parents) > 0 {
+		return fmt.Errorf("config: shards: cannot be combined with a pinned parents tree")
+	}
+	nodesPerCluster := make(map[uint16]int, len(s.Clusters))
+	for _, n := range s.Nodes {
+		nodesPerCluster[n.Cluster]++
+	}
+	owner := make(map[uint16]int, len(clusters))
+	for i, sh := range s.Shards {
+		if len(sh.Clusters) == 0 {
+			return fmt.Errorf("config: shards[%d].clusters: empty", i)
+		}
+		nodes := 0
+		for j, c := range sh.Clusters {
+			if !clusters[c] {
+				return fmt.Errorf("config: shards[%d].clusters[%d]: unknown cluster %d", i, j, c)
+			}
+			if prev, taken := owner[c]; taken {
+				return fmt.Errorf("config: shards[%d].clusters[%d]: cluster %d already assigned to shards[%d]", i, j, c, prev)
+			}
+			owner[c] = i
+			nodes += nodesPerCluster[c]
+		}
+		if nodes == 0 {
+			return fmt.Errorf("config: shards[%d].clusters: no nodes in clusters %v", i, sh.Clusters)
+		}
+	}
+	for _, c := range s.Clusters {
+		if _, ok := owner[c.ID]; !ok {
+			return fmt.Errorf("config: shards: cluster %d not assigned to any shard (shards must partition the cluster list)", c.ID)
 		}
 	}
 	return nil
@@ -364,6 +435,169 @@ func ScaleScenario(n int) (*Scenario, error) {
 	// tree does not connect rather than shipping a dead file.
 	if _, err := s.Network(); err != nil {
 		return nil, fmt.Errorf("config: scale scenario %d does not deploy: %w", n, err)
+	}
+	return s, nil
+}
+
+// Sharded reports whether the scenario declares a federated deployment.
+func (s *Scenario) Sharded() bool { return len(s.Shards) > 1 }
+
+// ShardName returns shard i's display name ("shard-<i>" when unnamed).
+func (s *Scenario) ShardName(i int) string {
+	if i < len(s.Shards) && s.Shards[i].Name != "" {
+		return s.Shards[i].Name
+	}
+	return fmt.Sprintf("shard-%d", i)
+}
+
+// shardSeedStride decorrelates per-shard fault seeds derived from one
+// deployment-wide seed (shard 0 keeps the base seed, so an unsharded
+// deployment and shard 0 of a sharded one replay identical fault patterns).
+const shardSeedStride = 0x9E3779B9
+
+// ShardFaultSeed derives shard i's fault-environment seed: the shard's
+// pinned fault_seed when declared, otherwise base + i*stride so the shards
+// fade independently under one armed config.
+func (s *Scenario) ShardFaultSeed(base int64, i int) int64 {
+	if i < len(s.Shards) && s.Shards[i].FaultSeed != 0 {
+		return s.Shards[i].FaultSeed
+	}
+	return base + int64(i)*shardSeedStride
+}
+
+// ShardFaults specializes a deployment-wide fault environment for shard i:
+// the seed is derived per shard (ShardFaultSeed) and churn events are
+// filtered to the shard's own nodes. Frame-fault probabilities apply to
+// every shard unchanged — loss is physics, the same weather over every
+// network.
+func (s *Scenario) ShardFaults(base faults.Config, i int) faults.Config {
+	out := base
+	out.Seed = s.ShardFaultSeed(base.Seed, i)
+	if len(base.Churn) > 0 && i < len(s.Shards) {
+		members := make(map[model.NodeID]bool)
+		in := make(map[uint16]bool, len(s.Shards[i].Clusters))
+		for _, c := range s.Shards[i].Clusters {
+			in[c] = true
+		}
+		for _, n := range s.Nodes {
+			if in[n.Cluster] {
+				members[model.NodeID(n.ID)] = true
+			}
+		}
+		out.Churn = nil
+		for _, ev := range base.Churn {
+			if members[ev.Node] {
+				out.Churn = append(out.Churn, ev)
+			}
+		}
+	}
+	return out
+}
+
+// ShardScenarios splits a sharded scenario into its per-shard
+// sub-deployments — each shard becomes a complete Scenario with its own
+// base station (placed at the centroid of the shard's nodes, rounded to
+// centimeters), its subset of nodes and clusters, and the parent's radio
+// parameters. Node and cluster ids are preserved globally unique, so one
+// trace source built from the flat scenario samples identical readings on
+// the flat and the sharded deployment — the root of the federation layer's
+// identical-answer guarantee. The per-shard Faults environment is NOT
+// baked in here; kspot.System derives it at arm time via ShardFaults.
+//
+// An unsharded scenario returns itself as the single deployment.
+func (s *Scenario) ShardScenarios() ([]*Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Shards) == 0 {
+		return []*Scenario{s}, nil
+	}
+	out := make([]*Scenario, 0, len(s.Shards))
+	for i, sh := range s.Shards {
+		in := make(map[uint16]bool, len(sh.Clusters))
+		for _, c := range sh.Clusters {
+			in[c] = true
+		}
+		sub := &Scenario{
+			Name:     fmt.Sprintf("%s/%s", s.Name, s.ShardName(i)),
+			Radius:   s.Radius,
+			Loss:     s.Loss,
+			Payload:  s.Payload,
+			Budget:   s.Budget,
+			Workload: s.Workload,
+		}
+		var cx, cy float64
+		for _, n := range s.Nodes {
+			if !in[n.Cluster] {
+				continue
+			}
+			sub.Nodes = append(sub.Nodes, n)
+			cx += n.X
+			cy += n.Y
+		}
+		for _, c := range s.Clusters {
+			if in[c.ID] {
+				sub.Clusters = append(sub.Clusters, c)
+			}
+		}
+		// Validate guarantees at least one node per shard; the shard's
+		// base station sits at its field's centroid (each shard is its own
+		// radio network with its own gateway).
+		n := float64(len(sub.Nodes))
+		sub.SinkX = math.Round(cx/n*100) / 100
+		sub.SinkY = math.Round(cy/n*100) / 100
+		out = append(out, sub)
+	}
+	return out, nil
+}
+
+// AutoShard overwrites the scenario's shards block, partitioning the
+// cluster list (in id order) into n contiguous blocks of near-equal size.
+// Cluster ids are assigned in spatial order by every generator in this
+// repo (rooms on a grid, contiguous regroupings), so contiguous id blocks
+// stay radio-connected. n ≤ 1 clears the block (a flat deployment).
+func (s *Scenario) AutoShard(n int) error {
+	if n <= 1 {
+		s.Shards = nil
+		return nil
+	}
+	if n > len(s.Clusters) {
+		return fmt.Errorf("config: cannot split %d clusters into %d shards", len(s.Clusters), n)
+	}
+	ids := make([]uint16, 0, len(s.Clusters))
+	for _, c := range s.Clusters {
+		ids = append(ids, c.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	s.Shards = make([]Shard, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(ids)/n, (i+1)*len(ids)/n
+		s.Shards = append(s.Shards, Shard{Clusters: append([]uint16(nil), ids[lo:hi]...)})
+	}
+	return s.Validate()
+}
+
+// ScaleScenarioShards generates the scale-<n> deployment pre-split into
+// the given number of shards, verifying every shard actually deploys (its
+// subfield is radio-connected around its own base station). Sharded scale
+// scenarios are generated, never committed: `kspot-sim -gen-scale <n>
+// -shards <k>` reproduces the file byte-for-byte when one is needed.
+func ScaleScenarioShards(n, shards int) (*Scenario, error) {
+	s, err := ScaleScenario(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AutoShard(shards); err != nil {
+		return nil, err
+	}
+	subs, err := s.ShardScenarios()
+	if err != nil {
+		return nil, err
+	}
+	for i, sub := range subs {
+		if _, err := sub.Network(); err != nil {
+			return nil, fmt.Errorf("config: scale scenario %d shard %d does not deploy: %w", n, i, err)
+		}
 	}
 	return s, nil
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"kspot/internal/faults"
 	"kspot/internal/model"
 	"kspot/internal/trace"
 )
@@ -21,26 +22,202 @@ func validScenario() *Scenario {
 	}
 }
 
+// TestValidate pins both that malformed scenarios are rejected and that
+// the error names the offending field path — a hand-edited Configuration
+// Panel file must point at its own mistake, not emit a bare message.
 func TestValidate(t *testing.T) {
 	if err := validScenario().Validate(); err != nil {
 		t.Fatalf("valid scenario rejected: %v", err)
 	}
-	mutations := []func(*Scenario){
-		func(s *Scenario) { s.Name = "" },
-		func(s *Scenario) { s.Radius = 0 },
-		func(s *Scenario) { s.Nodes = nil },
-		func(s *Scenario) { s.Nodes[0].ID = 0 },
-		func(s *Scenario) { s.Nodes[1].ID = s.Nodes[0].ID },
-		func(s *Scenario) { s.Nodes[0].Cluster = 9 },
-		func(s *Scenario) { s.Clusters = append(s.Clusters, Cluster{ID: 1, Name: "dup"}) },
-		func(s *Scenario) { s.Loss = 1.5 },
+	mutations := []struct {
+		name string
+		mut  func(*Scenario)
+		want string // substring the error must contain (the field path)
+	}{
+		{"missing name", func(s *Scenario) { s.Name = "" }, "config: name: missing"},
+		{"bad radius", func(s *Scenario) { s.Radius = 0 }, "config: radio_radius: must be positive"},
+		{"no nodes", func(s *Scenario) { s.Nodes = nil }, "config: nodes: empty"},
+		{"sink id", func(s *Scenario) { s.Nodes[0].ID = 0 }, "config: nodes[0].id: 0 is reserved"},
+		{"dup node", func(s *Scenario) { s.Nodes[1].ID = s.Nodes[0].ID }, "config: nodes[1].id: duplicate node id 1"},
+		{"unknown cluster", func(s *Scenario) { s.Nodes[1].Cluster = 9 }, "config: nodes[1].cluster: unknown cluster 9"},
+		{"dup cluster", func(s *Scenario) { s.Clusters = append(s.Clusters, Cluster{ID: 1, Name: "dup"}) },
+			"config: clusters[1].id: duplicate cluster id 1"},
+		{"loss range", func(s *Scenario) { s.Loss = 1.5 }, "config: loss_rate: 1.5 outside [0,1)"},
+		{"churn unknown node", func(s *Scenario) {
+			s.Faults = &faults.Config{Churn: []faults.ChurnEvent{{Node: 77, Epoch: 1, Down: true}}}
+		}, "config: faults.churn[0].node: unknown node 77"},
+		{"faults inner", func(s *Scenario) { s.Faults = &faults.Config{Loss: 2} }, "config: faults: "},
+		{"loss_rate with faults", func(s *Scenario) {
+			s.Loss = 0.1
+			s.Faults = &faults.Config{Loss: 0.1}
+		}, "config: loss_rate: cannot be combined"},
+		{"shards without clusters", func(s *Scenario) {
+			s.Clusters = nil
+			s.Shards = []Shard{{Clusters: []uint16{1}}}
+		}, "config: shards: sharding needs a clusters list"},
+		{"shards with parents", func(s *Scenario) {
+			s.Parents = map[string]uint16{"1": 0}
+			s.Shards = []Shard{{Clusters: []uint16{1}}}
+		}, "config: shards: cannot be combined with a pinned parents tree"},
+		{"empty shard", func(s *Scenario) {
+			s.Shards = []Shard{{Clusters: []uint16{1}}, {}}
+		}, "config: shards[1].clusters: empty"},
+		{"shard unknown cluster", func(s *Scenario) {
+			s.Shards = []Shard{{Clusters: []uint16{1}}, {Clusters: []uint16{9}}}
+		}, "config: shards[1].clusters[0]: unknown cluster 9"},
+		{"shard double assignment", func(s *Scenario) {
+			s.Shards = []Shard{{Clusters: []uint16{1}}, {Clusters: []uint16{1}}}
+		}, "config: shards[1].clusters[0]: cluster 1 already assigned to shards[0]"},
+		{"shard without nodes", func(s *Scenario) {
+			s.Clusters = append(s.Clusters, Cluster{ID: 2, Name: "Empty"})
+			s.Shards = []Shard{{Clusters: []uint16{1}}, {Clusters: []uint16{2}}}
+		}, "config: shards[1].clusters: no nodes in clusters [2]"},
+		{"unassigned cluster", func(s *Scenario) {
+			s.Clusters = append(s.Clusters, Cluster{ID: 2, Name: "Annex"})
+			s.Nodes[1].Cluster = 2
+			s.Shards = []Shard{{Clusters: []uint16{1}}}
+		}, "config: shards: cluster 2 not assigned to any shard"},
 	}
-	for i, mut := range mutations {
+	for _, m := range mutations {
 		s := validScenario()
-		mut(s)
-		if err := s.Validate(); err == nil {
-			t.Errorf("mutation %d accepted", i)
+		m.mut(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", m.name)
+			continue
 		}
+		if !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not carry field path %q", m.name, err, m.want)
+		}
+	}
+}
+
+// shardedScenario is a 2-shard, 4-node, 2-cluster deployment.
+func shardedScenario() *Scenario {
+	return &Scenario{
+		Name:   "fed-test",
+		Radius: 10,
+		Nodes: []Node{
+			{ID: 1, X: 1, Y: 0, Cluster: 1},
+			{ID: 2, X: 3, Y: 0, Cluster: 1},
+			{ID: 3, X: 20, Y: 0, Cluster: 2},
+			{ID: 4, X: 24, Y: 0, Cluster: 2},
+		},
+		Clusters: []Cluster{{ID: 1, Name: "West"}, {ID: 2, Name: "East"}},
+		Shards:   []Shard{{Name: "west", Clusters: []uint16{1}}, {Clusters: []uint16{2}, FaultSeed: 99}},
+	}
+}
+
+func TestShardScenarios(t *testing.T) {
+	s := shardedScenario()
+	subs, err := s.ShardScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("shards = %d, want 2", len(subs))
+	}
+	if subs[0].Name != "fed-test/west" || subs[1].Name != "fed-test/shard-1" {
+		t.Errorf("shard names = %q, %q", subs[0].Name, subs[1].Name)
+	}
+	// Node ids are preserved globally unique, so one flat trace source
+	// samples identical readings on the sharded deployment.
+	if subs[0].Nodes[0].ID != 1 || subs[0].Nodes[1].ID != 2 || subs[1].Nodes[0].ID != 3 {
+		t.Errorf("shard nodes renumbered: %+v / %+v", subs[0].Nodes, subs[1].Nodes)
+	}
+	// The shard's base station sits at its field's centroid.
+	if subs[0].SinkX != 2 || subs[0].SinkY != 0 || subs[1].SinkX != 22 {
+		t.Errorf("shard sinks at (%v,%v) and (%v,%v)", subs[0].SinkX, subs[0].SinkY, subs[1].SinkX, subs[1].SinkY)
+	}
+	for i, sub := range subs {
+		if _, err := sub.Network(); err != nil {
+			t.Errorf("shard %d does not deploy: %v", i, err)
+		}
+	}
+	// Unsharded scenarios pass through as the single deployment.
+	flat := validScenario()
+	subs, err = flat.ShardScenarios()
+	if err != nil || len(subs) != 1 || subs[0] != flat {
+		t.Fatalf("flat ShardScenarios = %v, %v", subs, err)
+	}
+}
+
+func TestShardFaults(t *testing.T) {
+	s := shardedScenario()
+	base := faults.Config{
+		Seed: 7,
+		Loss: 0.1,
+		Churn: []faults.ChurnEvent{
+			{Node: 1, Epoch: 2, Down: true},
+			{Node: 4, Epoch: 3, Down: true},
+		},
+	}
+	f0 := s.ShardFaults(base, 0)
+	f1 := s.ShardFaults(base, 1)
+	// Shard 0 keeps the deployment seed (an unsharded system replays the
+	// same fault pattern); shard 1 pinned fault_seed 99.
+	if f0.Seed != 7 {
+		t.Errorf("shard 0 seed = %d, want base 7", f0.Seed)
+	}
+	if f1.Seed != 99 {
+		t.Errorf("shard 1 seed = %d, want pinned 99", f1.Seed)
+	}
+	if f0.Loss != 0.1 || f1.Loss != 0.1 {
+		t.Errorf("frame faults must apply to every shard: %v / %v", f0.Loss, f1.Loss)
+	}
+	// Churn is filtered to the shard's own nodes.
+	if len(f0.Churn) != 1 || f0.Churn[0].Node != 1 {
+		t.Errorf("shard 0 churn = %+v", f0.Churn)
+	}
+	if len(f1.Churn) != 1 || f1.Churn[0].Node != 4 {
+		t.Errorf("shard 1 churn = %+v", f1.Churn)
+	}
+	// An unpinned non-zero shard derives a distinct seed.
+	s.Shards[1].FaultSeed = 0
+	if got := s.ShardFaults(base, 1).Seed; got == 7 {
+		t.Error("shard 1 derived seed collides with the base seed")
+	}
+}
+
+func TestAutoShard(t *testing.T) {
+	s := Figure3Scenario() // 6 clusters
+	if err := s.AutoShard(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Shards) != 2 || len(s.Shards[0].Clusters) != 3 || len(s.Shards[1].Clusters) != 3 {
+		t.Fatalf("auto-shard split = %+v", s.Shards)
+	}
+	if err := s.AutoShard(7); err == nil {
+		t.Error("splitting 6 clusters into 7 shards accepted")
+	}
+	if err := s.AutoShard(1); err != nil || s.Shards != nil {
+		t.Errorf("AutoShard(1) should clear the block: %v %+v", err, s.Shards)
+	}
+}
+
+func TestScaleScenarioShards(t *testing.T) {
+	s, err := ScaleScenarioShards(400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Sharded() || len(s.Shards) != 4 {
+		t.Fatalf("shards = %+v", s.Shards)
+	}
+	subs, err := s.ShardScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sub := range subs {
+		total += len(sub.Nodes)
+	}
+	if total != 400 {
+		t.Fatalf("shard node counts sum to %d, want 400", total)
+	}
+	// A split whose shard subfield is not radio-connected around its own
+	// base station is rejected at generation time, not at deploy time.
+	if _, err := ScaleScenarioShards(200, 4); err == nil {
+		t.Error("disconnected 200/4 split accepted")
 	}
 }
 

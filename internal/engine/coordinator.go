@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"kspot/internal/model"
+	"kspot/internal/trace"
+)
+
+// MergeFunc combines per-shard answer rankings into the global answer —
+// the coordinator tier's merge step. shardAnswers[i] is shard i's local
+// ranking for the epoch; internal/topk/fed provides the TPUT-style
+// threshold implementation. A nil MergeFunc is legal only on single-shard
+// deployments (the answers pass through).
+type MergeFunc func(shardAnswers [][]model.Answer) ([]model.Answer, error)
+
+// Coordinator drives a set of shard Deployments through lock-step epochs
+// and merges their answers: the federation tier of a sharded KSpot system,
+// standing in for the wired backhaul above the shard base stations. A
+// single-deployment Coordinator degenerates to the flat epoch loop.
+//
+// The Coordinator itself is stateless apart from its deployment list; all
+// methods are safe for concurrent use when every shard substrate is (the
+// live substrate). The deterministic simulator is single-threaded per
+// shard, but distinct shards are distinct state machines and may advance
+// concurrently.
+type Coordinator struct {
+	deps []*Deployment
+}
+
+// NewCoordinator builds a coordinator over the shard deployments.
+func NewCoordinator(deps ...*Deployment) *Coordinator {
+	if len(deps) == 0 {
+		panic("engine: coordinator needs at least one deployment")
+	}
+	return &Coordinator{deps: deps}
+}
+
+// Deployments returns the shard deployments, in shard order.
+func (c *Coordinator) Deployments() []*Deployment { return c.deps }
+
+// Shards returns the number of shard deployments.
+func (c *Coordinator) Shards() int { return len(c.deps) }
+
+// SenseEpoch idle-charges and senses every shard exactly once for the
+// epoch, returning per-shard readings (index-aligned with Deployments).
+// The maps are shared read-only state, like Transport sensing itself.
+func (c *Coordinator) SenseEpoch(e model.Epoch) []map[model.NodeID]model.Reading {
+	out := make([]map[model.NodeID]model.Reading, len(c.deps))
+	for i, d := range c.deps {
+		d.tp.ChargeIdleEpoch()
+		out[i] = SenseEpoch(d.tp, d.src, e)
+	}
+	return out
+}
+
+// RunQuery runs one query's per-shard runners over an already-sensed
+// epoch and merges the shard answers. ops must be index-aligned with the
+// deployments. src, when non-nil, overrides the per-node readings for
+// this query only (node-local window aggregation) — re-derived per shard
+// without re-charging the shared sensing. sharedUnion, when non-nil, is
+// the precomputed union of the shared readings, reused for every query
+// without an override source (the scheduler computes it once per epoch;
+// pass nil to have it derived here). parallel runs the shard acquisitions
+// concurrently (the live substrate); the deterministic path keeps shard
+// order for reproducible accounting.
+//
+// A shard whose acquisition fails surfaces its error on the returned
+// Outcome; the remaining shards still complete their epoch, so one broken
+// shard cannot wedge the lock-step of the others.
+func (c *Coordinator) RunQuery(e model.Epoch, ops []EpochRunner, shared []map[model.NodeID]model.Reading, sharedUnion map[model.NodeID]model.Reading, src trace.Source, merge MergeFunc, parallel bool) Outcome {
+	if len(ops) != len(c.deps) {
+		return Outcome{Epoch: e, Err: fmt.Errorf("engine: %d runners for %d shards", len(ops), len(c.deps))}
+	}
+	perShard := make([][]model.Answer, len(c.deps))
+	readings := shared
+	if src != nil {
+		readings = make([]map[model.NodeID]model.Reading, len(c.deps))
+	}
+	errs := make([]error, len(c.deps))
+	run := func(i int) {
+		if src != nil {
+			readings[i] = sampleReadings(c.deps[i].tp, src, e)
+		}
+		perShard[i], errs[i] = ops[i].Epoch(e, readings[i])
+	}
+	if parallel && len(c.deps) > 1 {
+		var wg sync.WaitGroup
+		for i := range c.deps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range c.deps {
+			run(i)
+		}
+	}
+	union := sharedUnion
+	if src != nil || union == nil {
+		union = MergeReadings(readings)
+	}
+	out := Outcome{Epoch: e, Readings: union}
+	for i, err := range errs {
+		if err != nil {
+			out.Err = fmt.Errorf("engine: shard %s: %w", c.deps[i].name, err)
+			return out
+		}
+	}
+	if merge == nil {
+		if len(c.deps) != 1 {
+			out.Err = fmt.Errorf("engine: %d shards need a merge function", len(c.deps))
+			return out
+		}
+		out.Answers = perShard[0]
+		return out
+	}
+	out.Answers, out.Err = merge(perShard)
+	return out
+}
+
+// Epoch senses and runs one full federated epoch for a single posted
+// query — the deterministic cursor's step. An invoked epoch always runs
+// to completion (the deterministic substrate has no goroutines to
+// interrupt mid-sweep); callers observe cancellation *between* epochs,
+// before consuming an epoch number — otherwise a cancelled step would
+// skip its epoch from the stream.
+func (c *Coordinator) Epoch(e model.Epoch, ops []EpochRunner, src trace.Source, merge MergeFunc) Outcome {
+	shared := c.SenseEpoch(e)
+	return c.RunQuery(e, ops, shared, nil, src, merge, false)
+}
+
+// MergeReadings unions per-shard readings into one map for the oracle;
+// the single-shard case passes its map through without copying (the flat
+// hot path stays allocation-lean).
+func MergeReadings(per []map[model.NodeID]model.Reading) map[model.NodeID]model.Reading {
+	if len(per) == 1 {
+		return per[0]
+	}
+	n := 0
+	for _, m := range per {
+		n += len(m)
+	}
+	out := make(map[model.NodeID]model.Reading, n)
+	for _, m := range per {
+		for id, r := range m {
+			out[id] = r
+		}
+	}
+	return out
+}

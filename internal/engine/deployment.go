@@ -1,0 +1,36 @@
+package engine
+
+import "kspot/internal/trace"
+
+// Deployment is the unit the public API and the Scheduler address: one
+// network substrate (deterministic or live, possibly behind fault
+// decorators) paired with the trace source its sensors sample. A flat
+// system is a single Deployment; a federated system is N shard
+// Deployments merged at a Coordinator.
+//
+// Every shard of a federated system shares the trace source built from
+// the *flat* scenario — sampling is a pure function of (node, epoch), and
+// node ids are globally unique across shards, so the sharded field senses
+// exactly the world the flat field senses. That invariant is the root of
+// the federation layer's identical-answer guarantee.
+type Deployment struct {
+	name string
+	tp   Transport
+	src  trace.Source
+}
+
+// NewDeployment binds a transport and its trace source under a display
+// name (the shard name in panels and stats).
+func NewDeployment(name string, tp Transport, src trace.Source) *Deployment {
+	return &Deployment{name: name, tp: tp, src: src}
+}
+
+// Name returns the deployment's display name.
+func (d *Deployment) Name() string { return d.name }
+
+// Transport returns the deployment's substrate (behind its fault
+// decorators, when armed).
+func (d *Deployment) Transport() Transport { return d.tp }
+
+// Source returns the deployment's trace source.
+func (d *Deployment) Source() trace.Source { return d.src }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 
 	"kspot/internal/model"
@@ -18,11 +19,11 @@ type EpochRunner interface {
 type Outcome struct {
 	Epoch   model.Epoch
 	Answers []model.Answer
-	// Readings are the epoch's per-node inputs as this query saw them
-	// (shared across queries unless the query declared its own source).
-	// Treat as read-only.
+	// Readings are the epoch's per-node inputs as this query saw them,
+	// unioned across every shard (shared across queries unless the query
+	// declared its own source). Treat as read-only.
 	Readings map[model.NodeID]model.Reading
-	// Err is the operator's error for this epoch, if any.
+	// Err is the operator's (or merge's) error for this epoch, if any.
 	Err error
 }
 
@@ -30,27 +31,39 @@ type Outcome struct {
 // produced in lock-step for every scheduled query and buffered here until
 // the query's cursor consumes them.
 type ScheduledQuery struct {
-	op      EpochRunner
-	src     trace.Source // nil → the deployment's shared readings
-	pending []Outcome
+	ops   []EpochRunner // one per shard deployment
+	merge MergeFunc     // nil on single-shard deployments
+	src   trace.Source  // nil → the deployment's shared readings
+
+	// stepMu serializes Step/StepContext per query: a cancelled
+	// StepContext's background hand-back holds it until the abandoned
+	// outcome is re-buffered, so no later Step can observe the epoch
+	// stream out of order. Queries never share a stepMu — one slow or
+	// cancelled cursor cannot stall another's.
+	stepMu sync.Mutex
+
+	pending []Outcome // guarded by the scheduler's mu
 	removed bool
 }
 
-// Scheduler drives several queries over one deployment in epoch lock-step:
-// each epoch is sensed once (one idle charge, one sensing sweep) and every
-// scheduled operator runs its acquisition over the same readings — on the
-// live substrate all acquisitions proceed concurrently, interleaving their
-// view sweeps over the shared node goroutines. This is how one KSpot
-// server serves many posted cursors without multiplying the per-epoch
-// acquisition cost.
+// Scheduler drives several queries over one federated deployment — N
+// shard Deployments behind one Coordinator — in epoch lock-step: each
+// epoch every shard is sensed once (one idle charge, one sensing sweep per
+// shard) and every scheduled query runs its per-shard acquisitions over
+// the same readings, merging at the coordinator tier. On the live
+// substrate all acquisitions proceed concurrently, across queries and
+// across shards, interleaving their view sweeps over the shared node
+// goroutines. This is how one KSpot server serves many posted cursors
+// without multiplying the per-epoch acquisition cost.
 //
 // Stepping is demand-driven: the epoch advances when a query with no
 // buffered outcome is stepped, and the outcomes of the other queries are
-// buffered until their cursors catch up. All methods are safe for
-// concurrent use.
+// buffered until their cursors catch up. A query whose shard fails
+// mid-sweep receives the error on its own outcome; the lock-step of the
+// remaining queries is never wedged. All methods are safe for concurrent
+// use.
 type Scheduler struct {
-	t   Transport
-	src trace.Source
+	coord *Coordinator
 
 	mu      sync.Mutex
 	queries []*ScheduledQuery
@@ -58,20 +71,24 @@ type Scheduler struct {
 	closed  bool
 }
 
-// NewScheduler returns a scheduler over the transport with the
-// deployment's ambient trace source.
-func NewScheduler(t Transport, src trace.Source) *Scheduler {
-	return &Scheduler{t: t, src: src}
+// NewScheduler returns a scheduler over the shard deployments.
+func NewScheduler(deps ...*Deployment) *Scheduler {
+	return &Scheduler{coord: NewCoordinator(deps...)}
 }
 
-// Add schedules an attached operator. src, when non-nil, overrides the
-// per-node readings for this query only (e.g. node-local window
-// aggregation); sensing is still charged once, against the shared source.
-// A query joins at the current epoch — earlier outcomes are not replayed.
-func (s *Scheduler) Add(op EpochRunner, src trace.Source) *ScheduledQuery {
+// Coordinator exposes the scheduler's federation tier.
+func (s *Scheduler) Coordinator() *Coordinator { return s.coord }
+
+// Add schedules an attached query: one runner per shard deployment
+// (index-aligned with the coordinator's Deployments) and the coordinator
+// merge (nil for single-shard). src, when non-nil, overrides the per-node
+// readings for this query only (e.g. node-local window aggregation);
+// sensing is still charged once per shard, against the shared source. A
+// query joins at the current epoch — earlier outcomes are not replayed.
+func (s *Scheduler) Add(ops []EpochRunner, merge MergeFunc, src trace.Source) *ScheduledQuery {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sq := &ScheduledQuery{op: op, src: src}
+	sq := &ScheduledQuery{ops: ops, merge: merge, src: src}
 	s.queries = append(s.queries, sq)
 	return sq
 }
@@ -100,24 +117,86 @@ func (s *Scheduler) Epoch() model.Epoch {
 // Step returns the query's next epoch outcome, advancing the shared epoch
 // when nothing is buffered for it.
 func (s *Scheduler) Step(sq *ScheduledQuery) (Outcome, error) {
+	sq.stepMu.Lock()
+	defer sq.stepMu.Unlock()
+	out, _, err := s.step(sq)
+	return out, err
+}
+
+// StepContext is Step with cancellation: when ctx expires while the epoch
+// is in flight, the call returns ctx.Err() immediately and the epoch
+// finishes in the background — its outcome is re-buffered at the front of
+// the query's queue, so the next Step observes the epoch stream without a
+// gap (the per-query stepMu holds later steps out until the hand-back
+// lands). Nothing leaks: the in-flight epoch runs to completion on the
+// scheduler's own goroutine and the substrate's workers are untouched.
+func (s *Scheduler) StepContext(ctx context.Context, sq *ScheduledQuery) (Outcome, error) {
+	// An already-expired context never starts work: stepping with a dead
+	// ctx would run (and charge) a full epoch in the background on every
+	// call, draining node budgets for a caller that consumes nothing.
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	type stepRes struct {
+		out Outcome
+		err error
+	}
+	ch := make(chan stepRes)
+	abandon := make(chan struct{})
+	go func() {
+		sq.stepMu.Lock()
+		defer sq.stepMu.Unlock()
+		out, popped, err := s.step(sq)
+		select {
+		case ch <- stepRes{out, err}:
+		case <-abandon:
+			if popped {
+				s.pushFront(sq, out)
+			}
+		}
+	}()
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-ctx.Done():
+		close(abandon)
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// step pops the query's next outcome, running an epoch if none is
+// buffered. popped reports whether an outcome was actually consumed (so a
+// cancelled StepContext can re-buffer it).
+func (s *Scheduler) step(sq *ScheduledQuery) (Outcome, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return Outcome{}, errClosed
+		return Outcome{}, false, errClosed
 	}
 	if sq.removed {
-		return Outcome{}, errRemoved
+		return Outcome{}, false, errRemoved
 	}
 	if len(sq.pending) == 0 {
 		s.runEpochLocked()
 	}
 	out := sq.pending[0]
 	sq.pending = sq.pending[1:]
-	return out, out.Err
+	return out, true, out.Err
+}
+
+// pushFront re-buffers an outcome a cancelled StepContext abandoned, so
+// the epoch stream stays gapless for the next Step.
+func (s *Scheduler) pushFront(sq *ScheduledQuery, out Outcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sq.removed {
+		return
+	}
+	sq.pending = append([]Outcome{out}, sq.pending...)
 }
 
 // Close rejects further Steps. It blocks until any in-flight epoch has
-// completed, so the transport can be torn down safely afterwards.
+// completed, so the transports can be torn down safely afterwards.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -133,37 +212,37 @@ const (
 	errClosed  = schedulerError("engine: scheduler is closed")
 )
 
-// runEpochLocked executes one shared epoch for every scheduled query.
+// runEpochLocked executes one shared epoch for every scheduled query: one
+// sensing pass per shard, then every query's federated acquisition.
 func (s *Scheduler) runEpochLocked() {
 	e := s.epoch
 	s.epoch++
-	s.t.ChargeIdleEpoch()
-	shared := SenseEpoch(s.t, s.src, e)
+	shared := s.coord.SenseEpoch(e)
+	// The union for the oracle is identical for every query without an
+	// override source — compute it once, not once per query.
+	union := MergeReadings(shared)
 
-	// On the concurrent substrate all acquisitions run in parallel: the
-	// Live transport supports any number of in-flight sweeps and floods.
-	// The deterministic simulator is a single-threaded state machine, so
-	// there the operators run in sequence. Decorators (fault injection)
-	// are stripped first — they forward concurrency-safely.
-	_, parallel := Baseof(s.t).(*Live)
+	// On the concurrent substrate all acquisitions run in parallel, across
+	// queries and across shards: the Live transport supports any number of
+	// in-flight sweeps and floods. The deterministic simulator is a
+	// single-threaded state machine per shard, so there the queries run in
+	// sequence. Decorators (fault injection) are stripped first — they
+	// forward concurrency-safely.
+	_, parallel := Baseof(s.coord.deps[0].tp).(*Live)
 	var wg sync.WaitGroup
 	for _, q := range s.queries {
-		readings := shared
-		if q.src != nil {
-			readings = sampleReadings(s.t, q.src, e)
-		}
-		run := func(q *ScheduledQuery, readings map[model.NodeID]model.Reading) {
-			answers, err := q.op.Epoch(e, readings)
-			q.pending = append(q.pending, Outcome{Epoch: e, Answers: answers, Readings: readings, Err: err})
+		run := func(q *ScheduledQuery) {
+			out := s.coord.RunQuery(e, q.ops, shared, union, q.src, q.merge, parallel)
+			q.pending = append(q.pending, out)
 		}
 		if parallel {
 			wg.Add(1)
-			go func(q *ScheduledQuery, readings map[model.NodeID]model.Reading) {
+			go func(q *ScheduledQuery) {
 				defer wg.Done()
-				run(q, readings)
-			}(q, readings)
+				run(q)
+			}(q)
 		} else {
-			run(q, readings)
+			run(q)
 		}
 	}
 	wg.Wait()

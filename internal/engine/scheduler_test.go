@@ -32,7 +32,7 @@ func TestSchedulerSharedEpochs(t *testing.T) {
 	live.Start(ctx)
 	defer live.Stop()
 
-	sched := engine.NewScheduler(live, src)
+	sched := engine.NewScheduler(engine.NewDeployment("figure3", live, src))
 	q1 := topk.SnapshotQuery{K: 2, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
 	q2 := topk.SnapshotQuery{K: 3, Agg: model.AggMax, Range: &topk.ValueRange{Min: 0, Max: 100}}
 	op1 := mint.New()
@@ -43,8 +43,8 @@ func TestSchedulerSharedEpochs(t *testing.T) {
 	if err := op2.Attach(live, q2); err != nil {
 		t.Fatal(err)
 	}
-	sq1 := sched.Add(op1, nil)
-	sq2 := sched.Add(op2, nil)
+	sq1 := sched.Add([]engine.EpochRunner{op1}, nil, nil)
+	sq2 := sched.Add([]engine.EpochRunner{op2}, nil, nil)
 
 	const epochs = 8
 	var wg sync.WaitGroup

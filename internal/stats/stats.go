@@ -50,6 +50,34 @@ func Collect(name string, net *sim.Network, epochs int) RunStats {
 	}
 }
 
+// Merge sums shard rows into one aggregate row under a new label — how a
+// federated deployment's System Panel totals its per-shard traffic.
+// Counters add; EnergyMax keeps the hottest node anywhere; Epochs takes
+// the maximum (shards advance in lock-step, so their epoch counts agree);
+// the quality columns (Correct, Recall) are left zero — they belong to a
+// query, not to a traffic aggregate.
+func Merge(name string, rows ...RunStats) RunStats {
+	out := RunStats{Algorithm: name, PerKind: map[radio.MsgKind]int{}}
+	for _, r := range rows {
+		if r.Epochs > out.Epochs {
+			out.Epochs = r.Epochs
+		}
+		out.Messages += r.Messages
+		out.Frames += r.Frames
+		out.TxBytes += r.TxBytes
+		out.RxBytes += r.RxBytes
+		out.Drops += r.Drops
+		out.EnergyUJ += r.EnergyUJ
+		if r.EnergyMax > out.EnergyMax {
+			out.EnergyMax = r.EnergyMax
+		}
+		for k, v := range r.PerKind {
+			out.PerKind[k] += v
+		}
+	}
+	return out
+}
+
 // PerEpochBytes returns average transmitted bytes per epoch.
 func (r RunStats) PerEpochBytes() float64 {
 	if r.Epochs == 0 {

@@ -1,0 +1,209 @@
+// Package fed is the federation layer's merge operator: it combines the
+// shard-local TOP-K rankings of a federated deployment into the global
+// TOP-K at the coordinator tier, using a TPUT-style threshold round
+// (Cao & Wang's three-phase uniform threshold algorithm, collapsed to two
+// phases by KSpot's sharding invariant).
+//
+// The setting: a deployment's sensor field is partitioned by cluster into
+// shard networks (internal/config's shards block). Each shard runs the
+// per-shard snapshot operator — MINT, TAG, whichever the cursor pinned —
+// unchanged on its own network and produces its local TOP-K ranking. The
+// coordinator (a wired tier above the shard base stations, the analogue of
+// the MIB520 gateways' ethernet backhaul) merges those rankings:
+//
+//	Phase 1: every shard ships its top ShipK answers plus its local
+//	         threshold τ_i — the score of the lowest shipped answer when
+//	         more remain, −∞ when the shard shipped everything.
+//	Phase 2: the coordinator ranks the union and computes the merged
+//	         threshold τ = the K-th best received score. Any shard whose
+//	         τ_i ≥ τ may still hold unshipped answers at or above τ, so
+//	         the coordinator issues it a targeted fetch ("your remaining
+//	         answers scoring ≥ τ"); shards with τ_i < τ provably cannot
+//	         contribute and are not contacted.
+//
+// Identical-answer argument. Clusters are physical regions, so every GROUP
+// BY group lives wholly inside one shard and its aggregate is computed by
+// exactly the nodes that compute it in the flat deployment — fixed-point
+// partial merging is associative, so the group's score is bit-identical.
+// A group in the global TOP-K therefore ranks at least as high within its
+// own shard, i.e. it appears in that shard's local TOP-K. If phase 1
+// shipped it, the coordinator has it; if not, its score is ≥ the global
+// K-th ≥ τ (the K-th over a subset never exceeds the K-th over the union)
+// and ≤ τ_i, so phase 2 fetches it. Every global answer reaches the
+// coordinator with its exact flat score, ranking and tie-breaking use the
+// system-wide model.SortAnswers order, and the merged answer is therefore
+// byte-identical to the flat run's. With ShipK = K (the default) a shard
+// that ships its full local TOP-K can never satisfy τ_i ≥ τ strictly
+// short of exhaustion, so phase 2 degenerates to zero fetches and the
+// merge completes in a single round.
+package fed
+
+import (
+	"fmt"
+	"sync"
+
+	"kspot/internal/model"
+	"kspot/internal/topk"
+)
+
+// Wire sizes of the coordinator tier, accounted like the radio tier's
+// payloads so the System Panel can weigh backhaul against in-network
+// traffic: a phase-1/phase-2 report is epoch(4) + count(2) per message
+// plus group(2) + fixed-point score(4) per answer; a phase-2 fetch request
+// carries the epoch and the threshold.
+const (
+	msgHeaderSize = 6
+	answerSize    = 6
+	fetchReqSize  = 10
+)
+
+// Stats accumulates the coordinator tier's traffic across every federated
+// query of a deployment. Safe for concurrent use.
+type Stats struct {
+	mu sync.Mutex
+	s  Snapshot
+}
+
+// Snapshot is one point-in-time copy of the coordinator tier's counters.
+type Snapshot struct {
+	// Rounds counts merge invocations (one per federated epoch per query).
+	Rounds int
+	// Phase1Msgs counts shard→coordinator phase-1 reports.
+	Phase1Msgs int
+	// Phase2Reqs counts coordinator→shard targeted fetch requests;
+	// Phase2Msgs the shards' replies.
+	Phase2Reqs int
+	Phase2Msgs int
+	// Fetched counts answers shipped in phase-2 replies.
+	Fetched int
+	// TxBytes totals both phases' payload bytes.
+	TxBytes int
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s
+}
+
+func (s *Stats) add(d Snapshot) {
+	s.mu.Lock()
+	s.s.Rounds += d.Rounds
+	s.s.Phase1Msgs += d.Phase1Msgs
+	s.s.Phase2Reqs += d.Phase2Reqs
+	s.s.Phase2Msgs += d.Phase2Msgs
+	s.s.Fetched += d.Fetched
+	s.s.TxBytes += d.TxBytes
+	s.mu.Unlock()
+}
+
+// Config tunes the merge.
+type Config struct {
+	// ShipK is the phase-1 shipment size per shard. 0 means K — the
+	// single-round exact default. Smaller values trade phase-2 fetch
+	// round-trips for smaller phase-1 reports (the TPUT bandwidth knob);
+	// the merge stays exact for any ShipK ≥ 1.
+	ShipK int
+}
+
+// Merger merges shard-local TOP-K rankings at the coordinator. One Merger
+// serves one posted query; it reuses its scratch buffers across epochs and
+// is not safe for concurrent use (the scheduler runs one epoch of a query
+// at a time). Stats, shared across a deployment's mergers, is.
+type Merger struct {
+	k     int
+	shipK int
+	stats *Stats
+
+	merged  []model.Answer // scratch: the coordinator's candidate table
+	shipped map[model.GroupID]bool
+}
+
+// New builds a merger for a query. stats may be nil (no accounting).
+func New(q topk.SnapshotQuery, cfg Config, stats *Stats) (*Merger, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	shipK := cfg.ShipK
+	if shipK == 0 {
+		shipK = q.K
+	}
+	if shipK < 1 {
+		return nil, fmt.Errorf("fed: ShipK must be >= 1, got %d", shipK)
+	}
+	return &Merger{k: q.K, shipK: shipK, stats: stats, shipped: make(map[model.GroupID]bool)}, nil
+}
+
+// Merge combines the shards' local rankings into the exact global TOP-K.
+// shardAnswers[i] is shard i's ranked local TOP-K (model.SortAnswers
+// order, as every snapshot operator returns); the result is in the same
+// order. The returned slice is freshly allocated and owned by the caller
+// — cursors buffer outcomes across epochs, so the candidate scratch the
+// merger reuses internally must never escape.
+func (m *Merger) Merge(shardAnswers [][]model.Answer) ([]model.Answer, error) {
+	var d Snapshot
+	d.Rounds = 1
+	m.merged = m.merged[:0]
+	clear(m.shipped)
+
+	// Phase 1: each shard reports its top ShipK answers and its local
+	// threshold τ_i (the lowest shipped score while more remain).
+	taus := make([]model.Value, len(shardAnswers))
+	for i, ans := range shardAnswers {
+		n := min(m.shipK, len(ans))
+		if len(ans) > 0 {
+			d.Phase1Msgs++
+			d.TxBytes += msgHeaderSize + n*answerSize
+		}
+		for _, a := range ans[:n] {
+			if m.shipped[a.Group] {
+				return nil, fmt.Errorf("fed: shard %d reports group %d twice (clusters must partition across shards)", i, a.Group)
+			}
+			m.merged = append(m.merged, a)
+			m.shipped[a.Group] = true
+		}
+		if n < len(ans) {
+			taus[i] = ans[n-1].Score
+		} else {
+			taus[i] = topk.MinusInf() // the shard is exhausted
+		}
+	}
+	model.SortAnswers(m.merged)
+	tau := model.KthScore(m.merged, m.k)
+
+	// Phase 2: targeted fetch from every shard whose unshipped region may
+	// still intersect the global TOP-K (τ_i ≥ τ). The fetch returns the
+	// shard's remaining local answers scoring at or above the merged
+	// threshold; shards below it provably hold nothing that matters.
+	for i, ans := range shardAnswers {
+		if taus[i] < tau || m.shipK >= len(ans) {
+			continue
+		}
+		d.Phase2Reqs++
+		d.TxBytes += fetchReqSize
+		fetched := 0
+		for _, a := range ans[m.shipK:] {
+			if a.Score < tau {
+				break // ranked order: nothing further qualifies
+			}
+			if m.shipped[a.Group] {
+				return nil, fmt.Errorf("fed: shard %d reports group %d twice (clusters must partition across shards)", i, a.Group)
+			}
+			m.shipped[a.Group] = true
+			m.merged = append(m.merged, a)
+			fetched++
+		}
+		d.Phase2Msgs++
+		d.TxBytes += msgHeaderSize + fetched*answerSize
+		d.Fetched += fetched
+	}
+	model.SortAnswers(m.merged)
+	if len(m.merged) > m.k {
+		m.merged = m.merged[:m.k]
+	}
+	if m.stats != nil {
+		m.stats.add(d)
+	}
+	return append([]model.Answer(nil), m.merged...), nil
+}

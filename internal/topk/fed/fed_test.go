@@ -1,0 +1,175 @@
+package fed
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/topk"
+)
+
+// fedQuery returns the K under test.
+func fedQuery(k int) topk.SnapshotQuery {
+	return topk.SnapshotQuery{K: k, Agg: model.AggAvg, Range: &topk.ValueRange{Min: 0, Max: 100}}
+}
+
+// randomWorld builds a seeded random deployment: groups with quantized
+// scores scattered across shards (every group in exactly one shard), each
+// shard's answer list ranked the way a snapshot operator ranks. Returns
+// the shard rankings and the flat oracle's global ranking.
+func randomWorld(rng *rand.Rand, shards, groups, k int) ([][]model.Answer, []model.Answer) {
+	all := make([]model.Answer, 0, groups)
+	perShard := make([][]model.Answer, shards)
+	for g := 1; g <= groups; g++ {
+		a := model.Answer{Group: model.GroupID(g), Score: model.Quantize(model.Value(rng.Float64() * 100))}
+		all = append(all, a)
+		s := rng.Intn(shards)
+		perShard[s] = append(perShard[s], a)
+	}
+	for s := range perShard {
+		model.SortAnswers(perShard[s])
+		// A shard's operator reports its local TOP-K, not its whole view.
+		if len(perShard[s]) > k {
+			perShard[s] = perShard[s][:k]
+		}
+	}
+	model.SortAnswers(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return perShard, all
+}
+
+// TestMergeExactness pins the identical-answer argument over seeded random
+// worlds, for full phase-1 shipments (ShipK = K, single round) and for
+// starved shipments (ShipK = 1, forcing phase-2 targeted fetches).
+func TestMergeExactness(t *testing.T) {
+	for _, shipK := range []int{0, 1, 2} {
+		t.Run(fmt.Sprintf("shipK=%d", shipK), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7 + shipK)))
+			for trial := 0; trial < 200; trial++ {
+				shards := 1 + rng.Intn(6)
+				groups := rng.Intn(40)
+				k := 1 + rng.Intn(8)
+				perShard, want := randomWorld(rng, shards, groups, k)
+				m, err := New(fedQuery(k), Config{ShipK: shipK}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := m.Merge(perShard)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !model.EqualAnswers(got, want) {
+					t.Fatalf("trial %d (shards=%d groups=%d k=%d): merged %v, flat %v",
+						trial, shards, groups, k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMergeReuse: one merger reused across epochs must not leak previous
+// epochs' candidates into later results.
+func TestMergeReuse(t *testing.T) {
+	m, err := New(fedQuery(2), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := [][]model.Answer{{{Group: 1, Score: 90}, {Group: 2, Score: 80}}, {{Group: 3, Score: 85}}}
+	if _, err := m.Merge(first); err != nil {
+		t.Fatal(err)
+	}
+	second := [][]model.Answer{{{Group: 4, Score: 10}}, {{Group: 5, Score: 20}}}
+	got, err := m.Merge(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Answer{{Group: 5, Score: 20}, {Group: 4, Score: 10}}
+	if !model.EqualAnswers(got, want) {
+		t.Fatalf("reused merger answered %v, want %v", got, want)
+	}
+}
+
+// TestMergeSingleRoundWithFullShipments: with ShipK = K a shard that ships
+// its full local TOP-K can never hold an unshipped qualifying answer, so
+// phase 2 must issue zero fetches.
+func TestMergeSingleRoundWithFullShipments(t *testing.T) {
+	var stats Stats
+	m, err := New(fedQuery(3), Config{}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		perShard, _ := randomWorld(rng, 4, 30, 3)
+		if _, err := m.Merge(perShard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := stats.Snapshot()
+	if s.Phase2Reqs != 0 || s.Fetched != 0 {
+		t.Fatalf("full shipments still fetched: %+v", s)
+	}
+	if s.Rounds != 100 || s.Phase1Msgs == 0 || s.TxBytes == 0 {
+		t.Fatalf("stats not accounted: %+v", s)
+	}
+}
+
+// TestMergePhase2Accounting: a starved phase 1 must trigger targeted
+// fetches and account them.
+func TestMergePhase2Accounting(t *testing.T) {
+	var stats Stats
+	m, err := New(fedQuery(3), Config{ShipK: 1}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 holds the entire top-3; shipping only its best forces the
+	// coordinator to fetch the other two above the merged threshold.
+	perShard := [][]model.Answer{
+		{{Group: 1, Score: 90}, {Group: 2, Score: 89}, {Group: 3, Score: 88}, {Group: 4, Score: 1}},
+		{{Group: 9, Score: 10}},
+	}
+	got, err := m.Merge(perShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Answer{{Group: 1, Score: 90}, {Group: 2, Score: 89}, {Group: 3, Score: 88}}
+	if !model.EqualAnswers(got, want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	// Phase 1 delivered only 2 candidates for K=3, so the merged threshold
+	// collapses to −∞ and the fetch returns shard 0's entire remainder (3
+	// answers) — the recovery that keeps a starved phase 1 exact.
+	s := stats.Snapshot()
+	if s.Phase2Reqs != 1 || s.Phase2Msgs != 1 || s.Fetched != 3 {
+		t.Fatalf("phase-2 accounting: %+v", s)
+	}
+}
+
+// TestMergeRejectsSplitGroups: a group reported by two shards violates the
+// sharding invariant and must fail loudly, not merge wrongly.
+func TestMergeRejectsSplitGroups(t *testing.T) {
+	m, err := New(fedQuery(2), Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := [][]model.Answer{
+		{{Group: 1, Score: 50}},
+		{{Group: 1, Score: 40}},
+	}
+	if _, err := m.Merge(perShard); err == nil {
+		t.Fatal("split group accepted")
+	}
+}
+
+// TestNewValidates: bad queries and ship sizes are rejected.
+func TestNewValidates(t *testing.T) {
+	if _, err := New(topk.SnapshotQuery{K: 0}, Config{}, nil); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := New(fedQuery(2), Config{ShipK: -1}, nil); err == nil {
+		t.Error("negative ShipK accepted")
+	}
+}

@@ -20,6 +20,12 @@
 //	    fmt.Println(res.Answers)      // the K highest-ranked clusters
 //	}
 //	fmt.Println(sys.SystemPanel())    // savings, energy, traffic
+//
+// A scenario carrying a "shards" block opens as a federated deployment:
+// the sensor field is partitioned into shard networks (one base station
+// and routing tree each) and shard-local top-k rankings merge at a
+// coordinator tier with answers provably identical to one flat network
+// (see internal/topk/fed and DESIGN.md's federation section).
 package kspot
 
 import (
@@ -37,6 +43,7 @@ import (
 	"kspot/internal/stats"
 	"kspot/internal/topk"
 	"kspot/internal/topk/central"
+	"kspot/internal/topk/fed"
 	"kspot/internal/topk/fila"
 	"kspot/internal/topk/mint"
 	"kspot/internal/topk/naive"
@@ -53,6 +60,11 @@ type (
 	Scenario = config.Scenario
 	// Cluster names a physical region within a scenario.
 	Cluster = config.Cluster
+	// Shard assigns clusters to one federated shard network (the
+	// scenario's "shards" block); see internal/config and internal/topk/fed.
+	Shard = config.Shard
+	// FederationTraffic is the coordinator tier's traffic snapshot.
+	FederationTraffic = fed.Snapshot
 	// Answer is one ranked result row.
 	Answer = model.Answer
 	// GroupID identifies a cluster / room / time instant.
@@ -95,39 +107,49 @@ const (
 )
 
 // System is an opened deployment: the network state, its workload and the
-// query engine, i.e. the KSpot server attached to a sensor field. Queries
-// run on one of two substrates of the same engine layer (see DESIGN.md):
-// the deterministic simulator (default) or the concurrent live deployment
-// (PostWith ... WithLive()), which runs one goroutine per sensor node and
-// serves every live cursor from a shared epoch sweep.
+// query engine, i.e. the KSpot server attached to a sensor field. A
+// deployment is a *set* of shard networks — one for a flat scenario, N
+// for a scenario carrying a shards block — merged at a coordinator tier
+// (internal/topk/fed) whose answers are provably identical to running one
+// flat network. Queries run on one of two substrates of the same engine
+// layer (see DESIGN.md): the deterministic simulator (default) or the
+// concurrent live deployment (PostWith ... WithLive()), which runs one
+// goroutine per sensor node and serves every live cursor from a shared
+// per-shard epoch sweep.
 type System struct {
-	scenario *config.Scenario
-	net      *sim.Network
-	source   trace.Source
-	schema   query.Schema
+	scenario   *config.Scenario
+	shardScens []*config.Scenario // per-shard sub-deployments; [0] == scenario when flat
+	nets       []*sim.Network     // one simulated network per shard
+	source     trace.Source       // built from the flat scenario, shared by every shard
+	schema     query.Schema
+	fedStats   *fed.Stats
 
 	mu         sync.Mutex
-	live       *engine.Live
-	liveTP     engine.Transport // live behind its fault injector when armed
+	lives      []*engine.Live
+	liveTPs    []engine.Transport // lives behind their fault injectors when armed
 	sched      *engine.Scheduler
 	liveCancel context.CancelFunc
 
-	// faultCfg, when non-nil, is the armed fault environment; det is the
-	// deterministic substrate behind its churn injector (s.net when no
-	// faults are armed). posted records that at least one cursor has
-	// attached, posting counts attachments in flight — arming while
-	// either holds would leave those cursors' operators below the
-	// injector, churning nothing.
-	faultCfg *faults.Config
-	det      engine.Transport
-	posted   bool
-	posting  int
+	// faultCfg, when non-nil, is the armed fault environment (faultCfgs
+	// its per-shard specializations); dets are the deterministic shard
+	// substrates behind their churn injectors (s.nets when no faults are
+	// armed). posted records that at least one cursor has attached,
+	// posting counts attachments in flight — arming while either holds
+	// would leave those cursors' operators below the injector, churning
+	// nothing.
+	faultCfg  *faults.Config
+	faultCfgs []faults.Config
+	dets      []engine.Transport
+	posted    bool
+	posting   int
 }
 
-// Open builds a System from a scenario. A scenario carrying a faults block
-// opens with that environment armed.
+// Open builds a System from a scenario. A scenario carrying a shards
+// block opens as a federated deployment (one network per shard); one
+// carrying a faults block opens with that environment armed on every
+// shard (per-shard seeds, see config.Scenario.ShardFaults).
 func Open(s *Scenario) (*System, error) {
-	net, err := s.Network()
+	shardScens, err := s.ShardScenarios()
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +157,21 @@ func Open(s *Scenario) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := &System{scenario: s, net: net, source: src, schema: query.DefaultSchema(), det: net}
+	sys := &System{
+		scenario:   s,
+		shardScens: shardScens,
+		source:     src,
+		schema:     query.DefaultSchema(),
+		fedStats:   &fed.Stats{},
+	}
+	for _, sub := range shardScens {
+		net, err := sub.Network()
+		if err != nil {
+			return nil, err
+		}
+		sys.nets = append(sys.nets, net)
+		sys.dets = append(sys.dets, net)
+	}
 	if s.Faults.Enabled() {
 		if err := sys.armFaults(s.Faults); err != nil {
 			return nil, err
@@ -167,16 +203,41 @@ func Figure1Scenario() *Scenario { return config.Figure1Scenario() }
 // committed outputs. n must be a positive multiple of 20.
 func ScaleScenario(n int) (*Scenario, error) { return config.ScaleScenario(n) }
 
+// ScaleScenarioShards generates the scale-<n> deployment pre-split into
+// the given number of federated shards, verifying every shard deploys.
+// Sharded scale scenarios are generated, never committed (`kspot-sim
+// -gen-scale <n> -shards <k>` emits one when a file is needed).
+func ScaleScenarioShards(n, shards int) (*Scenario, error) {
+	return config.ScaleScenarioShards(n, shards)
+}
+
 // Scenario returns the opened scenario.
 func (s *System) Scenario() *Scenario { return s.scenario }
 
 // Network exposes the underlying simulation (topology, counters, ledger)
-// for advanced callers; the System Panel reads from it.
-func (s *System) Network() *sim.Network { return s.net }
+// for advanced callers; on a federated deployment it returns the first
+// shard's network — use Networks for all of them.
+func (s *System) Network() *sim.Network { return s.nets[0] }
 
-// ResetAccounting clears traffic and energy counters, e.g. between a
-// warm-up and a measured window.
-func (s *System) ResetAccounting() { s.net.Reset() }
+// Networks returns every shard's simulated network, in shard order (a
+// single entry for a flat deployment).
+func (s *System) Networks() []*sim.Network { return append([]*sim.Network(nil), s.nets...) }
+
+// Shards reports the number of shard deployments (1 for a flat scenario).
+func (s *System) Shards() int { return len(s.nets) }
+
+// FederationStats reports the coordinator tier's accumulated traffic —
+// phase-1 reports, phase-2 targeted fetches and backhaul bytes. All zero
+// on a flat deployment.
+func (s *System) FederationStats() FederationTraffic { return s.fedStats.Snapshot() }
+
+// ResetAccounting clears traffic and energy counters on every shard,
+// e.g. between a warm-up and a measured window.
+func (s *System) ResetAccounting() {
+	for _, net := range s.nets {
+		net.Reset()
+	}
+}
 
 // PostOption tunes how a query is posted.
 type PostOption func(*postConfig)
@@ -287,48 +348,70 @@ func (s *System) armFaultsLocked(cfg *faults.Config) error {
 	if s.posted || s.posting > 0 {
 		return fmt.Errorf("kspot: faults must be armed before the first posted query")
 	}
-	if s.live != nil {
+	if s.lives != nil {
 		return fmt.Errorf("kspot: faults must be armed before the live deployment starts")
 	}
-	inj, err := faults.Wrap(s.net, *cfg)
-	if err != nil {
-		return err
+	// Specialize the environment per shard (derived seeds, churn filtered
+	// to the shard's own nodes) and wrap every deterministic substrate; a
+	// flat deployment's single "shard" keeps the config verbatim.
+	cfgs := make([]faults.Config, len(s.nets))
+	dets := make([]engine.Transport, len(s.nets))
+	for i, net := range s.nets {
+		cfgs[i] = s.scenario.ShardFaults(*cfg, i)
+		inj, err := faults.Wrap(net, cfgs[i])
+		if err != nil {
+			for j := 0; j < i; j++ {
+				s.nets[j].SetFault(nil)
+			}
+			return err
+		}
+		dets[i] = inj
 	}
-	s.faultCfg, s.det = cfg, inj
+	s.faultCfg, s.faultCfgs, s.dets = cfg, cfgs, dets
 	return nil
 }
 
 // disarmFaultsLocked undoes an arm that no cursor ever attached under:
-// the link's fault model is removed and the deterministic transport drops
-// back to the bare network.
+// the links' fault models are removed and the deterministic transports
+// drop back to the bare networks.
 func (s *System) disarmFaultsLocked() {
-	s.net.SetFault(nil)
-	s.faultCfg, s.det = nil, s.net
+	for i, net := range s.nets {
+		net.SetFault(nil)
+		s.dets[i] = net
+	}
+	s.faultCfg, s.faultCfgs = nil, nil
 }
 
-// detTransport returns the deterministic substrate, behind its fault
-// injector when armed.
-func (s *System) detTransport() engine.Transport {
+// detTransports returns the deterministic shard substrates, behind their
+// fault injectors when armed.
+func (s *System) detTransports() []engine.Transport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.det
+	return append([]engine.Transport(nil), s.dets...)
 }
 
-// ensureLive lazily starts the shared concurrent deployment and its
-// multi-query scheduler. An armed fault environment wraps the live
-// transport with its own churn injector (frame faults already live in the
-// shared link), so both substrates degrade identically.
+// ensureLive lazily starts the shared concurrent deployment — one Live
+// substrate per shard — and its multi-query scheduler. An armed fault
+// environment wraps each live transport with its shard's churn injector
+// (frame faults already live in the shared links), so both substrates
+// degrade identically.
 func (s *System) ensureLive(window int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.live == nil {
-		live := engine.NewLive(s.net, engine.LiveOptions{Window: window})
-		ctx, cancel := context.WithCancel(context.Background())
+	if s.lives != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	lives := make([]*engine.Live, len(s.nets))
+	tps := make([]engine.Transport, len(s.nets))
+	deps := make([]*engine.Deployment, len(s.nets))
+	for i, net := range s.nets {
+		live := engine.NewLive(net, engine.LiveOptions{Window: window})
 		live.Start(ctx)
-		s.live, s.liveCancel = live, cancel
+		lives[i] = live
 		var tp engine.Transport = live
 		if s.faultCfg != nil {
-			inj, err := faults.Wrap(live, *s.faultCfg)
+			inj, err := faults.Wrap(live, s.faultCfgs[i])
 			if err != nil {
 				// Unreachable: the config validated when the deterministic
 				// substrate armed, and Live hosts every fault kind. A
@@ -338,57 +421,82 @@ func (s *System) ensureLive(window int) {
 			}
 			tp = inj
 		}
-		s.liveTP = tp
-		s.sched = engine.NewScheduler(tp, s.source)
+		tps[i] = tp
+		deps[i] = engine.NewDeployment(s.scenario.ShardName(i), tp, s.source)
 	}
+	s.lives, s.liveTPs, s.liveCancel = lives, tps, cancel
+	s.sched = engine.NewScheduler(deps...)
 }
 
-// liveState snapshots the live deployment's transport (behind the fault
-// injector when armed — operators must attach to it, or churn would never
-// observe their epochs) and scheduler under the System lock (both can be
-// torn down by Close concurrently with cursor use).
-func (s *System) liveState() (engine.Transport, *engine.Scheduler) {
+// liveState snapshots the live deployment's shard transports (behind the
+// fault injectors when armed — operators must attach to them, or churn
+// would never observe their epochs) and scheduler under the System lock
+// (both can be torn down by Close concurrently with cursor use).
+func (s *System) liveState() ([]engine.Transport, *engine.Scheduler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.liveTP, s.sched
+	return s.liveTPs, s.sched
 }
 
 // Close stops the live deployment's node goroutines, if any were started.
 // In-flight Steps complete first; later Steps on live cursors return an
-// error. Safe to call multiple times; deterministic-only Systems need no
-// Close.
+// error. Safe to call multiple times and concurrently with in-flight
+// Steps; deterministic-only Systems need no Close.
 func (s *System) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.live != nil {
+	if s.lives != nil {
 		s.sched.Close() // waits out any in-flight epoch
-		s.live.Stop()
+		for _, live := range s.lives {
+			live.Stop()
+		}
 		s.liveCancel()
-		s.live, s.liveTP, s.sched, s.liveCancel = nil, nil, nil, nil
+		s.lives, s.liveTPs, s.sched, s.liveCancel = nil, nil, nil, nil
 	}
 }
 
 // LiveWindows exposes the live deployment's buffered per-node history
-// (empty when no live query has been posted).
+// across every shard (empty when no live query has been posted).
 func (s *System) LiveWindows() map[NodeID][]model.Value {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.live == nil {
+	if s.lives == nil {
 		return nil
 	}
-	return s.live.Windows()
+	out := make(map[NodeID][]model.Value)
+	for _, live := range s.lives {
+		for id, series := range live.Windows() {
+			out[id] = series
+		}
+	}
+	return out
 }
 
 // SystemPanel renders the current traffic/energy statistics, optionally
-// against a baseline captured earlier with CaptureStats.
+// against a baseline captured earlier with CaptureStats. A federated
+// deployment's panel leads with the per-shard traffic table and the
+// coordinator tier's backhaul, then the aggregate panel — every radio
+// message is accounted to the shard that transmitted it.
 func (s *System) SystemPanel(baseline *RunStats) string {
-	run := stats.Collect("current", s.net, 0)
 	var base *stats.RunStats
 	if baseline != nil {
 		b := stats.RunStats(*baseline)
 		base = &b
 	}
-	return gui.SystemPanel(run, base)
+	if len(s.nets) == 1 {
+		return gui.SystemPanel(stats.Collect("current", s.nets[0], 0), base)
+	}
+	rows := make([]stats.RunStats, 0, len(s.nets)+1)
+	for i, net := range s.nets {
+		rows = append(rows, stats.Collect(s.scenario.ShardName(i), net, 0))
+	}
+	total := stats.Merge("total", rows...)
+	rows = append(rows, total)
+	f := s.fedStats.Snapshot()
+	return stats.Table("per-shard traffic", rows) +
+		fmt.Sprintf("coordinator tier: %d phase-1 reports, %d targeted fetches (%d answers), %d backhaul bytes\n",
+			f.Phase1Msgs, f.Phase2Reqs, f.Fetched, f.TxBytes) +
+		gui.SystemPanel(total, base)
 }
 
 // RenderSystemPanel renders a previously captured run against an optional
@@ -405,9 +513,17 @@ func RenderSystemPanel(run RunStats, baseline *RunStats) string {
 // RunStats is a captured statistics snapshot (see CaptureStats).
 type RunStats stats.RunStats
 
-// CaptureStats snapshots the network's counters under a label.
+// CaptureStats snapshots the deployment's counters under a label, summed
+// across every shard network.
 func (s *System) CaptureStats(label string, epochs int) RunStats {
-	return RunStats(stats.Collect(label, s.net, epochs))
+	if len(s.nets) == 1 {
+		return RunStats(stats.Collect(label, s.nets[0], epochs))
+	}
+	rows := make([]stats.RunStats, 0, len(s.nets))
+	for i, net := range s.nets {
+		rows = append(rows, stats.Collect(s.scenario.ShardName(i), net, epochs))
+	}
+	return RunStats(stats.Merge(label, rows...))
 }
 
 // DisplayPanel renders the deployment map with KSpot bullets beside the

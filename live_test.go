@@ -1,8 +1,12 @@
 package kspot
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"kspot/internal/model"
 	"kspot/internal/trace"
@@ -234,6 +238,92 @@ func TestLiveFaultEquivalence(t *testing.T) {
 	if detMsgs != livMsgs || detBytes != livBytes {
 		t.Errorf("traffic diverged: det %d msgs/%d bytes, live %d msgs/%d bytes",
 			detMsgs, detBytes, livMsgs, livBytes)
+	}
+}
+
+// TestStepContextCancelNoLeak is the cancellation contract of the live
+// substrate: cancelling a StepContext mid-epoch returns promptly, the
+// abandoned epoch finishes on the deployment's own goroutines and is
+// re-buffered (the epoch stream stays gapless), and Close releases every
+// Live goroutine — nothing leaks.
+func TestStepContextCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sys, err := Open(DemoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sys.Post("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", WithLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.StepContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel concurrently with an in-flight step, many times: each
+	// cancelled epoch must be re-buffered, never lost or duplicated.
+	next := Epoch(1)
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel()
+		res, err := cur.StepContext(ctx)
+		switch {
+		case err == nil:
+			if res.Epoch != next {
+				t.Fatalf("iteration %d: epoch %d, want %d (stream must stay gapless)", i, res.Epoch, next)
+			}
+			next++
+		case errors.Is(err, context.Canceled):
+			// Abandoned; the epoch (if one ran) is re-buffered.
+		default:
+			t.Fatal(err)
+		}
+	}
+	res, err := cur.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != next {
+		t.Fatalf("post-cancel step saw epoch %d, want %d", res.Epoch, next)
+	}
+	sys.Close()
+	// Every Live worker and scheduler goroutine must have exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCloseConcurrentWithSteps: System.Close must be safe to call while
+// live Steps are in flight — in-flight epochs complete, later Steps error,
+// and nothing deadlocks or races.
+func TestCloseConcurrentWithSteps(t *testing.T) {
+	sys, err := Open(DemoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := sys.Post("SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid", WithLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := cur.Step(); err != nil {
+				return // closed under us — the expected exit
+			}
+		}
+		t.Error("200 steps completed without observing Close")
+	}()
+	sys.Close()
+	sys.Close() // idempotent, concurrently with the stepping goroutine
+	wg.Wait()
+	if _, err := cur.Step(); err == nil {
+		t.Fatal("Step after concurrent Close succeeded")
 	}
 }
 

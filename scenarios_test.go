@@ -154,6 +154,99 @@ func TestScaleScenarioConformance(t *testing.T) {
 	}
 }
 
+// TestFederatedScaleConformance is the federation acceptance pin:
+// scale-1000 split into 4 shards must produce answers identical to the
+// flat run on both the deterministic and the concurrent live substrate
+// (1000 goroutines across 4 shard deployments, under -race), with every
+// radio message accounted to its shard and the coordinator tier's
+// backhaul measured. The sharded scenario is generated, not committed —
+// the `kspot-sim -gen-scale 1000 -shards 4` path.
+func TestFederatedScaleConformance(t *testing.T) {
+	const sql = "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid"
+	const epochs = 3
+
+	flatSys, err := OpenFile("scenarios/scale-1000.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatCur, err := flatSys.PostWith(sql, AlgoMINT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]StepResult, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		res, err := flatCur.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat = append(flat, res)
+	}
+
+	scen, err := ScaleScenarioShards(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(live bool) ([]StepResult, RunStats, FederationTraffic) {
+		sys, err := Open(scen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		if sys.Shards() != 4 {
+			t.Fatalf("system has %d shards, want 4", sys.Shards())
+		}
+		var opts []PostOption
+		if live {
+			opts = append(opts, WithLive())
+		}
+		cur, err := sys.PostWith(sql, AlgoMINT, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]StepResult, 0, epochs)
+		for i := 0; i < epochs; i++ {
+			res, err := cur.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		// Per-shard traffic accounts exactly for the captured total.
+		sum := 0
+		for _, net := range sys.Networks() {
+			sum += net.Snap().Messages
+		}
+		total := sys.CaptureStats("federated", epochs)
+		if total.Messages != sum {
+			t.Fatalf("per-shard messages sum %d, capture total %d", sum, total.Messages)
+		}
+		return out, total, sys.FederationStats()
+	}
+	det, detStats, detFed := run(false)
+	live, liveStats, liveFed := run(true)
+	for e := range flat {
+		if !model.EqualAnswers(det[e].Answers, flat[e].Answers) {
+			t.Fatalf("epoch %d: sharded det=%v, flat=%v", e, det[e].Answers, flat[e].Answers)
+		}
+		if !model.EqualAnswers(live[e].Answers, flat[e].Answers) {
+			t.Fatalf("epoch %d: sharded live=%v, flat=%v", e, live[e].Answers, flat[e].Answers)
+		}
+		if !det[e].Correct {
+			t.Fatalf("epoch %d: federated MINT diverged from the oracle at scale", e)
+		}
+	}
+	if detStats.Messages != liveStats.Messages || detStats.TxBytes != liveStats.TxBytes {
+		t.Fatalf("sharded traffic diverged across substrates: det %d msgs / %d bytes, live %d msgs / %d bytes",
+			detStats.Messages, detStats.TxBytes, liveStats.Messages, liveStats.TxBytes)
+	}
+	if detFed != liveFed {
+		t.Fatalf("coordinator tier diverged across substrates: det %+v, live %+v", detFed, liveFed)
+	}
+	if detFed.Rounds != epochs || detFed.Phase1Msgs == 0 {
+		t.Fatalf("coordinator tier unaccounted: %+v", detFed)
+	}
+}
+
 // TestScaleScenario4000Loads keeps the 4000-node file loadable, valid and
 // generator-faithful; the full conformance run lives at 1000 nodes to keep
 // CI time bounded.
