@@ -89,6 +89,19 @@ func BenchmarkFederatedMintEpoch(b *testing.B) {
 	}
 }
 
+// BenchmarkFederatedHistoricEpoch measures one full federated historic
+// execution (TOP-4 WITH HISTORY 16) on the sharded scale deployment:
+// per-shard TJA over the buffered windows plus the coordinator tier's
+// two-phase threshold merge — the configuration the federated-historic
+// conformance suite pins for correctness.
+func BenchmarkFederatedHistoricEpoch(b *testing.B) {
+	txBytes, coordBytes := bench.RunFederatedHistoricBench(b)
+	if b.N > 0 {
+		b.ReportMetric(txBytes, "tx_bytes/run")
+		b.ReportMetric(coordBytes, "coord_bytes/run")
+	}
+}
+
 // BenchmarkViewEncode measures the wire codec on a 16-group view, round-
 // tripping through caller-owned buffers the way the sweep hot path does.
 func BenchmarkViewEncode(b *testing.B) { bench.RunViewCodecBench(b) }

@@ -8,11 +8,11 @@
 //	kspot-bench -exp all          # run everything (the default)
 //	kspot-bench -exp e7 -scale .2 # quick run at reduced size
 //
-// Benchmark trajectory (machine-readable, see BENCH_PR4.json, which
-// carries the PR 3 trajectory forward):
+// Benchmark trajectory (machine-readable, see BENCH_PR5.json, which
+// carries the PR 3-4 trajectory forward):
 //
-//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR4.json
-//	kspot-bench -json -json-run pr5         # record under a new run name
+//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR5.json
+//	kspot-bench -json -json-run pr6         # record under a new run name
 //	kspot-bench -json -json-out other.json  # write elsewhere
 //
 // -json measures the hot-path micro-benchmarks (ns/op, allocs/op, tx_bytes
@@ -36,8 +36,8 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		scale    = flag.Float64("scale", 1.0, "size scale factor in (0,1], for quick runs")
 		emitJSON = flag.Bool("json", false, "measure benchmarks and merge into the JSON trajectory file")
-		jsonOut  = flag.String("json-out", "BENCH_PR4.json", "trajectory file -json writes")
-		jsonRun  = flag.String("json-run", "pr4", "run name -json records the measurement under")
+		jsonOut  = flag.String("json-out", "BENCH_PR5.json", "trajectory file -json writes")
+		jsonRun  = flag.String("json-run", "pr5", "run name -json records the measurement under")
 	)
 	flag.Parse()
 

@@ -198,6 +198,13 @@ func main() {
 		for i, a := range answers {
 			fmt.Printf("  %2d. t=%-6d %.2f\n", i+1, a.Group, a.Score)
 		}
+		if sys.Shards() > 1 {
+			// The historic merge is a two-phase threshold round per run:
+			// surface its coordinator-tier anatomy next to the answers.
+			f := sys.FederationStats()
+			fmt.Printf("federated historic merge: %d shard reports, %d targeted fetches (%d instants), %d backhaul bytes\n",
+				f.Phase1Msgs, f.Phase2Reqs, f.Fetched, f.TxBytes)
+		}
 		fmt.Println()
 		fmt.Print(sys.SystemPanel(nil))
 		return

@@ -171,6 +171,7 @@ func main() {
 		fmt.Fprintf(w, "epoch %d: %s\n", epoch, gui.RankingStrip(placement, answers))
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		fed := sys.FederationStats()
 		st.mu.Lock()
 		out := map[string]interface{}{
 			"epoch":    st.epoch,
@@ -178,6 +179,12 @@ func main() {
 			"tx_bytes": st.txBytes,
 			"drops":    st.drops,
 			"queries":  len(cursors),
+			// Federation tier (all zero on a flat deployment): shard count
+			// and the coordinator's merge/backhaul counters.
+			"shards":            sys.Shards(),
+			"coord_rounds":      fed.Rounds,
+			"coord_phase2_reqs": fed.Phase2Reqs,
+			"coord_bytes":       fed.TxBytes,
 		}
 		st.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")

@@ -7,6 +7,7 @@ import (
 	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/query"
+	"kspot/internal/storage"
 	"kspot/internal/topk"
 	"kspot/internal/topk/fed"
 	"kspot/internal/trace"
@@ -85,13 +86,12 @@ func (c *Cursor) transports() ([]engine.Transport, error) {
 func (c *Cursor) prepare() error {
 	switch c.plan.Kind {
 	case query.PlanHistoricTopK:
+		// Historic TOP-K federates: each shard runs the historic operator
+		// over its own windows and the coordinator closes the ranking with
+		// a TPUT-style threshold round (fed.HistoricMerger). Run builds the
+		// per-shard executions; nothing to prepare beyond the operator.
 		if _, err := historicOperator(c.algo); err != nil {
 			return err
-		}
-		if c.sys.Shards() > 1 {
-			// Historic TOP-K ranks time instants, which span every shard;
-			// the federation tier merges GROUP BY answers only.
-			return fmt.Errorf("kspot: historic TOP-K queries are not federated; run %q on a flat deployment", c.plan.Query)
 		}
 		return nil
 	case query.PlanBasic:
@@ -221,23 +221,100 @@ func (c *Cursor) source() trace.Source {
 }
 
 // Run executes a historic query over the last Window epochs of buffered
-// history (the simulator materializes each node's window from the
-// workload, standing in for the motes' MicroHash-indexed flash buffers).
+// history (the simulator materializes each node's window through
+// storage.Window, standing in for the motes' MicroHash-indexed flash
+// buffers). On a federated deployment every shard runs the historic
+// operator over its own windows and the coordinator merges the shard
+// rankings with a two-phase threshold round (fed.HistoricMerger), exact
+// and byte-identical to the flat run; coordinator backhaul is accounted
+// in FederationStats.
 func (c *Cursor) Run() ([]Answer, error) {
 	if c.Continuous() {
 		return nil, fmt.Errorf("kspot: continuous query %q advances with Step, not Run", c.plan.Query)
 	}
-	op, err := historicOperator(c.algo)
+	var tps []engine.Transport
+	if c.live {
+		// One-shot runs bypass the scheduler's epoch lock-step, so they
+		// register with the System: Close waits registered runs out before
+		// stopping any shard's node goroutines (a federated run must never
+		// find one shard's Live torn down mid-protocol).
+		liveTPs, sched, release, err := c.sys.beginLiveRun()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		c.tps, c.sched = liveTPs, sched
+		tps = liveTPs
+	} else {
+		var err error
+		tps, err = c.transports()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(tps) == 1 {
+		op, err := historicOperator(c.algo)
+		if err != nil {
+			return nil, err
+		}
+		data, err := c.bufferWindows(tps[0])
+		if err != nil {
+			return nil, err
+		}
+		return op.Run(tps[0], c.plan.Historic, data)
+	}
+
+	// Federated: one historic shard execution per deployment, fanned out by
+	// the coordinator (concurrently on the live substrate), merged with the
+	// coordinator tier's threshold round.
+	coord := c.historicCoordinator(tps)
+	shards := make([]fed.HistoricShard, coord.Shards())
+	err := coord.RunShards(c.live, func(i int, d *engine.Deployment) error {
+		op, err := historicOperator(c.algo)
+		if err != nil {
+			return err
+		}
+		data, err := c.bufferWindows(d.Transport())
+		if err != nil {
+			return err
+		}
+		shards[i] = &fed.OperatorShard{Op: op, Tp: d.Transport(), Q: c.plan.Historic, Data: data}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	tps, err := c.transports()
+	m, err := fed.NewHistoric(c.plan.Historic, fed.Config{}, c.sys.fedStats)
 	if err != nil {
 		return nil, err
 	}
-	t := tps[0] // historic queries are flat-only (prepare rejects shards)
-	data := topk.HistoricData(trace.Series(c.sys.source, t.Topology().SensorNodes(), c.plan.Historic.Window))
-	return op.Run(t, c.plan.Historic, data)
+	return m.Run(shards, c.live)
+}
+
+// bufferWindows materializes a transport's per-node windows for this
+// cursor's historic query, epoch-aligned across shards (one flat trace
+// source, global node ids).
+func (c *Cursor) bufferWindows(tp engine.Transport) (topk.HistoricData, error) {
+	series, err := storage.BufferSeries(tp.Topology().SensorNodes(), c.plan.Historic.Window, c.sys.source.Sample)
+	if err != nil {
+		return nil, err
+	}
+	return topk.HistoricData(series), nil
+}
+
+// historicCoordinator returns the coordinator driving this cursor's
+// historic shard executions: the scheduler's on the live substrate (it
+// already holds the shard deployments), a private one over the
+// deterministic shard transports otherwise.
+func (c *Cursor) historicCoordinator(tps []engine.Transport) *engine.Coordinator {
+	if c.live {
+		return c.sched.Coordinator()
+	}
+	deps := make([]*engine.Deployment, len(tps))
+	for i, tp := range tps {
+		deps[i] = engine.NewDeployment(c.sys.scenario.ShardName(i), tp, c.sys.source)
+	}
+	return engine.NewCoordinator(deps...)
 }
 
 // windowAggSource aggregates each node's trailing window locally — the

@@ -7,9 +7,11 @@ import (
 	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/sim"
+	"kspot/internal/storage"
 	"kspot/internal/topk"
 	"kspot/internal/topk/fed"
 	"kspot/internal/topk/mint"
+	"kspot/internal/topk/tja"
 )
 
 // FederatedScaleSize and FederatedShardCount fix the federated measurement
@@ -91,4 +93,64 @@ func RunFederatedMintEpochBench(b *testing.B) (txBytesPerEpoch, msgsPerEpoch, co
 		coordBytesPerEpoch = float64(stats.Snapshot().TxBytes-warmCoord) / float64(b.N)
 	}
 	return txBytesPerEpoch, msgsPerEpoch, coordBytesPerEpoch
+}
+
+// RunFederatedHistoricBench is the shared measurement body of the
+// federated historic benchmark: one full TOP-K ... WITH HISTORY execution
+// per iteration on the sharded scale deployment — per-shard TJA over the
+// buffered windows, two-phase threshold merge at the coordinator.
+// Returns per-execution radio tx bytes (summed over the shards) and
+// coordinator backhaul bytes.
+func RunFederatedHistoricBench(b *testing.B) (txBytesPerRun, coordBytesPerRun float64) {
+	scen, err := config.ScaleScenarioShards(FederatedScaleSize, FederatedShardCount)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs, err := scen.ShardScenarios()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := scen.Source() // the flat source, shared by every shard
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := topk.HistoricQuery{K: 4, Agg: model.AggAvg, Window: 16}
+	nets := make([]*sim.Network, 0, len(subs))
+	shards := make([]fed.HistoricShard, 0, len(subs))
+	for _, sub := range subs {
+		net, err := sub.Network()
+		if err != nil {
+			b.Fatal(err)
+		}
+		series, err := storage.BufferSeries(net.Topology().SensorNodes(), q.Window, src.Sample)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets = append(nets, net)
+		shards = append(shards, &fed.OperatorShard{
+			Op: tja.New(), Tp: net, Q: q, Data: topk.HistoricData(series),
+		})
+	}
+	var stats fed.Stats
+	merger, err := fed.NewHistoric(q, fed.Config{}, &stats)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merger.Run(shards, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		tx := 0
+		for _, net := range nets {
+			tx += net.Counter.TotalTxBytes()
+		}
+		txBytesPerRun = float64(tx) / float64(b.N)
+		coordBytesPerRun = float64(stats.Snapshot().TxBytes) / float64(b.N)
+	}
+	return txBytesPerRun, coordBytesPerRun
 }

@@ -85,6 +85,7 @@ func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
 		{"view-codec", func() (MicroResult, error) { return microViewCodec() }},
 		{"view-merge", func() (MicroResult, error) { return microViewMerge() }},
 		{"fed-mint-epoch", func() (MicroResult, error) { return microFederatedEpoch() }},
+		{"fed-historic-epoch", func() (MicroResult, error) { return microFederatedHistoric() }},
 	}
 	for _, m := range micros {
 		fmt.Fprintf(w, "bench %-12s ... ", m.name)
@@ -257,6 +258,19 @@ func microFederatedEpoch() (MicroResult, error) {
 		txBytes, msgs, coordBytes = RunFederatedMintEpochBench(b)
 	})
 	res, err := micro(r, txBytes, msgs)
+	res.CoordBytesPerEpoch = coordBytes
+	return res, err
+}
+
+// microFederatedHistoric measures one full federated historic execution
+// (per-shard TJA + two-phase coordinator merge) on the sharded scale
+// deployment.
+func microFederatedHistoric() (MicroResult, error) {
+	var txBytes, coordBytes float64
+	r := testing.Benchmark(func(b *testing.B) {
+		txBytes, coordBytes = RunFederatedHistoricBench(b)
+	})
+	res, err := micro(r, txBytes, 0)
 	res.CoordBytesPerEpoch = coordBytes
 	return res, err
 }

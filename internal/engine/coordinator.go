@@ -134,6 +134,39 @@ func (c *Coordinator) Epoch(e model.Epoch, ops []EpochRunner, src trace.Source, 
 	return c.RunQuery(e, ops, shared, nil, src, merge, false)
 }
 
+// RunShards invokes fn once per shard deployment — concurrently when
+// parallel (the live substrate, where every shard is its own goroutine-
+// per-node network), in shard order otherwise — and returns the first
+// error by shard order, tagged with the shard's name. It is the one-shot
+// analogue of RunQuery's per-shard fan-out: the federated historic path
+// uses it to run per-shard window protocols with the same shard-indexing
+// discipline the epoch loop uses, so results land index-aligned with
+// Deployments.
+func (c *Coordinator) RunShards(parallel bool, fn func(i int, d *Deployment) error) error {
+	errs := make([]error, len(c.deps))
+	if parallel && len(c.deps) > 1 {
+		var wg sync.WaitGroup
+		for i := range c.deps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = fn(i, c.deps[i])
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range c.deps {
+			errs[i] = fn(i, c.deps[i])
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: shard %s: %w", c.deps[i].name, err)
+		}
+	}
+	return nil
+}
+
 // MergeReadings unions per-shard readings into one map for the oracle;
 // the single-shard case passes its map through without copying (the flat
 // hot path stays allocation-lean).

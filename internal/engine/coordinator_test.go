@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 
 	"kspot/internal/config"
@@ -227,5 +229,55 @@ func TestSchedulerStepContextExpired(t *testing.T) {
 	}
 	if out.Epoch != 0 {
 		t.Fatalf("epoch stream began at %d after expired StepContexts, want 0", out.Epoch)
+	}
+}
+
+// TestRunShards: the one-shot per-shard fan-out visits every deployment
+// index-aligned (sequential and parallel), and the first error by shard
+// order comes back tagged with the shard's name.
+func TestRunShards(t *testing.T) {
+	deps := make([]*engine.Deployment, 3)
+	for i := range deps {
+		scen := config.Figure1Scenario()
+		net, err := scen.Network()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := scen.Source()
+		if err != nil {
+			t.Fatal(err)
+		}
+		deps[i] = engine.NewDeployment(fmt.Sprintf("shard-%d", i), net, src)
+	}
+	coord := engine.NewCoordinator(deps...)
+	for _, parallel := range []bool{false, true} {
+		var mu sync.Mutex
+		seen := make(map[int]*engine.Deployment)
+		err := coord.RunShards(parallel, func(i int, d *engine.Deployment) error {
+			mu.Lock()
+			seen[i] = d
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != len(deps) {
+			t.Fatalf("parallel=%v: visited %d shards, want %d", parallel, len(seen), len(deps))
+		}
+		for i, d := range deps {
+			if seen[i] != d {
+				t.Fatalf("parallel=%v: shard %d got deployment %q", parallel, i, seen[i].Name())
+			}
+		}
+	}
+	err := coord.RunShards(true, func(i int, d *engine.Deployment) error {
+		if i >= 1 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard-1") || !strings.Contains(err.Error(), "boom 1") {
+		t.Fatalf("error not first-by-shard-order or untagged: %v", err)
 	}
 }

@@ -185,11 +185,16 @@ func (s *Scheduler) step(sq *ScheduledQuery) (Outcome, bool, error) {
 }
 
 // pushFront re-buffers an outcome a cancelled StepContext abandoned, so
-// the epoch stream stays gapless for the next Step.
+// the epoch stream stays gapless for the next Step. On a closed or
+// removed scheduler seat the outcome is dropped instead: no Step can ever
+// consume it (step refuses first), so re-buffering would only pin the
+// epoch's readings map alive behind a cursor the caller still holds —
+// the federated teardown path (one shard's cancelled epoch re-buffering
+// while the deployment Closes) must not retain dead state.
 func (s *Scheduler) pushFront(sq *ScheduledQuery, out Outcome) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sq.removed {
+	if sq.removed || s.closed {
 		return
 	}
 	sq.pending = append([]Outcome{out}, sq.pending...)

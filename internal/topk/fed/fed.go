@@ -176,6 +176,15 @@ func (m *Merger) Merge(shardAnswers [][]model.Answer) ([]model.Answer, error) {
 	// still intersect the global TOP-K (τ_i ≥ τ). The fetch returns the
 	// shard's remaining local answers scoring at or above the merged
 	// threshold; shards below it provably hold nothing that matters.
+	//
+	// K-th-boundary tie rule: both comparisons are deliberately NON-strict.
+	// When several groups tie the merged K-th score, the system's total
+	// order (model.SortAnswers) breaks the tie by ascending group id, so a
+	// tied group with a smaller id belongs in the answer even though it
+	// does not beat τ — a shard with τ_i == τ must be fetched, and a
+	// fetched answer with score == τ must be kept. A strict `>` on either
+	// line skips a tied group and silently diverges from the flat run
+	// (pinned by TestMergeKthBoundaryTies at ShipK=1).
 	for i, ans := range shardAnswers {
 		if taus[i] < tau || m.shipK >= len(ans) {
 			continue

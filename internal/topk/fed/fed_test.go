@@ -173,3 +173,80 @@ func TestNewValidates(t *testing.T) {
 		t.Error("negative ShipK accepted")
 	}
 }
+
+// TestMergeKthBoundaryTies is the constructed K-th-boundary tie pin at
+// ShipK=1: multiple groups across multiple shards tie the merged K-th
+// score exactly. The tie rule is non-strict on both phase-2 comparisons —
+// a shard whose τ_i EQUALS τ may still hold tied groups, and a fetched
+// group whose score EQUALS τ may still enter the answer (the system's
+// total order breaks score ties by group id, so a tied group with a
+// smaller id belongs in the merged top-k). A strict `>` on either
+// comparison skips a tied group and silently diverges from the flat run.
+func TestMergeKthBoundaryTies(t *testing.T) {
+	cases := []struct {
+		name     string
+		k        int
+		perShard [][]model.Answer
+	}{
+		{
+			// Shard 0 holds a group tied with its shipped answer; τ_0 ==
+			// τ == 50, and the unshipped (g3,50) must be fetched: it ties
+			// the K-th and wins on id against nothing — but (g2,50) loses
+			// its seat to it only if ranking is exact.
+			name: "tau-equals-tau_i",
+			k:    2,
+			perShard: [][]model.Answer{
+				{{Group: 4, Score: 50}, {Group: 3, Score: 50}, {Group: 7, Score: 50}},
+				{{Group: 5, Score: 50}},
+			},
+		},
+		{
+			// Three-way tie at the K-th across three shards; every shard
+			// ships one and the unshipped tied groups must all be fetched.
+			name: "three-way-tie",
+			k:    3,
+			perShard: [][]model.Answer{
+				{{Group: 9, Score: 80}, {Group: 2, Score: 70}, {Group: 6, Score: 70}},
+				{{Group: 8, Score: 70}, {Group: 3, Score: 70}},
+				{{Group: 5, Score: 90}, {Group: 1, Score: 70}},
+			},
+		},
+		{
+			// Tie exactly AT the boundary where the fetched group's score
+			// equals τ but its id is larger — it must still be fetched so
+			// the final cut ranks the tie identically to the flat run.
+			name: "tie-below-shipped",
+			k:    1,
+			perShard: [][]model.Answer{
+				{{Group: 2, Score: 60}, {Group: 4, Score: 60}},
+				{{Group: 1, Score: 60}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Flat reference: union of every shard's full ranking, ranked
+			// and cut by the system-wide total order.
+			var all []model.Answer
+			for _, ans := range tc.perShard {
+				all = append(all, ans...)
+			}
+			model.SortAnswers(all)
+			want := all
+			if len(want) > tc.k {
+				want = want[:tc.k]
+			}
+			m, err := New(fedQuery(tc.k), Config{ShipK: 1}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Merge(tc.perShard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !model.EqualAnswers(got, want) {
+				t.Fatalf("tied K-th boundary diverged: merged %v, flat %v", got, want)
+			}
+		})
+	}
+}

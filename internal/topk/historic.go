@@ -6,6 +6,7 @@ import (
 
 	"kspot/internal/engine"
 	"kspot/internal/model"
+	"kspot/internal/radio"
 )
 
 // HistoricQuery is the paper's vertically-fragmented historic form:
@@ -80,17 +81,103 @@ func ExactHistoric(data HistoricData, q HistoricQuery) []model.Answer {
 		if counts[t] == 0 {
 			continue
 		}
-		score := model.Value(sums[t]) / 100
-		if q.Agg == model.AggAvg {
-			score /= model.Value(counts[t])
-		}
-		answers = append(answers, model.Answer{Group: model.GroupID(t), Score: model.Quantize(score)})
+		answers = append(answers, model.Answer{Group: model.GroupID(t), Score: FinalScore(sums[t], int(counts[t]), q.Agg)})
 	}
 	model.SortAnswers(answers)
 	if len(answers) > q.K {
 		answers = answers[:q.K]
 	}
 	return answers
+}
+
+// FinalScore converts an exact fixed-point (centi-unit) sum over n
+// participating readings into the score the historic pipeline reports:
+// the sum in engineering units, divided by n for AVG, quantized to wire
+// resolution. Every historic component — the central oracle, the
+// distributed operators' final rankings and their candidate cut-offs, and
+// the federation tier's merged threshold — must convert through this one
+// function, in this exact operation order, or two exact sums that differ
+// by less than the wire resolution after an AVG division would rank
+// differently in different components (the K-th-boundary tie class of
+// bug: quantization collapses distinct sums into a tie that the system's
+// total order then breaks by group id).
+func FinalScore(sumFP int64, n int, agg model.AggKind) model.Value {
+	score := model.Value(sumFP) / 100
+	if agg == model.AggAvg {
+		score /= model.Value(n)
+	}
+	return model.Quantize(score)
+}
+
+// FetchHistoricSums runs one CL-style targeted sweep over a network: the
+// instant-id list is multicast down the routing tree and every node's
+// exact fixed-point values for those instants are sum-joined back up in
+// post-order. It returns the network-wide sums for the requested ids.
+//
+// This is the coordinator tier's phase-2 primitive on a federated
+// historic run — "ship your exact local sums for these instants" — and it
+// IS TJA's clean-up phase (tja delegates here), so the shard-side radio
+// accounting of a targeted fetch is identical to the operator's own CL
+// phase by construction, not by parallel maintenance. Duplicate ids are
+// collapsed before anything travels.
+func FetchHistoricSums(net engine.Transport, data HistoricData, ids []model.GroupID) map[model.GroupID]int64 {
+	if len(ids) == 0 {
+		return map[model.GroupID]int64{}
+	}
+	set := make(map[model.GroupID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	sorted := make([]model.GroupID, 0, len(set))
+	for id := range set {
+		sorted = append(sorted, id)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	payload := make([]byte, 0, 2*len(sorted))
+	for _, id := range sorted {
+		payload = append(payload, byte(id), byte(id>>8))
+	}
+	reached := net.BroadcastDown(radio.KindCL, 0, func(model.NodeID) []byte { return payload })
+
+	inbox := make(map[model.NodeID]map[model.GroupID]int64)
+	for _, node := range net.Routing().PostOrder() {
+		sums := inbox[node]
+		if sums == nil {
+			sums = make(map[model.GroupID]int64)
+		}
+		if series, ok := data[node]; ok && reached[node] && node != net.Routing().Root {
+			for _, id := range sorted {
+				if int(id) < len(series) {
+					sums[id] += int64(model.ToFixed(series[id]))
+				}
+			}
+		}
+		if node == net.Routing().Root {
+			return sums
+		}
+		if len(sums) == 0 || !net.Alive(node) {
+			continue
+		}
+		out := make([]byte, 0, len(sums)*model.AnswerWireSize)
+		up := make([]model.GroupID, 0, len(sums))
+		for id := range sums {
+			up = append(up, id)
+		}
+		sort.Slice(up, func(i, j int) bool { return up[i] < up[j] })
+		for _, id := range up {
+			out = model.AppendAnswer(out, model.Answer{Group: id, Score: model.Value(sums[id]) / 100})
+		}
+		if net.SendUp(node, radio.KindCL, 0, out) {
+			parent := net.Routing().Parent[node]
+			if inbox[parent] == nil {
+				inbox[parent] = make(map[model.GroupID]int64)
+			}
+			for id, s := range sums {
+				inbox[parent][id] += s
+			}
+		}
+	}
+	return map[model.GroupID]int64{}
 }
 
 // LocalTopK returns the indices of a node's k highest local values, ranked,

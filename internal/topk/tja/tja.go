@@ -85,30 +85,50 @@ func (o *Operator) Run(net engine.Transport, q topk.HistoricQuery, data topk.His
 	tau := kthSum(exact, q.K)
 
 	// ---- Phase 3: CL — fetch exact values for unresolved candidates. ----
+	//
+	// The cut-off compares in final quantized-score space, not sum space:
+	// under AVG the division can quantize two distinct sums into a tie,
+	// and the system's total order then breaks that tie by instant id — an
+	// item whose upper bound is strictly below τ as a sum can still TIE the
+	// K-th answer as a score and win on id, so a sum-space `ub >= tau`
+	// silently drops it (the K-th-boundary tie bug). FinalScore is
+	// monotone, so comparing scores only ever admits more candidates.
 	var candidates []model.GroupID
+	tauScore := topk.FinalScore(tau, n, q.Agg)
 	for id, it := range items {
 		if it.coverage >= n {
 			continue
 		}
 		ub := it.sumFP + (totalThrFP - it.thrFP)
-		if ub >= tau {
+		if topk.FinalScore(ub, n, q.Agg) >= tauScore {
 			candidates = append(candidates, id)
+		}
+	}
+	// Items no node reported at all are bounded by Σθ: each of the n
+	// nodes' values sits at least one centi-unit below its θ_i, so their
+	// sum is at most Σθ − n. That bound is strictly below τ as a sum, but
+	// can still tie it as a quantized score — when it does, every unseen
+	// instant joins the clean-up fetch (rare, bounded by the window).
+	if n > 0 && topk.FinalScore(totalThrFP-int64(n), n, q.Agg) >= tauScore {
+		for t := 0; t < q.Window; t++ {
+			if _, seen := items[model.GroupID(t)]; !seen {
+				candidates = append(candidates, model.GroupID(t))
+			}
 		}
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 	if len(candidates) > 0 {
-		for id, sumFP := range o.clPhase(net, q, data, candidates) {
+		// The CL sweep is the shared targeted-fetch primitive — the same
+		// code the federation tier's phase 2 runs, so their accounting can
+		// never drift apart.
+		for id, sumFP := range topk.FetchHistoricSums(net, data, candidates) {
 			exact[id] = sumFP
 		}
 	}
 
 	answers := make([]model.Answer, 0, len(exact))
 	for id, sumFP := range exact {
-		score := model.Value(sumFP) / 100
-		if q.Agg == model.AggAvg {
-			score /= model.Value(n)
-		}
-		answers = append(answers, model.Answer{Group: id, Score: model.Quantize(score)})
+		answers = append(answers, model.Answer{Group: id, Score: topk.FinalScore(sumFP, n, q.Agg)})
 	}
 	model.SortAnswers(answers)
 	if len(answers) > q.K {
@@ -229,57 +249,6 @@ func (o *Operator) hjPhase(net engine.Transport, q topk.HistoricQuery, data topk
 		return map[model.GroupID]*item{}, 0, 0
 	}
 	return sinkState.items, sinkState.thrFP, sinkState.nodes
-}
-
-// clPhase multicasts the candidate id list and sum-joins every node's exact
-// values for those items.
-func (o *Operator) clPhase(net engine.Transport, q topk.HistoricQuery, data topk.HistoricData, candidates []model.GroupID) map[model.GroupID]int64 {
-	cSet := make(map[model.GroupID]bool, len(candidates))
-	for _, id := range candidates {
-		cSet[id] = true
-	}
-	cPayload := encodeIDs(cSet)
-	reached := net.BroadcastDown(radio.KindCL, 0, func(model.NodeID) []byte { return cPayload })
-
-	inbox := make(map[model.NodeID]map[model.GroupID]int64)
-	for _, node := range net.Routing().PostOrder() {
-		sums := inbox[node]
-		if sums == nil {
-			sums = make(map[model.GroupID]int64)
-		}
-		if series, ok := data[node]; ok && reached[node] && node != net.Routing().Root {
-			for _, id := range candidates {
-				if int(id) < len(series) {
-					sums[id] += int64(model.ToFixed(series[id]))
-				}
-			}
-		}
-		if node == net.Routing().Root {
-			return sums
-		}
-		if len(sums) == 0 || !net.Alive(node) {
-			continue
-		}
-		payload := make([]byte, 0, len(sums)*model.AnswerWireSize)
-		ids := make([]model.GroupID, 0, len(sums))
-		for id := range sums {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			payload = model.AppendAnswer(payload, model.Answer{Group: id, Score: model.Value(sums[id]) / 100})
-		}
-		if net.SendUp(node, radio.KindCL, 0, payload) {
-			parent := net.Routing().Parent[node]
-			if inbox[parent] == nil {
-				inbox[parent] = make(map[model.GroupID]int64)
-			}
-			for id, s := range sums {
-				inbox[parent][id] += s
-			}
-		}
-	}
-	return map[model.GroupID]int64{}
 }
 
 // kthSum returns the K-th largest sum (ties by smaller id), or the minimum

@@ -1,6 +1,7 @@
 package tja
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -169,5 +170,66 @@ func TestExactProperty(t *testing.T) {
 func TestName(t *testing.T) {
 	if New().Name() != "tja" {
 		t.Error("name")
+	}
+}
+
+// TestQuantizedTieAdversarial hammers the K-th-boundary tie rule: values
+// drawn from a few centi-levels straddling AVG rounding boundaries make
+// quantization collapse distinct sums into score ties constantly, which
+// is exactly where a sum-space clean-up cut (`ub >= tau` on raw sums)
+// diverges from the oracle — the tie goes to the smaller instant id, and
+// a dropped candidate can be that smaller id. Seeded, so a regression
+// reproduces byte-for-byte.
+func TestQuantizedTieAdversarial(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	rng := rand.New(rand.NewSource(1))
+	levels := []model.Value{1.99, 2.00, 2.01, 2.02}
+	for trial := 0; trial < 500; trial++ {
+		w := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(2)
+		nodes := 3 + rng.Intn(2)
+		data := topk.HistoricData{}
+		for n := 1; n <= nodes; n++ {
+			s := make([]model.Value, w)
+			for i := range s {
+				s[i] = levels[rng.Intn(len(levels))]
+			}
+			data[model.NodeID(n)] = s
+		}
+		q := topk.HistoricQuery{K: k, Agg: model.AggAvg, Window: w}
+		net.Reset()
+		got, err := New().Run(net, q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := topk.ExactHistoric(data, q); !model.EqualAnswers(got, want) {
+			t.Fatalf("trial %d (w=%d k=%d): tja=%v oracle=%v data=%v", trial, w, k, got, want, data)
+		}
+	}
+}
+
+// TestKthBoundaryTieRegression pins the concrete counterexample the
+// adversarial sweep surfaced against the old sum-space clean-up cut:
+// instant 0's upper bound is strictly below τ as a raw sum, but AVG over
+// three nodes quantizes both to 2.00 — a tie the system's total order
+// breaks toward instant 0, which the sum-space rule silently dropped.
+func TestKthBoundaryTieRegression(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	q := topk.HistoricQuery{K: 1, Agg: model.AggAvg, Window: 4}
+	data := topk.HistoricData{
+		1: {1.99, 2.00, 2.00, 2.00},
+		2: {2.00, 1.99, 2.00, 2.01},
+		3: {2.00, 2.01, 1.99, 2.00},
+	}
+	want := topk.ExactHistoric(data, q)
+	if len(want) != 1 || want[0].Group != 0 {
+		t.Fatalf("oracle did not tie toward instant 0: %v", want)
+	}
+	got, err := New().Run(net, q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.EqualAnswers(got, want) {
+		t.Fatalf("K-th boundary tie dropped: tja=%v, oracle=%v", got, want)
 	}
 }

@@ -18,6 +18,12 @@
 //
 // Phases are tagged radio.KindLB / KindHJ / KindCL for per-phase accounting
 // (the same tags TJA uses, so the E7/E8 harness compares like for like).
+//
+// Like the original algorithm, this implementation assumes nonnegative
+// values: the uniform threshold T is clamped at zero, and the phase-1
+// bottom τ₁ treats a missing report as a zero contribution — both of
+// which under-estimate with values below zero. KSpot's calibrated
+// attributes (sound percent, the diurnal temperature field) satisfy this.
 package tput
 
 import (
@@ -128,19 +134,34 @@ func (o *Operator) Run(net engine.Transport, q topk.HistoricQuery, data topk.His
 		}
 	}
 
-	// Refine: τ₂ = K-th lower bound; candidates have UB ≥ τ₂.
+	// Refine: τ₂ = K-th lower bound; candidates have UB ≥ τ₂. The cut-off
+	// compares in final quantized-score space: under AVG the division can
+	// quantize two distinct sums into a tie the total order then breaks by
+	// instant id, so a sum-space `ub >= tau2` can drop an item that ties
+	// the K-th answer and wins on id (the K-th-boundary tie bug).
+	// FinalScore is monotone — score comparison only admits more.
 	tau2 := kthSum(sums, q.K)
+	tau2Score := topk.FinalScore(tau2, n, q.Agg)
 	var candidates []model.GroupID
 	for id, s := range sums {
 		ub := s + tFP*int64(n-counts[id])
-		if counts[id] < n && ub >= tau2 {
+		if counts[id] < n && topk.FinalScore(ub, n, q.Agg) >= tau2Score {
 			candidates = append(candidates, id)
 		}
 	}
-	// Items no node reported at all need no clean-up: every one of their
-	// values is strictly below T (phase 2 would have shipped it
-	// otherwise), so their sum is strictly below n·T = τ₁ ≤ τ₂ — they
-	// cannot reach, or even tie, the K-th answer.
+	// Items no node reported at all: every one of their values is strictly
+	// below T (phase 2 would have shipped it otherwise), so their sum is at
+	// most n·(T−1) < τ₁ ≤ τ₂ as a sum — but quantization can still collapse
+	// that strict gap into a score tie at the K-th boundary, and a tied
+	// instant with a smaller id belongs in the answer. When the bound ties,
+	// every unseen instant joins the clean-up (rare, bounded by the window).
+	if topk.FinalScore(int64(n)*(tFP-1), n, q.Agg) >= tau2Score {
+		for t := 0; t < q.Window; t++ {
+			if _, seen := sums[model.GroupID(t)]; !seen {
+				candidates = append(candidates, model.GroupID(t))
+			}
+		}
+	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
 	// ---- Phase 3: fetch exact values for candidates. ----
@@ -184,11 +205,7 @@ func (o *Operator) Run(net engine.Transport, q topk.HistoricQuery, data topk.His
 		if counts[id] < n {
 			continue // partially known and provably below τ₂
 		}
-		score := model.Value(s) / 100
-		if q.Agg == model.AggAvg {
-			score /= model.Value(n)
-		}
-		answers = append(answers, model.Answer{Group: id, Score: model.Quantize(score)})
+		answers = append(answers, model.Answer{Group: id, Score: topk.FinalScore(s, n, q.Agg)})
 	}
 	model.SortAnswers(answers)
 	if len(answers) > q.K {

@@ -1,6 +1,7 @@
 package tput
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -142,5 +143,67 @@ func TestExactProperty(t *testing.T) {
 func TestName(t *testing.T) {
 	if New().Name() != "tput" {
 		t.Error("name")
+	}
+}
+
+// TestQuantizedTieAdversarial hammers the refinement cut's K-th-boundary
+// tie rule with values drawn from centi-levels straddling AVG rounding
+// boundaries: quantization collapses distinct sums into score ties, where
+// a sum-space `ub >= tau2` (and the unguarded never-reported case) drops
+// instants that tie the K-th answer and win on id. Seeded for
+// reproducibility.
+func TestQuantizedTieAdversarial(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	rng := rand.New(rand.NewSource(1))
+	levels := []model.Value{1.99, 2.00, 2.01, 2.02}
+	for trial := 0; trial < 500; trial++ {
+		w := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(2)
+		nodes := 3 + rng.Intn(2)
+		data := topk.HistoricData{}
+		for n := 1; n <= nodes; n++ {
+			s := make([]model.Value, w)
+			for i := range s {
+				s[i] = levels[rng.Intn(len(levels))]
+			}
+			data[model.NodeID(n)] = s
+		}
+		q := topk.HistoricQuery{K: k, Agg: model.AggAvg, Window: w}
+		net.Reset()
+		got, err := New().Run(net, q, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := topk.ExactHistoric(data, q); !model.EqualAnswers(got, want) {
+			t.Fatalf("trial %d (w=%d k=%d): tput=%v oracle=%v data=%v", trial, w, k, got, want, data)
+		}
+	}
+}
+
+// TestKthBoundaryTieRegression pins the concrete counterexample the
+// brute-force sweep surfaced against the old sum-space refinement cut:
+// instant 1's upper bound after phase 2 is strictly below τ₂ as a raw
+// sum, but AVG over five nodes quantizes both to 3.60 — a tie the total
+// order breaks toward instant 1, which the sum-space rule dropped.
+func TestKthBoundaryTieRegression(t *testing.T) {
+	net := topktest.Fig1Network(t)
+	q := topk.HistoricQuery{K: 1, Agg: model.AggAvg, Window: 3}
+	data := topk.HistoricData{
+		1: {2.00, 6.00, 4.01},
+		2: {0.01, 2.00, 5.99},
+		3: {0.01, 1.99, 4.01},
+		4: {0.01, 4.00, 2.01},
+		5: {6.00, 4.00, 2.00},
+	}
+	want := topk.ExactHistoric(data, q)
+	if len(want) != 1 || want[0].Group != 1 {
+		t.Fatalf("oracle did not tie toward instant 1: %v", want)
+	}
+	got, err := New().Run(net, q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.EqualAnswers(got, want) {
+		t.Fatalf("K-th boundary tie dropped: tput=%v, oracle=%v", got, want)
 	}
 }

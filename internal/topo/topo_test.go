@@ -204,16 +204,17 @@ func TestRemoveNodeReparents(t *testing.T) {
 	if err := tree.Validate(); err != nil {
 		t.Fatalf("after removal: %v", err)
 	}
-	if tree.Size()+1+countOrphanSubtrees(orphans) > before {
-		t.Fatalf("size grew after removal")
+	// Exact accounting: every node that left the tree is either the victim
+	// or a reported orphan — nothing vanishes silently.
+	if tree.Size()+1+len(orphans) != before {
+		t.Fatalf("size %d + victim + %d orphans != %d before (unreported detachment)",
+			tree.Size(), len(orphans), before)
 	}
 	if _, ok := tree.Depth[victim]; ok {
 		t.Fatal("victim still in tree")
 	}
 	_ = p
 }
-
-func countOrphanSubtrees(o []model.NodeID) int { return len(o) }
 
 func TestRemoveSinkPanics(t *testing.T) {
 	_, l, tree := buildConnected(t, 20, 5)
@@ -299,5 +300,46 @@ func TestLifetimeHelperNaN(t *testing.T) {
 	// Guard: Dist of identical points is exactly 0, never NaN.
 	if v := (Point{3, 3}).Dist(Point{3, 3}); math.IsNaN(v) {
 		t.Fatal("Dist produced NaN")
+	}
+}
+
+// TestRemoveNodeReportsSweptSiblings pins the orphan-accounting fix: a
+// sibling that re-parents INTO a subtree that later strands is swept away
+// with it and must be reported, not silently vanish. Node 2 dies; child 3
+// re-parents under 5 (its only surviving neighbor, inside 4's subtree);
+// child 4 then finds no parent and strands — taking 5 AND the re-parented
+// 3 with it. The report must name all three.
+func TestRemoveNodeReportsSweptSiblings(t *testing.T) {
+	tree := &Tree{
+		Parent:   map[model.NodeID]model.NodeID{2: 0, 3: 2, 4: 2, 5: 4},
+		Children: map[model.NodeID][]model.NodeID{0: {2}, 2: {3, 4}, 4: {5}},
+		Depth:    map[model.NodeID]int{0: 0, 2: 1, 3: 2, 4: 2, 5: 3},
+		Root:     model.Sink,
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	links := NewLinks()
+	links.Connect(0, 2)
+	links.Connect(2, 3)
+	links.Connect(2, 4)
+	links.Connect(4, 5)
+	links.Connect(3, 5)
+
+	orphans := tree.RemoveNode(2, links)
+	want := []model.NodeID{3, 4, 5}
+	if len(orphans) != len(want) {
+		t.Fatalf("orphans = %v, want %v (swept sibling must be reported)", orphans, want)
+	}
+	for i := range want {
+		if orphans[i] != want[i] {
+			t.Fatalf("orphans = %v, want %v", orphans, want)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("tree invalid after removal: %v", err)
+	}
+	if tree.Size() != 1 {
+		t.Fatalf("tree size = %d, want 1 (sink only)", tree.Size())
 	}
 }

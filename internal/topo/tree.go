@@ -238,9 +238,18 @@ func (t *Tree) Validate() error {
 }
 
 // RemoveNode detaches a failed node, re-parenting its children to the best
-// surviving linked neighbor (smallest depth, then smallest id). Children
-// with no surviving neighbor become unreachable and are reported. This is
-// the failure-injection hook for experiment E13-style runs.
+// surviving linked neighbor (smallest depth, then smallest id). Every node
+// that ends up outside the tree — a child with no surviving neighbor, its
+// entire subtree, and any sibling that re-parented INTO a subtree that
+// later stranded — is reported as an orphan, sorted by id. This is the
+// failure-injection hook for experiment E13-style runs.
+//
+// Callers must feed the report into recall accounting rather than just
+// shrinking the deployment: an orphaned subtree keeps sensing (its nodes
+// are alive) but its readings can no longer reach the sink, so from the
+// next epoch on the answer set silently loses those readings while the
+// oracle keeps seeing them — the gap is exactly what stats.Score's recall
+// column measures (pinned by mint's TestOrphanRecallAccounting).
 func (t *Tree) RemoveNode(dead model.NodeID, links *Links) (orphans []model.NodeID) {
 	if dead == t.Root {
 		panic("topo: cannot remove the sink")
@@ -253,7 +262,15 @@ func (t *Tree) RemoveNode(dead model.NodeID, links *Links) (orphans []model.Node
 	delete(t.Parent, dead)
 	delete(t.Depth, dead)
 	delete(t.Children, dead)
+	detached := map[model.NodeID]bool{}
 	for _, c := range children {
+		if detached[c] {
+			// Defensive: a child swept away by an earlier sibling's detach
+			// must not be re-attached — that would resurrect half-deleted
+			// state. (Unreachable today: an unprocessed child still hangs
+			// off dead, never inside a sibling's subtree.)
+			continue
+		}
 		best := model.NodeID(0)
 		bestDepth := math.MaxInt
 		found := false
@@ -270,8 +287,11 @@ func (t *Tree) RemoveNode(dead model.NodeID, links *Links) (orphans []model.Node
 			}
 		}
 		if !found {
-			orphans = append(orphans, c)
-			detachSubtree(t, c)
+			// The whole subtree strands — including any earlier sibling
+			// that re-parented into it. Before this reported only c, and a
+			// sibling swept away here vanished from the tree unreported,
+			// silently shrinking every later answer set.
+			detachSubtree(t, c, detached)
 			continue
 		}
 		t.Parent[c] = best
@@ -279,6 +299,11 @@ func (t *Tree) RemoveNode(dead model.NodeID, links *Links) (orphans []model.Node
 		sort.Slice(t.Children[best], func(i, j int) bool { return t.Children[best][i] < t.Children[best][j] })
 		refreshDepths(t, c, bestDepth+1)
 	}
+	orphans = make([]model.NodeID, 0, len(detached))
+	for id := range detached {
+		orphans = append(orphans, id)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
 	return orphans
 }
 
@@ -286,11 +311,12 @@ func inSubtreeOf(t *Tree, candidate, root model.NodeID) bool {
 	return t.Subtree(root)[candidate]
 }
 
-func detachSubtree(t *Tree, n model.NodeID) {
+func detachSubtree(t *Tree, n model.NodeID, detached map[model.NodeID]bool) {
 	for id := range t.Subtree(n) {
 		delete(t.Parent, id)
 		delete(t.Depth, id)
 		delete(t.Children, id)
+		detached[id] = true
 	}
 }
 

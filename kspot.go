@@ -24,8 +24,11 @@
 // A scenario carrying a "shards" block opens as a federated deployment:
 // the sensor field is partitioned into shard networks (one base station
 // and routing tree each) and shard-local top-k rankings merge at a
-// coordinator tier with answers provably identical to one flat network
-// (see internal/topk/fed and DESIGN.md's federation section).
+// coordinator tier with answers provably identical to one flat network —
+// snapshot queries via the two-phase snapshot merge, historic WITH
+// HISTORY queries via a per-execution threshold round over the shards'
+// partial sums (see internal/topk/fed and DESIGN.md's federation
+// section).
 package kspot
 
 import (
@@ -129,6 +132,12 @@ type System struct {
 	liveTPs    []engine.Transport // lives behind their fault injectors when armed
 	sched      *engine.Scheduler
 	liveCancel context.CancelFunc
+	// liveRuns counts one-shot historic executions in flight on the live
+	// substrate. They run outside the scheduler's epoch lock-step, so
+	// Close must wait them out separately before stopping the node
+	// goroutines — otherwise a federated historic Run could find one
+	// shard's Live torn down mid-protocol.
+	liveRuns sync.WaitGroup
 
 	// faultCfg, when non-nil, is the armed fault environment (faultCfgs
 	// its per-shard specializations); dets are the deterministic shard
@@ -438,6 +447,23 @@ func (s *System) liveState() ([]engine.Transport, *engine.Scheduler) {
 	return s.liveTPs, s.sched
 }
 
+// beginLiveRun snapshots the live deployment for a one-shot historic
+// execution AND registers the run so a concurrent Close waits it out
+// before stopping the node goroutines. The check and the registration
+// share one critical section — snapshotting first and registering later
+// would leave a window where Close tears the substrate down under a run
+// that already holds its transports. release must be called when the run
+// completes.
+func (s *System) beginLiveRun() (tps []engine.Transport, sched *engine.Scheduler, release func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.liveTPs == nil {
+		return nil, nil, nil, fmt.Errorf("kspot: system is closed")
+	}
+	s.liveRuns.Add(1)
+	return s.liveTPs, s.sched, func() { s.liveRuns.Done() }, nil
+}
+
 // Close stops the live deployment's node goroutines, if any were started.
 // In-flight Steps complete first; later Steps on live cursors return an
 // error. Safe to call multiple times and concurrently with in-flight
@@ -446,7 +472,8 @@ func (s *System) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.lives != nil {
-		s.sched.Close() // waits out any in-flight epoch
+		s.sched.Close()   // waits out any in-flight scheduled epoch
+		s.liveRuns.Wait() // and any in-flight one-shot historic run
 		for _, live := range s.lives {
 			live.Stop()
 		}

@@ -3,6 +3,7 @@ package kspot
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"kspot/internal/model"
@@ -263,5 +264,137 @@ func TestScaleScenario4000Loads(t *testing.T) {
 	}
 	if got := len(sys.Scenario().Clusters); got != 200 {
 		t.Fatalf("scale-4000 clusters = %d, want 200", got)
+	}
+}
+
+// TestFederatedHistoricConformance is the PR 5 acceptance pin: historic
+// TOP-K on scale-1000 split into 4 shards must answer byte-identically to
+// the flat historic run on both the deterministic and the concurrent live
+// substrate (under -race), with every shard-side radio message accounted
+// to its shard, the per-shard counters summing to the captured total, and
+// the coordinator tier's two-phase backhaul measured identically on both
+// substrates.
+func TestFederatedHistoricConformance(t *testing.T) {
+	const sql = "SELECT TOP 4 epoch, AVG(sound) FROM sensors WITH HISTORY 16"
+
+	flatSys, err := OpenFile("scenarios/scale-1000.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatCur, err := flatSys.PostWith(sql, AlgoTJA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := flatCur.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != 4 {
+		t.Fatalf("flat historic run returned %d answers, want 4", len(flat))
+	}
+
+	scen, err := ScaleScenarioShards(1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(live bool) ([]Answer, RunStats, FederationTraffic) {
+		sys, err := Open(scen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		if sys.Shards() != 4 {
+			t.Fatalf("system has %d shards, want 4", sys.Shards())
+		}
+		var opts []PostOption
+		if live {
+			opts = append(opts, WithLive())
+		}
+		cur, err := sys.PostWith(sql, AlgoTJA, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers, err := cur.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Shard-side traffic is real radio traffic: every message belongs
+		// to exactly one shard and the per-shard counters sum to the
+		// captured total.
+		sum := 0
+		for _, net := range sys.Networks() {
+			sum += net.Snap().Messages
+		}
+		total := sys.CaptureStats("fed-historic", 1)
+		if total.Messages != sum {
+			t.Fatalf("per-shard messages sum %d, capture total %d", sum, total.Messages)
+		}
+		if total.Messages == 0 {
+			t.Fatal("no shard-side traffic recorded")
+		}
+		return answers, total, sys.FederationStats()
+	}
+	det, detStats, detFed := run(false)
+	live, liveStats, liveFed := run(true)
+	if !model.EqualAnswers(det, flat) {
+		t.Fatalf("sharded det=%v, flat=%v", det, flat)
+	}
+	if !model.EqualAnswers(live, flat) {
+		t.Fatalf("sharded live=%v, flat=%v", live, flat)
+	}
+	if detStats.Messages != liveStats.Messages || detStats.TxBytes != liveStats.TxBytes {
+		t.Fatalf("sharded traffic diverged across substrates: det %d msgs / %d bytes, live %d msgs / %d bytes",
+			detStats.Messages, detStats.TxBytes, liveStats.Messages, liveStats.TxBytes)
+	}
+	if detFed != liveFed {
+		t.Fatalf("coordinator tier diverged across substrates: det %+v, live %+v", detFed, liveFed)
+	}
+	if detFed.Rounds != 1 || detFed.Phase1Msgs != 4 || detFed.TxBytes == 0 {
+		t.Fatalf("coordinator tier unaccounted: %+v", detFed)
+	}
+}
+
+// TestFedHistoricDemoScenario keeps the committed federated-historic demo
+// file loadable and working end to end: the conference site split into
+// two named shard networks, serving a federated WITH HISTORY query whose
+// answers match the same query on the flat demo deployment.
+func TestFedHistoricDemoScenario(t *testing.T) {
+	const sql = "SELECT TOP 3 epoch, AVG(sound) FROM sensors WITH HISTORY 8"
+	sys, err := OpenFile("scenarios/fed-historic-demo.json")
+	if err != nil {
+		t.Fatalf("fed-historic-demo scenario: %v", err)
+	}
+	defer sys.Close()
+	if sys.Shards() != 2 {
+		t.Fatalf("shards = %d, want 2", sys.Shards())
+	}
+	cur, err := sys.Post(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cur.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatSys, err := Open(DemoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatCur, err := flatSys.Post(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := flatCur.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.EqualAnswers(got, want) {
+		t.Fatalf("federated demo %v, flat %v", got, want)
+	}
+	panel := sys.SystemPanel(nil)
+	for _, label := range []string{"east-wing", "west-wing", "coordinator tier"} {
+		if !strings.Contains(panel, label) {
+			t.Errorf("panel missing %q:\n%s", label, panel)
+		}
 	}
 }
