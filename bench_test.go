@@ -13,6 +13,7 @@ package kspot
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"kspot/internal/bench"
@@ -70,6 +71,29 @@ func benchOperatorEpoch(b *testing.B, op topk.SnapshotOperator) {
 	// Shared body (internal/bench), so `go test -bench` and the -json
 	// trajectory always measure the identical deployment and loop.
 	txBytes, msgs := bench.RunOperatorEpochBench(b, op)
+	if b.N > 0 {
+		b.ReportMetric(txBytes, "tx_bytes/epoch")
+		b.ReportMetric(msgs, "msgs/epoch")
+	}
+}
+
+// BenchmarkMintEpochScale4000 measures one steady-state MINT epoch on the
+// flat scale-4000 deployment with the legacy sequential sweep — the
+// baseline of the parallel-sweep speedup curve.
+func BenchmarkMintEpochScale4000(b *testing.B) {
+	benchScaleEpoch(b, bench.SpeedupScaleSize, 1)
+}
+
+// BenchmarkMintEpochScale4000Parallel is BenchmarkMintEpochScale4000 with
+// the level-synchronous parallel sweep at NumCPU workers. Answers, frames
+// and energy accounting are byte-identical to the sequential run (see
+// internal/sim); only the wall clock moves.
+func BenchmarkMintEpochScale4000Parallel(b *testing.B) {
+	benchScaleEpoch(b, bench.SpeedupScaleSize, runtime.NumCPU())
+}
+
+func benchScaleEpoch(b *testing.B, n, workers int) {
+	txBytes, msgs := bench.RunScaleMintEpochBench(b, n, workers)
 	if b.N > 0 {
 		b.ReportMetric(txBytes, "tx_bytes/epoch")
 		b.ReportMetric(msgs, "msgs/epoch")

@@ -8,23 +8,32 @@
 //	kspot-bench -exp all          # run everything (the default)
 //	kspot-bench -exp e7 -scale .2 # quick run at reduced size
 //
-// Benchmark trajectory (machine-readable, see BENCH_PR5.json, which
-// carries the PR 3-4 trajectory forward):
+// Benchmark trajectory (machine-readable, see BENCH_PR6.json, which
+// carries the PR 3-5 trajectory forward):
 //
-//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR5.json
-//	kspot-bench -json -json-run pr6         # record under a new run name
+//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR6.json
+//	kspot-bench -json -json-run pr7         # record under a new run name
 //	kspot-bench -json -json-out other.json  # write elsewhere
+//	kspot-bench -json -parallel 8           # add the parallel-sweep speedup leg
 //
 // -json measures the hot-path micro-benchmarks (ns/op, allocs/op, tx_bytes
-// and messages per epoch) plus one timed pass of every experiment, and
-// merges the result into the trajectory file without disturbing runs
-// recorded by earlier PRs.
+// and messages per epoch), the µs-per-node-per-epoch scale series (the big
+// sizes are gated on -scale; -parallel > 1 adds the parallel-vs-sequential
+// speedup entry) plus one timed pass of every experiment, and merges the
+// result into the trajectory file without disturbing runs recorded by
+// earlier PRs.
+//
+// Profiling the harness itself:
+//
+//	kspot-bench -exp e5 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"kspot/internal/bench"
@@ -32,22 +41,49 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (e1..e14) or 'all'")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		scale    = flag.Float64("scale", 1.0, "size scale factor in (0,1], for quick runs")
-		emitJSON = flag.Bool("json", false, "measure benchmarks and merge into the JSON trajectory file")
-		jsonOut  = flag.String("json-out", "BENCH_PR5.json", "trajectory file -json writes")
-		jsonRun  = flag.String("json-run", "pr5", "run name -json records the measurement under")
+		exp        = flag.String("exp", "all", "experiment id (e1..e14) or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		scale      = flag.Float64("scale", 1.0, "size scale factor in (0,1], for quick runs")
+		parallel   = flag.Int("parallel", 1, "epoch-sweep worker bound of the parallel benchmark leg; 1 = sequential measurements only")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
+		emitJSON   = flag.Bool("json", false, "measure benchmarks and merge into the JSON trajectory file")
+		jsonOut    = flag.String("json-out", "BENCH_PR6.json", "trajectory file -json writes")
+		jsonRun    = flag.String("json-run", "pr6", "run name -json records the measurement under")
 	)
 	flag.Parse()
 
-	if *emitJSON {
-		cfg := bench.RunConfig{Scale: *scale}
-		if err := bench.WriteJSON(os.Stdout, *jsonOut, *jsonRun, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "kspot-bench:", err)
-			os.Exit(1)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
 		}
-		fmt.Printf("wrote run %q (scale %v) to %s\n", *jsonRun, *scale, *jsonOut)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	cfg := bench.RunConfig{Scale: *scale, Parallel: *parallel}
+	if *emitJSON {
+		if err := bench.WriteJSON(os.Stdout, *jsonOut, *jsonRun, cfg); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote run %q (scale %v, parallel %d) to %s\n", *jsonRun, *scale, *parallel, *jsonOut)
 		return
 	}
 	if *list {
@@ -56,7 +92,6 @@ func main() {
 		}
 		return
 	}
-	cfg := bench.RunConfig{Scale: *scale}
 
 	run := func(e bench.Experiment) error {
 		start := time.Now()
@@ -71,8 +106,7 @@ func main() {
 	if *exp == "all" {
 		for _, e := range bench.All() {
 			if err := run(e); err != nil {
-				fmt.Fprintln(os.Stderr, "kspot-bench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
 		return
@@ -83,7 +117,13 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(e); err != nil {
-		fmt.Fprintln(os.Stderr, "kspot-bench:", err)
-		os.Exit(1)
+		fail(err)
 	}
+}
+
+// fail prints the error and exits. Deferred profile writers do not run on
+// this path — a failed run's profiles would be misleading anyway.
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kspot-bench:", err)
+	os.Exit(1)
 }

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -105,6 +106,7 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault environment")
 		genScale     = flag.Int("gen-scale", 0, "generate the scale-<n> scenario (n sensors, multiple of 20) instead of loading one; use with -emit")
 		shards       = flag.Int("shards", 0, "federate the deployment into N shard networks (splits the cluster list; with -gen-scale, validates every shard deploys)")
+		parallel     = flag.Int("parallel", runtime.NumCPU(), "epoch-sweep worker bound per shard; 1 = exact legacy sequential path (results are byte-identical for every value)")
 	)
 	flag.Var(&churn, "churn", "node churn: node@epoch (die) or node@down:up (die and revive); repeatable")
 	flag.Parse()
@@ -169,7 +171,7 @@ func main() {
 		return
 	}
 
-	sys, err := kspot.Open(scen)
+	sys, err := kspot.Open(scen, kspot.WithParallel(*parallel))
 	if err != nil {
 		fail(err)
 	}

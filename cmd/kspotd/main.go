@@ -28,6 +28,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -67,6 +68,7 @@ func main() {
 		delayP       = flag.Float64("delay", 0, "frame delay probability [0,1)")
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault environment")
 		shards       = flag.Int("shards", 0, "federate the deployment into N shard networks (splits the cluster list)")
+		parallel     = flag.Int("parallel", runtime.NumCPU(), "epoch-sweep worker bound per shard; 1 = exact legacy sequential path (results are byte-identical for every value)")
 	)
 	flag.Var(&queries, "query", "extra SQL to post on the same deployment (repeatable)")
 	flag.Parse()
@@ -96,7 +98,7 @@ func main() {
 		}
 	}
 	placement := scen.Placement()
-	sys, err := kspot.Open(scen)
+	sys, err := kspot.Open(scen, kspot.WithParallel(*parallel))
 	if err != nil {
 		log.Fatal("kspotd: ", err)
 	}

@@ -28,8 +28,13 @@ import (
 // racy and leaked a dirty scale when a run aborted.
 type RunConfig struct {
 	// Scale shrinks experiment sizes by the factor (0 < Scale ≤ 1); zero
-	// or out-of-range values mean full scale.
+	// or out-of-range values mean full scale. It also gates the big
+	// entries of the scale series (see ScaleSeriesSizes).
 	Scale float64
+	// Parallel bounds the epoch-sweep workers of the parallel benchmark
+	// leg (see sim.Network.SetParallel); 0 or 1 keeps every measurement
+	// on the sequential path and skips the speedup entry.
+	Parallel int
 }
 
 // scaled applies the configured scale to a size, with a floor of 2 so that

@@ -36,6 +36,13 @@ type MicroResult struct {
 	// CoordBytesPerEpoch is the coordinator tier's backhaul, for the
 	// federated epoch benchmark.
 	CoordBytesPerEpoch float64 `json:"coord_bytes_per_epoch,omitempty"`
+	// UsPerNodePerEpoch and Workers annotate the scale-series entries —
+	// µs of epoch compute per sensor node, and the sweep worker bound the
+	// entry ran at. Deliberately not omitempty: they serialize as null on
+	// micros where they do not apply and on runs recorded before PR 6, so
+	// the trajectory file carries the schema change visibly.
+	UsPerNodePerEpoch *float64 `json:"us_per_node_per_epoch"`
+	Workers           *int     `json:"workers"`
 }
 
 // ExperimentTiming is one harness experiment's single-run measurement.
@@ -72,10 +79,11 @@ func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
 		Source:   "kspot-bench -json",
 		Scale:    cfg.Scale,
 	}
-	micros := []struct {
+	type microEntry struct {
 		name string
 		fn   func() (MicroResult, error)
-	}{
+	}
+	micros := []microEntry{
 		{"mint-epoch", func() (MicroResult, error) {
 			return microOperatorEpoch(func() topk.SnapshotOperator { return mint.New() })
 		}},
@@ -87,8 +95,22 @@ func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
 		{"fed-mint-epoch", func() (MicroResult, error) { return microFederatedEpoch() }},
 		{"fed-historic-epoch", func() (MicroResult, error) { return microFederatedHistoric() }},
 	}
+	// The scale series always runs sequentially (workers = 1) so the
+	// µs-per-node trajectory is comparable across hosts and PRs; the
+	// speedup entry re-measures scale-4000 at the configured worker bound.
+	for _, n := range ScaleSeriesSizes(cfg) {
+		n := n
+		micros = append(micros, microEntry{fmt.Sprintf("mint-epoch-scale-%d", n), func() (MicroResult, error) {
+			return microScaleMintEpoch(n, 1)
+		}})
+	}
+	if w := cfg.Parallel; w > 1 {
+		micros = append(micros, microEntry{fmt.Sprintf("mint-epoch-scale-%d-parallel", SpeedupScaleSize), func() (MicroResult, error) {
+			return microScaleMintEpoch(SpeedupScaleSize, w)
+		}})
+	}
 	for _, m := range micros {
-		fmt.Fprintf(w, "bench %-12s ... ", m.name)
+		fmt.Fprintf(w, "bench %-28s ... ", m.name)
 		res, err := m.fn()
 		if err != nil {
 			return fmt.Errorf("bench: micro %s: %w", m.name, err)
@@ -98,7 +120,7 @@ func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
 		fmt.Fprintf(w, "%12.0f ns/op %6d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
 	}
 	for _, e := range All() {
-		fmt.Fprintf(w, "exp   %-12s ... ", e.ID)
+		fmt.Fprintf(w, "exp   %-28s ... ", e.ID)
 		t, err := timeExperiment(e, cfg)
 		if err != nil {
 			return fmt.Errorf("bench: experiment %s: %w", e.ID, err)
@@ -237,6 +259,31 @@ func microOperatorEpoch(mk func() topk.SnapshotOperator) (MicroResult, error) {
 		txBytes, msgs = RunOperatorEpochBench(b, mk())
 	})
 	return micro(r, txBytes, msgs)
+}
+
+// microScaleMintEpoch measures one steady-state MINT epoch on the flat
+// scale-<n> deployment at the given sweep worker bound, annotating the
+// result with µs-per-node-per-epoch and the worker count. The deployment
+// is built once and reused across the benchmark's re-invocations — the
+// O(n²) link construction at scale-100000 costs minutes, the epochs do not.
+func microScaleMintEpoch(n, workers int) (MicroResult, error) {
+	net, src, q, err := scaleDeployment(n, workers)
+	if err != nil {
+		return MicroResult{}, err
+	}
+	nodes := len(net.Topology().SensorNodes())
+	var txBytes, msgs float64
+	r := testing.Benchmark(func(b *testing.B) {
+		txBytes, msgs = RunScaleMintEpochBenchOn(b, net, src, q)
+	})
+	res, err := micro(r, txBytes, msgs)
+	if err != nil {
+		return res, err
+	}
+	us := res.NsPerOp / 1e3 / float64(nodes)
+	res.UsPerNodePerEpoch = &us
+	res.Workers = &workers
+	return res, nil
 }
 
 // microViewCodec measures the view codec round-trip.

@@ -47,45 +47,87 @@ func (c *Coordinator) Shards() int { return len(c.deps) }
 // epoch, returning per-shard readings (index-aligned with Deployments).
 // The maps are shared read-only state, like Transport sensing itself.
 func (c *Coordinator) SenseEpoch(e model.Epoch) []map[model.NodeID]model.Reading {
+	shard := c.PresampleEpoch(e)
+	c.CommitSenseEpoch(e, shard)
+	return shard
+}
+
+// PresampleEpoch samples every shard for the epoch without charging — the
+// pure half of SenseEpoch, safe to run on a background goroutine while a
+// previous epoch's merge stage is in flight (see engine.PresampleEpoch).
+func (c *Coordinator) PresampleEpoch(e model.Epoch) []map[model.NodeID]model.Reading {
 	out := make([]map[model.NodeID]model.Reading, len(c.deps))
 	for i, d := range c.deps {
-		d.tp.ChargeIdleEpoch()
-		out[i] = SenseEpoch(d.tp, d.src, e)
+		out[i] = PresampleEpoch(d.tp, d.src, e)
 	}
 	return out
 }
 
+// CommitSenseEpoch applies the deferred idle/sensing accounting of a
+// presampled epoch to every shard, index-aligned with Deployments.
+func (c *Coordinator) CommitSenseEpoch(e model.Epoch, shard []map[model.NodeID]model.Reading) {
+	for i, d := range c.deps {
+		CommitSenseEpoch(d.tp, e, shard[i])
+	}
+}
+
 // RunQuery runs one query's per-shard runners over an already-sensed
-// epoch and merges the shard answers. ops must be index-aligned with the
-// deployments. src, when non-nil, overrides the per-node readings for
-// this query only (node-local window aggregation) — re-derived per shard
-// without re-charging the shared sensing. sharedUnion, when non-nil, is
-// the precomputed union of the shared readings, reused for every query
-// without an override source (the scheduler computes it once per epoch;
-// pass nil to have it derived here). parallel runs the shard acquisitions
-// concurrently (the live substrate); the deterministic path keeps shard
-// order for reproducible accounting.
+// epoch and merges the shard answers: acquire then mergeAcquisition. ops
+// must be index-aligned with the deployments. src, when non-nil, overrides
+// the per-node readings for this query only (node-local window
+// aggregation) — re-derived per shard without re-charging the shared
+// sensing. sharedUnion, when non-nil, is the precomputed union of the
+// shared readings, reused for every query without an override source (the
+// scheduler computes it once per epoch; pass nil to have it derived here).
 //
 // A shard whose acquisition fails surfaces its error on the returned
 // Outcome; the remaining shards still complete their epoch, so one broken
 // shard cannot wedge the lock-step of the others.
-func (c *Coordinator) RunQuery(e model.Epoch, ops []EpochRunner, shared []map[model.NodeID]model.Reading, sharedUnion map[model.NodeID]model.Reading, src trace.Source, merge MergeFunc, parallel bool) Outcome {
+func (c *Coordinator) RunQuery(e model.Epoch, ops []EpochRunner, shared []map[model.NodeID]model.Reading, sharedUnion map[model.NodeID]model.Reading, src trace.Source, merge MergeFunc) Outcome {
+	a, err := c.acquire(e, ops, shared, src)
+	if err != nil {
+		return Outcome{Epoch: e, Err: err}
+	}
+	return c.mergeAcquisition(e, a, sharedUnion, merge)
+}
+
+// acquisition carries one query's per-shard epoch results between the
+// acquire and merge stages of a federated epoch — the seam the scheduler
+// pipelines across: everything that touches a transport happens in
+// acquire, so by the time an acquisition exists the epoch's sensing of the
+// *next* epoch may safely begin.
+type acquisition struct {
+	perShard [][]model.Answer
+	readings []map[model.NodeID]model.Reading
+	errs     []error
+	override bool // readings were derived from a query-local source
+}
+
+// acquire runs the per-shard epoch runners. Shard acquisitions run
+// concurrently on every substrate: distinct shards are distinct state
+// machines (their own network, link rng, ledger, counters and operator
+// instances) on the deterministic simulator just as on the live one, so
+// per-shard accounting is reproducible regardless of interleaving.
+func (c *Coordinator) acquire(e model.Epoch, ops []EpochRunner, shared []map[model.NodeID]model.Reading, src trace.Source) (*acquisition, error) {
 	if len(ops) != len(c.deps) {
-		return Outcome{Epoch: e, Err: fmt.Errorf("engine: %d runners for %d shards", len(ops), len(c.deps))}
+		return nil, fmt.Errorf("engine: %d runners for %d shards", len(ops), len(c.deps))
 	}
-	perShard := make([][]model.Answer, len(c.deps))
-	readings := shared
+	a := &acquisition{
+		perShard: make([][]model.Answer, len(c.deps)),
+		readings: shared,
+		errs:     make([]error, len(c.deps)),
+		override: src != nil,
+	}
 	if src != nil {
-		readings = make([]map[model.NodeID]model.Reading, len(c.deps))
+		a.readings = make([]map[model.NodeID]model.Reading, len(c.deps))
 	}
-	errs := make([]error, len(c.deps))
 	run := func(i int) {
 		if src != nil {
-			readings[i] = sampleReadings(c.deps[i].tp, src, e)
+			a.readings[i] = sampleReadings(c.deps[i].tp, src, e)
 		}
-		perShard[i], errs[i] = ops[i].Epoch(e, readings[i])
+		a.perShard[i], a.errs[i] = ops[i].Epoch(e, a.readings[i])
 	}
-	if parallel && len(c.deps) > 1 {
+	if len(c.deps) > 1 {
 		var wg sync.WaitGroup
 		for i := range c.deps {
 			wg.Add(1)
@@ -96,16 +138,20 @@ func (c *Coordinator) RunQuery(e model.Epoch, ops []EpochRunner, shared []map[mo
 		}
 		wg.Wait()
 	} else {
-		for i := range c.deps {
-			run(i)
-		}
+		run(0)
 	}
+	return a, nil
+}
+
+// mergeAcquisition runs the coordinator-tier merge over a finished
+// acquisition — pure in-memory work, no transport access.
+func (c *Coordinator) mergeAcquisition(e model.Epoch, a *acquisition, sharedUnion map[model.NodeID]model.Reading, merge MergeFunc) Outcome {
 	union := sharedUnion
-	if src != nil || union == nil {
-		union = MergeReadings(readings)
+	if a.override || union == nil {
+		union = MergeReadings(a.readings)
 	}
 	out := Outcome{Epoch: e, Readings: union}
-	for i, err := range errs {
+	for i, err := range a.errs {
 		if err != nil {
 			out.Err = fmt.Errorf("engine: shard %s: %w", c.deps[i].name, err)
 			return out
@@ -116,22 +162,22 @@ func (c *Coordinator) RunQuery(e model.Epoch, ops []EpochRunner, shared []map[mo
 			out.Err = fmt.Errorf("engine: %d shards need a merge function", len(c.deps))
 			return out
 		}
-		out.Answers = perShard[0]
+		out.Answers = a.perShard[0]
 		return out
 	}
-	out.Answers, out.Err = merge(perShard)
+	out.Answers, out.Err = merge(a.perShard)
 	return out
 }
 
 // Epoch senses and runs one full federated epoch for a single posted
 // query — the deterministic cursor's step. An invoked epoch always runs
-// to completion (the deterministic substrate has no goroutines to
-// interrupt mid-sweep); callers observe cancellation *between* epochs,
-// before consuming an epoch number — otherwise a cancelled step would
-// skip its epoch from the stream.
+// to completion (shard fan-out goroutines are joined before returning);
+// callers observe cancellation *between* epochs, before consuming an
+// epoch number — otherwise a cancelled step would skip its epoch from
+// the stream.
 func (c *Coordinator) Epoch(e model.Epoch, ops []EpochRunner, src trace.Source, merge MergeFunc) Outcome {
 	shared := c.SenseEpoch(e)
-	return c.RunQuery(e, ops, shared, nil, src, merge, false)
+	return c.RunQuery(e, ops, shared, nil, src, merge)
 }
 
 // RunShards invokes fn once per shard deployment — concurrently when

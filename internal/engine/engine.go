@@ -132,6 +132,39 @@ func SenseEpoch(t Transport, src trace.Source, e model.Epoch) map[model.NodeID]m
 	return readings
 }
 
+// PresampleEpoch samples an epoch's readings without charging anything:
+// the pure half of SenseEpoch. It only reads transport state (topology,
+// aliveness) and the trace source (a pure function of node and epoch), so
+// the scheduler may run it on a background goroutine while the previous
+// epoch's merge stage is still in flight — as long as nothing mutates the
+// transport out-of-band in that window. Pair with CommitSenseEpoch.
+func PresampleEpoch(t Transport, src trace.Source, e model.Epoch) map[model.NodeID]model.Reading {
+	return sampleReadings(t, src, e)
+}
+
+// CommitSenseEpoch applies the deferred accounting of a presampled epoch:
+// the per-epoch idle baseline, then the per-node sensing charge and the
+// history recording. Nodes whose idle charge exhausted their budget are
+// dropped from readings first — the synchronous order idle-charges before
+// sampling, so such nodes never appear there; death is monotone between
+// epochs (churn revivals fire on the epoch's first transmission, after
+// sensing), which makes PresampleEpoch + CommitSenseEpoch byte-identical
+// to SenseEpoch with a preceding ChargeIdleEpoch.
+func CommitSenseEpoch(t Transport, e model.Epoch, readings map[model.NodeID]model.Reading) {
+	t.ChargeIdleEpoch()
+	for id := range readings {
+		if !t.Alive(id) {
+			delete(readings, id)
+		}
+	}
+	for id := range readings {
+		t.ChargeSense(id)
+	}
+	if r, ok := t.(ReadingsRecorder); ok {
+		r.RecordReadings(e, readings)
+	}
+}
+
 // sampleReadings builds an epoch's readings without charging sensing —
 // used by the Scheduler for queries that derive their per-node values from
 // an already-sensed attribute (e.g. node-local window aggregation), so the

@@ -65,10 +65,35 @@ type ScheduledQuery struct {
 type Scheduler struct {
 	coord *Coordinator
 
-	mu      sync.Mutex
-	queries []*ScheduledQuery
-	epoch   model.Epoch
-	closed  bool
+	mu       sync.Mutex
+	queries  []*ScheduledQuery
+	epoch    model.Epoch
+	closed   bool
+	pipeline int        // pipelineAuto / pipelineOn / pipelineOff
+	pre      *presample // in-flight background sampling of the next epoch
+}
+
+// Pipelining modes: auto enables cross-epoch pipelining on the live
+// substrate only — the deterministic simulator's transports are not safe
+// against out-of-band mutation (SetNodeDown between steps) racing a
+// background sample, while the live substrate serializes those under its
+// own lock.
+const (
+	pipelineAuto = iota
+	pipelineOn
+	pipelineOff
+)
+
+// presample is an in-flight background sampling of the next epoch: the
+// scheduler launches it once an epoch's acquisitions (all transport work)
+// have finished, so it overlaps the merge/fed-round stage. The accounting
+// the synchronous path would have done at sampling time is deferred to
+// CommitSenseEpoch when the epoch is actually consumed — keeping ledgers,
+// budgets and histories byte-identical to the unpipelined run.
+type presample struct {
+	epoch model.Epoch
+	done  chan struct{}
+	shard []map[model.NodeID]model.Reading
 }
 
 // NewScheduler returns a scheduler over the shard deployments.
@@ -78,6 +103,29 @@ func NewScheduler(deps ...*Deployment) *Scheduler {
 
 // Coordinator exposes the scheduler's federation tier.
 func (s *Scheduler) Coordinator() *Coordinator { return s.coord }
+
+// SetPipelining forces cross-epoch pipelining on or off, overriding the
+// default (enabled on the live substrate, disabled on the deterministic
+// one). With pipelining on, the next epoch's sensing is sampled on a
+// background goroutine while the current epoch's merge stage runs; its
+// charges are committed when the epoch is consumed, so outcomes and
+// accounting are byte-identical either way. Callers that mutate a
+// deterministic transport out-of-band between steps (SetNodeDown, fault
+// arming) must leave pipelining off there: the background sample reads
+// transport aliveness without a lock.
+func (s *Scheduler) SetPipelining(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if on {
+		s.pipeline = pipelineOn
+	} else {
+		s.pipeline = pipelineOff
+	}
+	if s.pipeline == pipelineOff && s.pre != nil {
+		<-s.pre.done
+		s.pre = nil
+	}
+}
 
 // Add schedules an attached query: one runner per shard deployment
 // (index-aligned with the coordinator's Deployments) and the coordinator
@@ -201,11 +249,17 @@ func (s *Scheduler) pushFront(sq *ScheduledQuery, out Outcome) {
 }
 
 // Close rejects further Steps. It blocks until any in-flight epoch has
-// completed, so the transports can be torn down safely afterwards.
+// completed — including a pipelined background presample of the next
+// epoch, which is drained and discarded (its charges were never
+// committed) — so the transports can be torn down safely afterwards.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
+	if s.pre != nil {
+		<-s.pre.done
+		s.pre = nil
+	}
 }
 
 type schedulerError string
@@ -217,38 +271,80 @@ const (
 	errClosed  = schedulerError("engine: scheduler is closed")
 )
 
-// runEpochLocked executes one shared epoch for every scheduled query: one
-// sensing pass per shard, then every query's federated acquisition.
+// runEpochLocked executes one shared epoch for every scheduled query in
+// three stages: sensing (consuming the pipelined presample when one is in
+// flight, then committing its deferred charges), acquisition (every
+// query's per-shard transport work), and merge (pure in-memory). Between
+// acquisition and merge the transports are quiescent for the rest of the
+// epoch, so that is where the next epoch's background presample launches —
+// the cross-epoch pipeline.
 func (s *Scheduler) runEpochLocked() {
 	e := s.epoch
 	s.epoch++
-	shared := s.coord.SenseEpoch(e)
+
+	// Sensing: a pipelined presample for exactly this epoch is consumed;
+	// anything else (stale after SetPipelining toggles) is discarded — its
+	// charges were never committed, so resampling is free of skew.
+	var shard []map[model.NodeID]model.Reading
+	if s.pre != nil {
+		<-s.pre.done
+		if s.pre.epoch == e {
+			shard = s.pre.shard
+		}
+		s.pre = nil
+	}
+	if shard == nil {
+		shard = s.coord.PresampleEpoch(e)
+	}
+	s.coord.CommitSenseEpoch(e, shard)
 	// The union for the oracle is identical for every query without an
 	// override source — compute it once, not once per query.
-	union := MergeReadings(shared)
+	union := MergeReadings(shard)
 
-	// On the concurrent substrate all acquisitions run in parallel, across
-	// queries and across shards: the Live transport supports any number of
-	// in-flight sweeps and floods. The deterministic simulator is a
-	// single-threaded state machine per shard, so there the queries run in
-	// sequence. Decorators (fault injection) are stripped first — they
-	// forward concurrency-safely.
-	_, parallel := Baseof(s.coord.deps[0].tp).(*Live)
+	// Acquisition: on the concurrent substrate all acquisitions run in
+	// parallel, across queries and across shards: the Live transport
+	// supports any number of in-flight sweeps and floods. The
+	// deterministic simulator is a single-threaded state machine per
+	// shard, so there the queries run in sequence (each query still fans
+	// out across shards — distinct shards are distinct state machines).
+	// Decorators (fault injection) are stripped first — they forward
+	// concurrency-safely.
+	_, live := Baseof(s.coord.deps[0].tp).(*Live)
+	acqs := make([]*acquisition, len(s.queries))
+	errs := make([]error, len(s.queries))
 	var wg sync.WaitGroup
-	for _, q := range s.queries {
-		run := func(q *ScheduledQuery) {
-			out := s.coord.RunQuery(e, q.ops, shared, union, q.src, q.merge, parallel)
-			q.pending = append(q.pending, out)
-		}
-		if parallel {
+	for i, q := range s.queries {
+		if live {
 			wg.Add(1)
-			go func(q *ScheduledQuery) {
+			go func(i int, q *ScheduledQuery) {
 				defer wg.Done()
-				run(q)
-			}(q)
+				acqs[i], errs[i] = s.coord.acquire(e, q.ops, shard, q.src)
+			}(i, q)
 		} else {
-			run(q)
+			acqs[i], errs[i] = s.coord.acquire(e, q.ops, shard, q.src)
 		}
 	}
 	wg.Wait()
+
+	// All transport work for epoch e is done; overlap the next epoch's
+	// sensing with the merge stage.
+	if s.pipeline == pipelineOn || (s.pipeline == pipelineAuto && live) {
+		pre := &presample{epoch: e + 1, done: make(chan struct{})}
+		s.pre = pre
+		go func() {
+			pre.shard = s.coord.PresampleEpoch(e + 1)
+			close(pre.done)
+		}()
+	}
+
+	// Merge: coordinator-tier fed rounds, no transport access.
+	for i, q := range s.queries {
+		var out Outcome
+		if errs[i] != nil {
+			out = Outcome{Epoch: e, Err: errs[i]}
+		} else {
+			out = s.coord.mergeAcquisition(e, acqs[i], union, q.merge)
+		}
+		q.pending = append(q.pending, out)
+	}
 }

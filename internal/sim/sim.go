@@ -17,6 +17,8 @@ package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"kspot/internal/energy"
 	"kspot/internal/model"
@@ -50,13 +52,30 @@ type Network struct {
 	// subscribers must copy what they keep.
 	Delivered func(msg radio.Message)
 
-	// sweep holds the per-node view accumulators and the encode buffer the
-	// epoch up-sweep reuses, so that steady-state sweeps allocate nothing.
-	// Like the rest of *Network, Sweep is not safe for concurrent use.
+	// parallel bounds the worker count of the level-synchronous Sweep;
+	// values <= 1 select the exact legacy sequential walk. See SetParallel.
+	parallel int
+
+	// sweep holds the per-node view accumulators, the encode buffer the
+	// sequential up-sweep reuses, and the per-slot scratch of the parallel
+	// sweep, so that steady-state sweeps allocate nothing. Like the rest
+	// of *Network, Sweep is not safe for concurrent use — the parallel
+	// sweep's workers live entirely within one Sweep call.
 	sweep struct {
-		acc map[model.NodeID]*model.View
-		buf []byte
+		acc   map[model.NodeID]*model.View
+		buf   []byte
+		slots []sweepSlot
 	}
+}
+
+// sweepSlot is the per-node scratch of the parallel sweep: the compute
+// phase of a level fills slots concurrently (one per node, no sharing),
+// the commit phase drains them in ascending id order.
+type sweepSlot struct {
+	local *model.View // the node's own accumulator
+	out   *model.View // pruned view to transmit; may equal local or be nil
+	enc   []byte      // encoded payload, reused across levels and sweeps
+	send  bool        // out is non-empty, so a transmission is due
 }
 
 // Options configures New.
@@ -66,6 +85,11 @@ type Options struct {
 	// BudgetJoules, when positive, assigns every sensor node a finite
 	// budget (the sink is mains-powered, as the MIB520 gateway is).
 	BudgetJoules float64
+	// Parallel bounds the worker count of the level-synchronous Sweep.
+	// 0 or 1 runs the exact legacy sequential walk; N > 1 computes each
+	// tree level with up to N workers. Results are byte-identical for
+	// every value (see SetParallel).
+	Parallel int
 }
 
 // DefaultOptions returns a lossless MICA2 network with unlimited budgets.
@@ -95,6 +119,7 @@ func FromTree(p *topo.Placement, links *topo.Links, tree *topo.Tree, opts Option
 		Energy:    opts.EnergyModel,
 		Ledger:    energy.NewLedger(),
 		Counter:   radio.NewCounter(),
+		parallel:  opts.Parallel,
 	}
 	if opts.BudgetJoules > 0 {
 		n.Budgets = make(map[model.NodeID]*energy.Budget)
@@ -152,6 +177,19 @@ func (n *Network) SetNodeDown(id model.NodeID, down bool) {
 // the loss/duplication/delay primitive of the fault-injection layer. Must
 // be called before traffic flows.
 func (n *Network) SetFault(m radio.FaultModel) { n.Link.SetFault(m) }
+
+// SetParallel bounds the worker count of the level-synchronous Sweep.
+// workers <= 1 selects the exact legacy sequential walk; workers > 1 fans
+// the per-level merge/prune/encode work over a bounded pool while the
+// transmissions and parent merges still commit in the sequential post-order
+// position, so answers, messages, frames, bytes, loss draws and the energy
+// ledger are byte-identical for every value. Not safe to call while a
+// Sweep is in flight.
+func (n *Network) SetParallel(workers int) { n.parallel = workers }
+
+// Parallel reports the configured sweep worker bound (0 and 1 both mean
+// sequential).
+func (n *Network) Parallel() int { return n.parallel }
 
 // chargeTx charges a transmission to a node, returning false if the node is
 // dead. The sink draws mains power and is never charged.
@@ -297,19 +335,11 @@ func (n *Network) Sweep(e model.Epoch, kind radio.MsgKind,
 	readings map[model.NodeID]model.Reading,
 	prune func(node model.NodeID, v *model.View) *model.View) *model.View {
 
+	if n.parallel > 1 {
+		return n.sweepParallel(e, kind, readings, prune)
+	}
 	order := n.Tree.PostOrder()
-	if n.sweep.acc == nil {
-		n.sweep.acc = make(map[model.NodeID]*model.View, len(order))
-	}
-	// Reset every accumulator up front: children merge into their parent's
-	// accumulator before the parent's own turn comes.
-	for _, node := range order {
-		if v := n.sweep.acc[node]; v != nil {
-			v.Reset()
-		} else {
-			n.sweep.acc[node] = model.NewView()
-		}
-	}
+	n.resetAccumulators(order)
 	for _, node := range order {
 		v := n.sweep.acc[node] // children's contributions already merged
 		if r, ok := readings[node]; ok {
@@ -332,8 +362,187 @@ func (n *Network) Sweep(e model.Epoch, kind radio.MsgKind,
 			model.ReleaseView(out)
 		}
 	}
-	// Unreachable: PostOrder always ends at the root.
-	return model.NewView()
+	panic("sim: post-order traversal did not end at the root")
+}
+
+// resetAccumulators readies the per-node view accumulators: children merge
+// into their parent's accumulator before the parent's own turn comes.
+func (n *Network) resetAccumulators(order []model.NodeID) {
+	if n.sweep.acc == nil {
+		n.sweep.acc = make(map[model.NodeID]*model.View, len(order))
+	}
+	for _, node := range order {
+		if v := n.sweep.acc[node]; v != nil {
+			v.Reset()
+		} else {
+			n.sweep.acc[node] = model.NewView()
+		}
+	}
+}
+
+// sweepParallel is the level-synchronous form of Sweep. Per tree level,
+// deepest first, it runs two phases:
+//
+//   - compute: up to n.parallel workers steal nodes off the level and, for
+//     each, merge the node's reading into its accumulator, apply prune and
+//     encode the resulting view into the node's private scratch slot. No
+//     two workers touch the same node, and accumulators of shallower
+//     levels are only read during commits, so the phase is data-race free.
+//   - commit: a single goroutine replays the transmissions and parent-
+//     accumulator merges in ascending node id — exactly the position the
+//     sequential post-order walk would run them in, since PostOrder is
+//     depth-descending with ids ascending within a level.
+//
+// All order-sensitive state (link loss draws, fault-model evaluation,
+// energy charges, counters, the Delivered hook) is touched only during
+// commits, and a level's transmissions can only charge that level and its
+// parents — never a deeper node — so aliveness at each commit matches the
+// sequential run. The result is byte-identical to the sequential sweep for
+// every worker count.
+func (n *Network) sweepParallel(e model.Epoch, kind radio.MsgKind,
+	readings map[model.NodeID]model.Reading,
+	prune func(node model.NodeID, v *model.View) *model.View) *model.View {
+
+	n.resetAccumulators(n.Tree.PostOrder())
+	levels := n.Tree.Levels()
+	widest := 0
+	for _, lv := range levels {
+		if len(lv) > widest {
+			widest = len(lv)
+		}
+	}
+	if len(n.sweep.slots) < widest {
+		slots := make([]sweepSlot, widest)
+		copy(slots, n.sweep.slots) // keep already-grown encode buffers
+		n.sweep.slots = slots
+	}
+	slots := n.sweep.slots
+
+	// One worker pool per Sweep: workers park on the level channel between
+	// levels and exit when it closes. The sweeping goroutine steals work
+	// too, so n.parallel is the total compute concurrency.
+	type level struct {
+		nodes []model.NodeID
+		next  *int64 // shared steal cursor
+	}
+	compute := func(lv level) {
+		for {
+			j := atomic.AddInt64(lv.next, 1) - 1
+			if j >= int64(len(lv.nodes)) {
+				return
+			}
+			node := lv.nodes[j]
+			s := &slots[j]
+			v := n.sweep.acc[node]
+			if r, ok := readings[node]; ok {
+				v.Add(r)
+			}
+			out := v
+			if prune != nil {
+				out = prune(node, v)
+			}
+			s.local, s.out = v, out
+			s.send = out != nil && out.Len() > 0
+			if s.send {
+				s.enc = model.AppendView(s.enc[:0], out)
+			}
+		}
+	}
+	spares := n.parallel - 1
+	var (
+		wg        sync.WaitGroup
+		levelCh   chan level
+		panicMu   sync.Mutex
+		panicked  bool
+		panicVal  any
+		notePanic = func(r any) {
+			panicMu.Lock()
+			if !panicked {
+				panicked, panicVal = true, r
+			}
+			panicMu.Unlock()
+		}
+	)
+	if spares > 0 {
+		levelCh = make(chan level)
+		defer close(levelCh)
+		for w := 0; w < spares; w++ {
+			go func() {
+				for lv := range levelCh {
+					func() {
+						defer func() {
+							if r := recover(); r != nil {
+								notePanic(r)
+							}
+						}()
+						compute(lv)
+					}()
+					wg.Done()
+				}
+			}()
+		}
+	}
+
+	for d := len(levels) - 1; d >= 1; d-- {
+		nodes := levels[d]
+		// Compute phase. Tiny levels (the funnel near the root) skip the
+		// pool: dispatch costs more than the work.
+		var next int64
+		lv := level{nodes: nodes, next: &next}
+		fan := spares
+		if max := len(nodes) - 1; fan > max {
+			fan = max
+		}
+		if fan > 0 {
+			wg.Add(fan)
+			for w := 0; w < fan; w++ {
+				levelCh <- lv
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					notePanic(r)
+				}
+			}()
+			compute(lv)
+		}()
+		wg.Wait()
+		if panicked {
+			panic(panicVal)
+		}
+		// Commit phase: sequential, in ascending id = post-order position.
+		// Consecutive nodes often share a parent, so the parent-accumulator
+		// lookup is batched across the run of siblings.
+		var lastParent model.NodeID
+		var lastAcc *model.View
+		for j, node := range nodes {
+			s := &slots[j]
+			if s.send && n.Alive(node) {
+				if n.SendUp(node, kind, e, s.enc) {
+					parent := n.Tree.Parent[node]
+					if lastAcc == nil || parent != lastParent {
+						lastParent, lastAcc = parent, n.sweep.acc[parent]
+					}
+					lastAcc.MergeView(s.out)
+				}
+			}
+			if s.out != nil && s.out != s.local {
+				model.ReleaseView(s.out)
+			}
+			s.local, s.out, s.send = nil, nil, false
+		}
+	}
+	// Level 0 is the root alone: merge its own reading and hand the merged
+	// view to the caller, as the sequential walk's final iteration does.
+	if len(levels) == 0 || len(levels[0]) != 1 || levels[0][0] != n.Tree.Root {
+		panic("sim: level index does not end at the root")
+	}
+	v := n.sweep.acc[n.Tree.Root]
+	if r, ok := readings[n.Tree.Root]; ok {
+		v.Add(r)
+	}
+	return v
 }
 
 // ChargeSense charges one sensing operation to a node.

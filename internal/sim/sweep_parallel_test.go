@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/topo"
+	"kspot/internal/trace"
+)
+
+// sweepRun drives epochs of lossy, budget-constrained sweeps at a given
+// worker count and returns the concatenated encoded root views plus the
+// final accounting snapshot — the byte-identity fingerprint of the run.
+func sweepRun(t *testing.T, workers, epochs int, prune func(model.NodeID, *model.View) *model.View) ([]byte, Snapshot, float64) {
+	t.Helper()
+	p := topo.Rooms(12, 10, 12, 77)
+	opts := DefaultOptions()
+	opts.Radio.LossRate = 0.08 // rng draw order must survive parallelism
+	opts.Radio.Seed = 42
+	opts.BudgetJoules = 0.004 // tight: some nodes die mid-run
+	opts.Parallel = workers
+	n, err := New(p, 25, opts)
+	if err != nil {
+		t.Fatalf("build network: %v", err)
+	}
+	src := trace.NewRoomActivity(9, p.Groups, 12)
+	var roots []byte
+	for e := model.Epoch(0); e < model.Epoch(epochs); e++ {
+		readings := make(map[model.NodeID]model.Reading)
+		for _, id := range p.SensorNodes() {
+			if n.Alive(id) {
+				readings[id] = model.Reading{Node: id, Group: p.Groups[id], Epoch: e, Value: src.Sample(id, e)}
+			}
+		}
+		root := n.Sweep(e, 1, readings, prune)
+		roots = model.AppendView(roots, root)
+	}
+	return roots, n.Snap(), n.Ledger.Total()
+}
+
+// TestSweepParallelByteIdentity pins the house conformance bar for the
+// level-synchronous sweep: for every worker count, answers, messages,
+// frames, bytes, drops and the energy ledger are bit-for-bit identical to
+// the sequential walk — including the per-frame loss draws, whose rng order
+// the commit phase must preserve exactly.
+func TestSweepParallelByteIdentity(t *testing.T) {
+	prunes := map[string]func(model.NodeID, *model.View) *model.View{
+		"tag-full-views": nil,
+		"thinning": func(node model.NodeID, v *model.View) *model.View {
+			out := model.AcquireView()
+			v.ForEach(func(pt model.Partial) {
+				if pt.Group%3 != 0 {
+					out.AddPartial(pt)
+				}
+			})
+			return out
+		},
+		"suppress-some": func(node model.NodeID, v *model.View) *model.View {
+			if node%5 == 0 {
+				return nil // packet suppression path
+			}
+			return v
+		},
+	}
+	for name, prune := range prunes {
+		t.Run(name, func(t *testing.T) {
+			wantRoots, wantSnap, wantUJ := sweepRun(t, 1, 25, prune)
+			for _, workers := range []int{2, 3, 8} {
+				roots, snap, uj := sweepRun(t, workers, 25, prune)
+				if !bytes.Equal(roots, wantRoots) {
+					t.Errorf("workers=%d: root views diverge from sequential", workers)
+				}
+				if snap != wantSnap {
+					t.Errorf("workers=%d: accounting %+v, want %+v", workers, snap, wantSnap)
+				}
+				if uj != wantUJ {
+					t.Errorf("workers=%d: ledger %.6f µJ, want %.6f µJ", workers, uj, wantUJ)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepParallelPrunePanicPropagates pins that a panic inside a prune
+// callback surfaces on the sweeping goroutine (not a worker crash) for both
+// the sequential and parallel paths.
+func TestSweepParallelPrunePanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := topo.Rooms(4, 5, 12, 77)
+		opts := DefaultOptions()
+		opts.Parallel = workers
+		n, err := New(p, 30, opts)
+		if err != nil {
+			t.Fatalf("build network: %v", err)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("workers=%d: prune panic did not propagate", workers)
+				}
+			}()
+			n.Sweep(0, 1, nil, func(model.NodeID, *model.View) *model.View {
+				panic("boom")
+			})
+		}()
+	}
+}

@@ -169,6 +169,51 @@ func TestPostPreOrder(t *testing.T) {
 	}
 }
 
+func TestLevelsMatchPostOrder(t *testing.T) {
+	_, l, tree := buildConnected(t, 40, 11)
+	check := func() {
+		levels := tree.Levels()
+		if len(levels) != tree.MaxDepth()+1 {
+			t.Fatalf("levels = %d, want %d", len(levels), tree.MaxDepth()+1)
+		}
+		// Concatenating deepest→shallowest must reproduce PostOrder exactly:
+		// that identity is what lets the parallel sweep commit level by level
+		// in id order and still match the sequential run byte for byte.
+		var cat []model.NodeID
+		for d := len(levels) - 1; d >= 0; d-- {
+			for i, id := range levels[d] {
+				if tree.Depth[id] != d {
+					t.Fatalf("node %d in level %d has depth %d", id, d, tree.Depth[id])
+				}
+				if i > 0 && levels[d][i-1] >= id {
+					t.Fatalf("level %d not id-sorted at %d", d, i)
+				}
+			}
+			cat = append(cat, levels[d]...)
+		}
+		post := tree.PostOrder()
+		if len(cat) != len(post) {
+			t.Fatalf("levels hold %d nodes, post-order %d", len(cat), len(post))
+		}
+		for i := range cat {
+			if cat[i] != post[i] {
+				t.Fatalf("levels concat diverges from post-order at %d: %d vs %d", i, cat[i], post[i])
+			}
+		}
+	}
+	check()
+	// Structural mutation must invalidate the cache, like post/pre.
+	var victim model.NodeID
+	for n := range tree.Parent {
+		if len(tree.Children[n]) == 0 {
+			victim = n
+			break
+		}
+	}
+	tree.RemoveNode(victim, l)
+	check()
+}
+
 func TestSubtreeAndPath(t *testing.T) {
 	_, _, tree := buildConnected(t, 40, 11)
 	whole := tree.Subtree(model.Sink)

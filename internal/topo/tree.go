@@ -73,6 +73,11 @@ type Tree struct {
 	// tree once per sweep and must not re-sort the node set every time.
 	// Structural mutation (RemoveNode) invalidates them.
 	post, pre []model.NodeID
+
+	// levels caches the per-depth slices of PostOrder (levels[d] holds the
+	// depth-d nodes in ascending id order) for the level-synchronous sweep.
+	// Invalidated together with post/pre.
+	levels [][]model.NodeID
 }
 
 // BuildTree runs the first-heard BFS tree construction of TAG: the sink
@@ -170,8 +175,28 @@ func (t *Tree) PreOrder() []model.NodeID {
 	return t.pre
 }
 
+// Levels returns the nodes grouped by depth: Levels()[d] holds every
+// depth-d node in ascending id order, so concatenating the levels from
+// deepest to shallowest reproduces PostOrder exactly. This is the unit of
+// work of the level-synchronous sweep: all nodes within one level are
+// independent (their receivers live one level up), so they may be computed
+// concurrently as long as their transmissions commit in PostOrder position.
+// The slices are cached and shared — callers must not modify them.
+func (t *Tree) Levels() [][]model.NodeID {
+	if t.levels == nil {
+		post := t.PostOrder()
+		levels := make([][]model.NodeID, t.MaxDepth()+1)
+		for _, id := range post {
+			d := t.Depth[id]
+			levels[d] = append(levels[d], id)
+		}
+		t.levels = levels
+	}
+	return t.levels
+}
+
 // invalidateOrders drops the cached traversals after structural mutation.
-func (t *Tree) invalidateOrders() { t.post, t.pre = nil, nil }
+func (t *Tree) invalidateOrders() { t.post, t.pre, t.levels = nil, nil, nil }
 
 // Subtree returns the set of nodes in the subtree rooted at n (inclusive).
 func (t *Tree) Subtree(n model.NodeID) map[model.NodeID]bool {

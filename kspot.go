@@ -153,11 +153,33 @@ type System struct {
 	posting   int
 }
 
+// OpenOption tunes how a scenario is opened.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	parallel int
+}
+
+// WithParallel bounds the worker count of every shard's level-synchronous
+// epoch sweep on the deterministic substrate. 0 and 1 select the exact
+// legacy sequential walk; N > 1 computes each routing-tree level with up
+// to N workers, with answers, messages, frames, bytes and the energy
+// ledger byte-identical for every value (the live substrate is inherently
+// concurrent and is unaffected). Defaults to sequential; cmd/kspot-sim
+// and cmd/kspotd default their -parallel flag to the machine's CPU count.
+func WithParallel(workers int) OpenOption {
+	return func(c *openConfig) { c.parallel = workers }
+}
+
 // Open builds a System from a scenario. A scenario carrying a shards
 // block opens as a federated deployment (one network per shard); one
 // carrying a faults block opens with that environment armed on every
 // shard (per-shard seeds, see config.Scenario.ShardFaults).
-func Open(s *Scenario) (*System, error) {
+func Open(s *Scenario, opts ...OpenOption) (*System, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	shardScens, err := s.ShardScenarios()
 	if err != nil {
 		return nil, err
@@ -178,6 +200,7 @@ func Open(s *Scenario) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		net.SetParallel(cfg.parallel)
 		sys.nets = append(sys.nets, net)
 		sys.dets = append(sys.dets, net)
 	}
@@ -190,12 +213,12 @@ func Open(s *Scenario) (*System, error) {
 }
 
 // OpenFile loads a scenario JSON file and opens it.
-func OpenFile(path string) (*System, error) {
+func OpenFile(path string, opts ...OpenOption) (*System, error) {
 	s, err := config.Load(path)
 	if err != nil {
 		return nil, err
 	}
-	return Open(s)
+	return Open(s, opts...)
 }
 
 // DemoScenario returns the paper's Figure-3 conference deployment: 14
