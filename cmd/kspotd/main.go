@@ -12,6 +12,18 @@
 //	kspotd -addr :8080 -k 3 -interval 1s
 //	kspotd -scenario demo.json -query "SELECT TOP 2 roomid, MAX(sound) FROM sensors GROUP BY roomid"
 //
+// A federated deployment can run as separate OS processes: each shard
+// hosts its network in its own kspotd behind the framed TCP protocol of
+// internal/wire, and one coordinator kspotd dials them (answers stay
+// byte-identical to the in-process run; see DESIGN.md):
+//
+//	kspotd -scenario field.json -shards 4 -serve-shard 0 -wire-addr 127.0.0.1:7701
+//	... (shards 1..3 likewise) ...
+//	kspotd -scenario field.json -shards 4 -connect 127.0.0.1:7701,...,127.0.0.1:7704
+//
+// A shard server prints "kspotd-wire <addr>" on stdout once it listens
+// (so spawners can pass -wire-addr 127.0.0.1:0 and parse the port).
+//
 // Endpoints:
 //
 //	/         HTML dashboard (auto-refreshing)
@@ -26,16 +38,21 @@ import (
 	"fmt"
 	"html"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"kspot"
 	"kspot/internal/config"
 	"kspot/internal/gui"
 	"kspot/internal/model"
+	"kspot/internal/wire"
 )
 
 type queryList []string
@@ -69,6 +86,10 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 0, "seed for the fault environment")
 		shards       = flag.Int("shards", 0, "federate the deployment into N shard networks (splits the cluster list)")
 		parallel     = flag.Int("parallel", runtime.NumCPU(), "epoch-sweep worker bound per shard; 1 = exact legacy sequential path (results are byte-identical for every value)")
+		serveShard   = flag.Int("serve-shard", -1, "serve shard N of the scenario over the wire protocol instead of the GUI daemon (see -wire-addr)")
+		wireAddr     = flag.String("wire-addr", "127.0.0.1:0", "listen address for -serve-shard (port 0 picks one; the bound address is printed as \"kspotd-wire <addr>\")")
+		wireLive     = flag.Bool("wire-live", false, "with -serve-shard: host the shard on the concurrent live substrate")
+		connect      = flag.String("connect", "", "comma-separated shard wire addresses: run as the federated coordinator over already-running -serve-shard processes")
 	)
 	flag.Var(&queries, "query", "extra SQL to post on the same deployment (repeatable)")
 	flag.Parse()
@@ -97,22 +118,40 @@ func main() {
 			log.Fatal("kspotd: ", err)
 		}
 	}
+	if *serveShard >= 0 {
+		serveShardProcess(scen, *serveShard, *wireAddr, *parallel, *wireLive, *window)
+		return
+	}
 	placement := scen.Placement()
-	sys, err := kspot.Open(scen, kspot.WithParallel(*parallel))
+	var sys *kspot.System
+	var err error
+	remote := *connect != ""
+	if remote {
+		sys, err = kspot.OpenFederated(scen, strings.Split(*connect, ","))
+	} else {
+		sys, err = kspot.Open(scen, kspot.WithParallel(*parallel))
+	}
 	if err != nil {
 		log.Fatal("kspotd: ", err)
 	}
 	defer sys.Close()
 
+	// On a remote deployment the live substrate (and its windows) belongs
+	// to the shard processes; the coordinator's cursors run deterministic.
+	var primaryOpts, extraOpts []kspot.PostOption
+	if !remote {
+		primaryOpts = []kspot.PostOption{kspot.WithLive(), kspot.WithLiveWindow(*window)}
+		extraOpts = []kspot.PostOption{kspot.WithLive()}
+	}
 	primary := fmt.Sprintf("SELECT TOP %d roomid, AVG(sound) FROM sensors GROUP BY roomid", *k)
 	cursors := make([]*kspot.Cursor, 0, 1+len(queries))
-	cur, err := sys.Post(primary, kspot.WithLive(), kspot.WithLiveWindow(*window))
+	cur, err := sys.Post(primary, primaryOpts...)
 	if err != nil {
 		log.Fatal("kspotd: ", err)
 	}
 	cursors = append(cursors, cur)
 	for _, sql := range queries {
-		c, err := sys.Post(sql, kspot.WithLive())
+		c, err := sys.Post(sql, extraOpts...)
 		if err != nil {
 			log.Fatalf("kspotd: %q: %v", sql, err)
 		}
@@ -219,11 +258,46 @@ pre{font-size:13px}</style></head><body>
 			html.EscapeString(gui.DisplayPanel(placement, answers, 72, 18)))
 	})
 
-	log.Printf("kspotd: serving %q on %s (%d live queries, primary: TOP %d AVG(sound) per cluster, epoch %v)",
+	log.Printf("kspotd: serving %q on %s (%d queries, primary: TOP %d AVG(sound) per cluster, epoch %v)",
 		scen.Name, *addr, len(cursors), *k, *interval)
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "kspotd:", err)
 		os.Exit(1)
+	}
+}
+
+// serveShardProcess runs kspotd as one shard of a federated deployment:
+// the shard's network lives here, behind internal/wire's framed TCP
+// protocol, and a coordinator kspotd (-connect) or kspot.OpenFederated
+// drives it. The bound address is printed to stdout as "kspotd-wire
+// <addr>" so spawners can listen on port 0 and parse the outcome; SIGINT
+// or SIGTERM shuts the server down cleanly.
+func serveShardProcess(scen *config.Scenario, shard int, addr string, parallel int, live bool, window int) {
+	srv, err := wire.NewServer(wire.ServerConfig{
+		Scenario:   scen,
+		Shard:      shard,
+		Parallel:   parallel,
+		Live:       live,
+		LiveWindow: window,
+	})
+	if err != nil {
+		log.Fatal("kspotd: ", err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal("kspotd: ", err)
+	}
+	fmt.Printf("kspotd-wire %s\n", ln.Addr())
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		srv.Close()
+	}()
+	log.Printf("kspotd: shard %d (%s) of %q serving the wire protocol on %s", shard, srv.Name(), scen.Name, ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal("kspotd: ", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"kspot/internal/topk"
 	"kspot/internal/topk/fed"
 	"kspot/internal/trace"
+	"kspot/internal/wire"
 )
 
 // Cursor is a prepared query. Snapshot (continuous) queries advance one
@@ -36,6 +37,11 @@ type Cursor struct {
 	tps   []engine.Transport
 	sched *engine.Scheduler
 	sq    *engine.ScheduledQuery
+
+	// rqid identifies this cursor's attached query on every remote shard
+	// (remote deployments only; the shard processes key their operator
+	// instances on it).
+	rqid uint32
 }
 
 // StepResult is one epoch of a continuous query.
@@ -100,13 +106,36 @@ func (c *Cursor) prepare() error {
 			return fmt.Errorf("kspot: basic queries run on TAG, not %q", c.algo)
 		}
 	}
-	tps, err := c.transports()
-	if err != nil {
-		return err
-	}
 	algo := c.algo
 	if c.plan.Kind == query.PlanBasic {
 		algo = AlgoTAG
+	}
+	if c.sys.Remote() {
+		// Remote shards plan the SQL and instantiate the operator in their
+		// own process (internal/topk/registry maps the algorithm name to
+		// the identical implementation); validate the name here so a bad
+		// algorithm fails the Post, not the first Step.
+		if _, err := snapshotOperator(algo); err != nil {
+			return err
+		}
+		c.rqid = c.sys.nextQueryID()
+		for _, cl := range c.sys.remotes {
+			if err := cl.Attach(c.rqid, string(algo), c.plan.Query); err != nil {
+				return err
+			}
+		}
+		if len(c.sys.remotes) > 1 {
+			m, err := fed.New(c.plan.Snapshot, fed.Config{}, c.sys.fedStats)
+			if err != nil {
+				return err
+			}
+			c.merger = m
+		}
+		return nil
+	}
+	tps, err := c.transports()
+	if err != nil {
+		return err
 	}
 	for _, tp := range tps {
 		op, err := snapshotOperator(algo)
@@ -176,6 +205,22 @@ func (c *Cursor) StepContext(ctx context.Context) (StepResult, error) {
 		}
 		return c.result(out), nil
 	}
+	if c.sys.Remote() {
+		// Remote cursors run on the deterministic epoch clock; every shard
+		// process senses and acquires the epoch over the wire. A shard loss
+		// surfaces here, on this cursor, tagged with the shard's name —
+		// other cursors (and the other shards' state machines) continue.
+		if err := ctx.Err(); err != nil {
+			return StepResult{}, err
+		}
+		e := c.epoch
+		c.epoch++
+		out := c.sys.rcoord.Epoch(c.rqid, e, c.mergeFunc())
+		if out.Err != nil {
+			return StepResult{}, out.Err
+		}
+		return c.result(out), nil
+	}
 	// Cancellation is observed here, between epochs: once an epoch number
 	// is consumed the deterministic coordinator runs it to completion, so
 	// the stream can never skip an epoch.
@@ -212,10 +257,12 @@ func (c *Cursor) result(out engine.Outcome) StepResult {
 
 // source returns the per-epoch reading source; GROUP BY ... WITH HISTORY
 // queries filter locally first (§III-B): each node's "reading" is the
-// aggregate of its buffered window ending at the current epoch.
+// aggregate of its buffered window ending at the current epoch
+// (trace.WindowAgg — remote shard servers derive the same source, so the
+// override readings match across substrates bit for bit).
 func (c *Cursor) source() trace.Source {
 	if c.plan.Kind == query.PlanHistoricGroupTopK {
-		return &windowAggSource{base: c.sys.source, window: c.plan.History, agg: c.plan.Snapshot.Agg}
+		return trace.WindowAgg(c.sys.source, c.plan.History, c.plan.Snapshot.Agg)
 	}
 	return c.sys.source
 }
@@ -231,6 +278,9 @@ func (c *Cursor) source() trace.Source {
 func (c *Cursor) Run() ([]Answer, error) {
 	if c.Continuous() {
 		return nil, fmt.Errorf("kspot: continuous query %q advances with Step, not Run", c.plan.Query)
+	}
+	if c.sys.Remote() {
+		return c.runRemote()
 	}
 	var tps []engine.Transport
 	if c.live {
@@ -291,6 +341,55 @@ func (c *Cursor) Run() ([]Answer, error) {
 	return m.Run(shards, c.live)
 }
 
+// runRemote executes a historic query on a remote deployment. Each shard
+// process buffers its own windows and runs the historic operator locally;
+// only shard-level results cross the wire — the shard's local TOP-shipK
+// partial sums, then the sums the coordinator's threshold round targets
+// in phase 2 (fed.HistoricMerger, identical to the in-process federation,
+// so the merged ranking is byte-identical to the flat run). The whole
+// round runs serialized against epoch rounds: its per-shard calls must
+// not interleave another cursor's sense/acquire pair on the shard state
+// machines.
+func (c *Cursor) runRemote() ([]Answer, error) {
+	if _, err := historicOperator(c.algo); err != nil {
+		return nil, err
+	}
+	exec := c.sys.nextQueryID()
+	execs := make([]*wire.HistoricExec, len(c.sys.remotes))
+	for i, cl := range c.sys.remotes {
+		execs[i] = cl.Historic(exec, string(c.algo), c.plan.Historic)
+	}
+	defer func() {
+		for _, h := range execs {
+			h.Release()
+		}
+	}()
+	if len(execs) == 1 {
+		var answers []Answer
+		err := c.sys.rcoord.Serialized(func() error {
+			var err error
+			answers, err = execs[0].Run()
+			return err
+		})
+		return answers, err
+	}
+	shards := make([]fed.HistoricShard, len(execs))
+	for i, h := range execs {
+		shards[i] = h
+	}
+	m, err := fed.NewHistoric(c.plan.Historic, fed.Config{}, c.sys.fedStats)
+	if err != nil {
+		return nil, err
+	}
+	var answers []Answer
+	err = c.sys.rcoord.Serialized(func() error {
+		var err error
+		answers, err = m.Run(shards, true)
+		return err
+	})
+	return answers, err
+}
+
 // bufferWindows materializes a transport's per-node windows for this
 // cursor's historic query, epoch-aligned across shards (one flat trace
 // source, global node ids).
@@ -315,33 +414,4 @@ func (c *Cursor) historicCoordinator(tps []engine.Transport) *engine.Coordinator
 		deps[i] = engine.NewDeployment(c.sys.scenario.ShardName(i), tp, c.sys.source)
 	}
 	return engine.NewCoordinator(deps...)
-}
-
-// windowAggSource aggregates each node's trailing window locally — the
-// node-local "search and filtering in the respective history window" of
-// §III-B's horizontally fragmented case.
-type windowAggSource struct {
-	base   trace.Source
-	window int
-	agg    model.AggKind
-}
-
-// Sample implements trace.Source.
-func (w *windowAggSource) Sample(node model.NodeID, e model.Epoch) model.Value {
-	lo := 0
-	if int(e) >= w.window {
-		lo = int(e) - w.window + 1
-	}
-	p := model.Partial{}
-	first := true
-	for i := lo; i <= int(e); i++ {
-		v := model.NewPartial(0, model.Quantize(w.base.Sample(node, model.Epoch(i))))
-		if first {
-			p = v
-			first = false
-		} else {
-			p = p.Merge(v)
-		}
-	}
-	return model.Quantize(p.Eval(w.agg))
 }

@@ -11,7 +11,7 @@ func TestWindowAggSourceAverages(t *testing.T) {
 	base := trace.NewFixture(map[model.NodeID][]model.Value{
 		1: {10, 20, 30, 40},
 	})
-	src := &windowAggSource{base: base, window: 2, agg: model.AggAvg}
+	src := trace.WindowAgg(base, 2, model.AggAvg)
 	// At epoch 3 the trailing 2-window is {30, 40} -> 35.
 	if got := src.Sample(1, 3); got != 35 {
 		t.Errorf("Sample(1,3) = %v, want 35", got)
@@ -26,10 +26,10 @@ func TestWindowAggSourceMinMax(t *testing.T) {
 	base := trace.NewFixture(map[model.NodeID][]model.Value{
 		1: {10, 50, 30},
 	})
-	if got := (&windowAggSource{base: base, window: 3, agg: model.AggMax}).Sample(1, 2); got != 50 {
+	if got := trace.WindowAgg(base, 3, model.AggMax).Sample(1, 2); got != 50 {
 		t.Errorf("MAX window = %v", got)
 	}
-	if got := (&windowAggSource{base: base, window: 3, agg: model.AggMin}).Sample(1, 2); got != 10 {
+	if got := trace.WindowAgg(base, 3, model.AggMin).Sample(1, 2); got != 10 {
 		t.Errorf("MIN window = %v", got)
 	}
 }

@@ -1,0 +1,153 @@
+package kspot
+
+// Remote federation: a PR 4/5 federated deployment as N+1 real processes.
+// Each shard runs inside its own kspotd -serve-shard process (or any
+// wire.Server host) on its own substrate; OpenFederated dials them and
+// builds a coordinator-only System whose cursors speak the framed TCP
+// protocol instead of calling into in-process shard networks. Everything
+// above the transport is unchanged — the same fed.Merger two-phase
+// snapshot merge and fed.HistoricMerger threshold round run at this
+// coordinator, on shard answers that crossed a socket instead of a struct
+// boundary — so answers and coordinator-tier counters stay byte-identical
+// to the in-process federated run, which is itself pinned byte-identical
+// to the flat run.
+
+import (
+	"fmt"
+	"time"
+
+	"kspot/internal/engine"
+	"kspot/internal/query"
+	"kspot/internal/stats"
+	"kspot/internal/topk/fed"
+	"kspot/internal/wire"
+)
+
+// WithWireTimeout bounds each remote shard call attempt (default 10s).
+// Applies to OpenFederated only.
+func WithWireTimeout(call time.Duration) OpenOption {
+	return func(c *openConfig) { c.wireCall = call }
+}
+
+// WithWireRetry sets the per-call retry budget of a remote deployment:
+// retries re-attempts after the first (default 4), sleeping backoff
+// before the first retry and doubling it per attempt (default 50ms).
+// Retries are safe at any setting — the shard executes each call at most
+// once regardless of how many frames the socket loses. Applies to
+// OpenFederated only.
+func WithWireRetry(retries int, backoff time.Duration) OpenOption {
+	return func(c *openConfig) {
+		c.wireRetries = retries
+		c.wireBackoff = backoff
+	}
+}
+
+// withWireFaults arms deterministic frame faults on every shard
+// connection — the conformance tests degrade the socket path and assert
+// answers do not change. Unexported: real deployments get their faults
+// from real networks.
+func withWireFaults(f wire.Faults) OpenOption {
+	return func(c *openConfig) { c.wireFaults = &f }
+}
+
+// OpenFederated opens a scenario whose shards are already running as
+// remote processes: addrs[i] is shard i's wire address, index-aligned
+// with the scenario's shard list (a flat scenario takes one address). The
+// scenario must be the same flat scenario every shard server was started
+// with — the handshake verifies name, shard count and per-shard node
+// counts, so a version- or deployment-skewed shard fails Open instead of
+// corrupting an epoch stream.
+//
+// The returned System is coordinator-only: it holds no local networks
+// (Network returns nil, traffic panels fetch per-shard counters over the
+// wire) and its queries run on the deterministic epoch clock of each
+// cursor, exactly like the in-process deterministic substrate. WithLive
+// and WithFaults do not apply — substrate and fault environment are the
+// shard processes' own configuration. Close drops every shard connection;
+// an unreachable shard surfaces on the cursor that steps into it, tagged
+// with the shard's name, without wedging other queries.
+func OpenFederated(s *Scenario, addrs []string, opts ...OpenOption) (*System, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	shardScens, err := s.ShardScenarios()
+	if err != nil {
+		return nil, err
+	}
+	if len(addrs) != len(shardScens) {
+		return nil, fmt.Errorf("kspot: %d shard addresses for a %d-shard scenario", len(addrs), len(shardScens))
+	}
+	sys := &System{
+		scenario:   s,
+		shardScens: shardScens,
+		schema:     query.DefaultSchema(),
+		fedStats:   &fed.Stats{},
+	}
+	deps := make([]*engine.RemoteDeployment, len(addrs))
+	for i, addr := range addrs {
+		cl, err := wire.Dial(wire.ClientConfig{
+			Addr:        addr,
+			Scenario:    s.Name,
+			Shard:       i,
+			Shards:      len(shardScens),
+			Nodes:       len(shardScens[i].Nodes),
+			CallTimeout: cfg.wireCall,
+			Retries:     cfg.wireRetries,
+			Backoff:     cfg.wireBackoff,
+			Faults:      cfg.wireFaults,
+		})
+		if err != nil {
+			for _, prev := range sys.remotes {
+				prev.Close()
+			}
+			return nil, err
+		}
+		sys.remotes = append(sys.remotes, cl)
+		deps[i] = engine.NewRemoteDeployment(s.ShardName(i), cl)
+	}
+	sys.rcoord = engine.NewRemoteCoordinator(deps...)
+	return sys, nil
+}
+
+// Remote reports whether this System coordinates remote shard processes.
+func (s *System) Remote() bool { return s.rcoord != nil }
+
+// nextQueryID allocates a deployment-unique id for a remote query or
+// historic execution.
+func (s *System) nextQueryID() uint32 { return s.qidSeq.Add(1) }
+
+// ShardStats returns every shard's traffic/energy counters, in shard
+// order — read from the local networks, or fetched over the wire on a
+// remote deployment (where a dead shard surfaces as the error).
+func (s *System) ShardStats() ([]RunStats, error) {
+	if s.Remote() {
+		rows := make([]RunStats, 0, len(s.remotes))
+		for _, cl := range s.remotes {
+			row, err := cl.Stats()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, RunStats(row))
+		}
+		return rows, nil
+	}
+	rows := make([]RunStats, 0, len(s.nets))
+	for i, net := range s.nets {
+		rows = append(rows, RunStats(stats.Collect(s.scenario.ShardName(i), net, 0)))
+	}
+	return rows, nil
+}
+
+// shardStatRows is ShardStats in the stats package's own type, for panels.
+func (s *System) shardStatRows() ([]stats.RunStats, error) {
+	rows, err := s.ShardStats()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stats.RunStats, len(rows))
+	for i, r := range rows {
+		out[i] = stats.RunStats(r)
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package engine
+
+// The remote substrate: a federated deployment whose shards are other
+// processes behind sockets. The engine keeps the same coordinator-tier
+// shape as the in-process federation (sense every shard, acquire every
+// shard, union readings, merge answers) but speaks to each shard through
+// the RemoteShard interface — internal/wire's Client implements it over
+// the framed TCP protocol. Per-node operations never cross the wire: a
+// shard's operator, routing tree and energy ledger live in the shard
+// process; only shard-level results (readings, ranked answers, partial
+// sums, counters) do, which is exactly the backhaul the fed layer's
+// Stats account.
+
+import (
+	"fmt"
+	"sync"
+
+	"kspot/internal/model"
+)
+
+// RemoteAcquisition is one shard's epoch result for one query. Readings
+// is nil for queries running on the epoch's shared sensing; for queries
+// with derived per-node inputs (GROUP BY ... WITH HISTORY) it carries the
+// derived readings the shard ran on, so the coordinator's oracle sees the
+// same inputs the in-process coordinator would.
+type RemoteAcquisition struct {
+	Answers  []model.Answer
+	Readings map[model.NodeID]model.Reading
+}
+
+// RemoteShard is the coordinator's surface onto one remote shard process:
+// the shard-level half of the Transport contract (sensing and epoch
+// acquisition), with per-node operations confined to the far side.
+type RemoteShard interface {
+	// Sense idle-charges and senses the shard once for the epoch,
+	// returning the post-commit readings.
+	Sense(e model.Epoch) (map[model.NodeID]model.Reading, error)
+	// Acquire runs one epoch of the attached query on the shard.
+	Acquire(query uint32, e model.Epoch) (RemoteAcquisition, error)
+}
+
+// RemoteDeployment pairs a remote shard with its display name — the
+// remote analogue of Deployment.
+type RemoteDeployment struct {
+	name  string
+	shard RemoteShard
+}
+
+// NewRemoteDeployment binds a remote shard under a display name.
+func NewRemoteDeployment(name string, shard RemoteShard) *RemoteDeployment {
+	return &RemoteDeployment{name: name, shard: shard}
+}
+
+// Name returns the deployment's display name.
+func (d *RemoteDeployment) Name() string { return d.name }
+
+// Shard returns the remote shard handle.
+func (d *RemoteDeployment) Shard() RemoteShard { return d.shard }
+
+// RemoteCoordinator drives remote shard deployments through lock-step
+// epochs, mirroring Coordinator's sense-then-acquire order. Unlike the
+// in-process coordinator it serializes epochs across cursors: every
+// cursor's sense/acquire pair must reach each shard's single state
+// machine unbroken, or one query's acquisition would consume another's
+// sensing. Shard fan-out within an epoch is concurrent — each shard is
+// its own process.
+type RemoteCoordinator struct {
+	mu   sync.Mutex
+	deps []*RemoteDeployment
+}
+
+// NewRemoteCoordinator builds a coordinator over remote shards.
+func NewRemoteCoordinator(deps ...*RemoteDeployment) *RemoteCoordinator {
+	if len(deps) == 0 {
+		panic("engine: remote coordinator needs at least one deployment")
+	}
+	return &RemoteCoordinator{deps: deps}
+}
+
+// Shards returns the number of shard deployments.
+func (c *RemoteCoordinator) Shards() int { return len(c.deps) }
+
+// Deployments returns the shard deployments, in shard order.
+func (c *RemoteCoordinator) Deployments() []*RemoteDeployment { return c.deps }
+
+// Epoch runs one full federated epoch of a query: sense every shard,
+// acquire every shard, union the readings, merge the answers. A shard
+// loss (socket exhausted its retries, shard process gone) surfaces as
+// Outcome.Err tagged with the shard's name — the same cursor-outcome
+// pathway an in-process shard failure takes — and never wedges: the
+// remaining shards' calls still complete before the outcome returns.
+func (c *RemoteCoordinator) Epoch(query uint32, e model.Epoch, merge MergeFunc) Outcome {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.deps)
+
+	senses := make([]map[model.NodeID]model.Reading, n)
+	errs := make([]error, n)
+	c.fanOut(func(i int) {
+		senses[i], errs[i] = c.deps[i].shard.Sense(e)
+	})
+	if err := c.firstErr(errs); err != nil {
+		return Outcome{Epoch: e, Err: err}
+	}
+
+	acqs := make([]RemoteAcquisition, n)
+	c.fanOut(func(i int) {
+		acqs[i], errs[i] = c.deps[i].shard.Acquire(query, e)
+	})
+	// Union the readings the query actually ran on: the shared sensing,
+	// or the shards' derived readings when the query overrides them.
+	per := senses
+	override := false
+	for i := range acqs {
+		if acqs[i].Readings != nil {
+			override = true
+			break
+		}
+	}
+	if override {
+		per = make([]map[model.NodeID]model.Reading, n)
+		for i := range acqs {
+			per[i] = acqs[i].Readings
+		}
+	}
+	out := Outcome{Epoch: e, Readings: MergeReadings(per)}
+	if err := c.firstErr(errs); err != nil {
+		out.Err = err
+		return out
+	}
+	perShard := make([][]model.Answer, n)
+	for i := range acqs {
+		perShard[i] = acqs[i].Answers
+	}
+	if merge == nil {
+		if n != 1 {
+			out.Err = fmt.Errorf("engine: %d shards need a merge function", n)
+			return out
+		}
+		out.Answers = perShard[0]
+		return out
+	}
+	out.Answers, out.Err = merge(perShard)
+	return out
+}
+
+// RunShards invokes fn once per shard deployment concurrently (each shard
+// is its own process; socket round trips overlap) and returns the first
+// error in shard order, tagged with the shard's name — the remote
+// analogue of Coordinator.RunShards, serialized against epoch rounds so
+// one-shot historic executions cannot interleave a cursor's sense/acquire
+// pair on the shard state machines.
+func (c *RemoteCoordinator) RunShards(fn func(i int, d *RemoteDeployment) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	errs := make([]error, len(c.deps))
+	c.fanOut(func(i int) {
+		errs[i] = fn(i, c.deps[i])
+	})
+	return c.firstErr(errs)
+}
+
+// Serialized runs fn while holding the coordinator's epoch lock: one-shot
+// multi-call protocols (the federated historic threshold round, which
+// fans its own per-shard calls out) run atomically with respect to epoch
+// rounds on the shard state machines.
+func (c *RemoteCoordinator) Serialized(fn func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn()
+}
+
+// fanOut runs fn(i) for every shard index concurrently and joins.
+func (c *RemoteCoordinator) fanOut(fn func(i int)) {
+	if len(c.deps) == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range c.deps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// firstErr returns the first shard error in shard order, tagged.
+func (c *RemoteCoordinator) firstErr(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine: shard %s: %w", c.deps[i].name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"kspot/internal/model"
+)
+
+// stubShard is a scripted RemoteShard for coordinator-path tests.
+type stubShard struct {
+	mu       sync.Mutex
+	readings map[model.NodeID]model.Reading
+	answers  []model.Answer
+	override map[model.NodeID]model.Reading
+	senseErr error
+	acqErr   error
+	senses   int
+	acquires int
+}
+
+func (s *stubShard) Sense(e model.Epoch) (map[model.NodeID]model.Reading, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.senses++
+	if s.senseErr != nil {
+		return nil, s.senseErr
+	}
+	return s.readings, nil
+}
+
+func (s *stubShard) Acquire(query uint32, e model.Epoch) (RemoteAcquisition, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acquires++
+	if s.acqErr != nil {
+		return RemoteAcquisition{}, s.acqErr
+	}
+	return RemoteAcquisition{Answers: s.answers, Readings: s.override}, nil
+}
+
+func readingsOf(ids ...model.NodeID) map[model.NodeID]model.Reading {
+	out := make(map[model.NodeID]model.Reading, len(ids))
+	for _, id := range ids {
+		out[id] = model.Reading{Node: id, Value: model.Value(id) * 10}
+	}
+	return out
+}
+
+func TestRemoteCoordinatorEpochUnionAndMerge(t *testing.T) {
+	a := &stubShard{readings: readingsOf(1, 2), answers: []model.Answer{{Group: 1, Score: 10}}}
+	b := &stubShard{readings: readingsOf(3), answers: []model.Answer{{Group: 2, Score: 20}}}
+	coord := NewRemoteCoordinator(
+		NewRemoteDeployment("shard-0", a),
+		NewRemoteDeployment("shard-1", b),
+	)
+	if coord.Shards() != 2 {
+		t.Fatalf("Shards() = %d", coord.Shards())
+	}
+	merged := false
+	out := coord.Epoch(1, 4, func(perShard [][]model.Answer) ([]model.Answer, error) {
+		merged = true
+		if len(perShard) != 2 {
+			t.Fatalf("merge saw %d shards", len(perShard))
+		}
+		return append(perShard[0], perShard[1]...), nil
+	})
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if !merged || len(out.Answers) != 2 {
+		t.Fatalf("merge not applied: %+v", out)
+	}
+	if len(out.Readings) != 3 {
+		t.Fatalf("union has %d readings, want 3", len(out.Readings))
+	}
+	if a.senses != 1 || b.senses != 1 || a.acquires != 1 || b.acquires != 1 {
+		t.Fatalf("call counts: %d/%d senses, %d/%d acquires", a.senses, b.senses, a.acquires, b.acquires)
+	}
+}
+
+func TestRemoteCoordinatorOverrideReadings(t *testing.T) {
+	// When shards return derived readings (GROUP BY ... WITH HISTORY), the
+	// outcome's union must be built from those, not the shared sensing.
+	a := &stubShard{readings: readingsOf(1), override: readingsOf(7)}
+	b := &stubShard{readings: readingsOf(2), override: readingsOf(8)}
+	coord := NewRemoteCoordinator(
+		NewRemoteDeployment("shard-0", a),
+		NewRemoteDeployment("shard-1", b),
+	)
+	out := coord.Epoch(1, 0, func(per [][]model.Answer) ([]model.Answer, error) { return nil, nil })
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	for _, want := range []model.NodeID{7, 8} {
+		if _, ok := out.Readings[want]; !ok {
+			t.Fatalf("override union missing node %d: %v", want, out.Readings)
+		}
+	}
+	for _, raw := range []model.NodeID{1, 2} {
+		if _, ok := out.Readings[raw]; ok {
+			t.Fatalf("raw sensing leaked into override union: %v", out.Readings)
+		}
+	}
+}
+
+func TestRemoteCoordinatorShardErrorTagged(t *testing.T) {
+	a := &stubShard{readings: readingsOf(1)}
+	bad := &stubShard{readings: readingsOf(2), acqErr: fmt.Errorf("connection refused")}
+	coord := NewRemoteCoordinator(
+		NewRemoteDeployment("shard-0", a),
+		NewRemoteDeployment("shard-1", bad),
+	)
+	out := coord.Epoch(1, 0, func(per [][]model.Answer) ([]model.Answer, error) { return nil, nil })
+	if out.Err == nil {
+		t.Fatal("shard error swallowed")
+	}
+	if !strings.Contains(out.Err.Error(), "shard-1") {
+		t.Fatalf("error not tagged with shard name: %v", out.Err)
+	}
+	// The healthy shard still completed its calls — no wedging.
+	if a.acquires != 1 {
+		t.Fatalf("healthy shard acquired %d times", a.acquires)
+	}
+
+	// A sense failure aborts before any acquisition.
+	a2 := &stubShard{readings: readingsOf(1)}
+	bad2 := &stubShard{senseErr: fmt.Errorf("shard gone")}
+	coord2 := NewRemoteCoordinator(
+		NewRemoteDeployment("shard-0", a2),
+		NewRemoteDeployment("shard-1", bad2),
+	)
+	out2 := coord2.Epoch(1, 0, nil)
+	if out2.Err == nil || !strings.Contains(out2.Err.Error(), "shard-1") {
+		t.Fatalf("sense error: %v", out2.Err)
+	}
+	if a2.acquires != 0 || bad2.acquires != 0 {
+		t.Fatal("acquisition ran after a failed sense")
+	}
+}
+
+func TestRemoteCoordinatorMergeRequired(t *testing.T) {
+	coord := NewRemoteCoordinator(
+		NewRemoteDeployment("shard-0", &stubShard{readings: readingsOf(1)}),
+		NewRemoteDeployment("shard-1", &stubShard{readings: readingsOf(2)}),
+	)
+	if out := coord.Epoch(1, 0, nil); out.Err == nil {
+		t.Fatal("multi-shard epoch without a merge function succeeded")
+	}
+	// A single shard needs no merge: answers pass through.
+	solo := NewRemoteCoordinator(NewRemoteDeployment("flat", &stubShard{
+		readings: readingsOf(1),
+		answers:  []model.Answer{{Group: 1, Score: 5}},
+	}))
+	out := solo.Epoch(1, 0, nil)
+	if out.Err != nil || len(out.Answers) != 1 {
+		t.Fatalf("flat pass-through: %+v", out)
+	}
+}
+
+func TestRemoteCoordinatorRunShards(t *testing.T) {
+	coord := NewRemoteCoordinator(
+		NewRemoteDeployment("shard-0", &stubShard{}),
+		NewRemoteDeployment("shard-1", &stubShard{}),
+		NewRemoteDeployment("shard-2", &stubShard{}),
+	)
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	if err := coord.RunShards(func(i int, d *RemoteDeployment) error {
+		mu.Lock()
+		seen[d.Name()] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("visited %d shards", len(seen))
+	}
+	// First error in shard order wins, tagged.
+	err := coord.RunShards(func(i int, d *RemoteDeployment) error {
+		if i >= 1 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard-1") {
+		t.Fatalf("RunShards error: %v", err)
+	}
+}

@@ -75,6 +75,23 @@ func draw(seed int64, msg radio.Message, frag, attempt int, salt uint64) float64
 	return unit(frameDigest(msgDigest(seed, msg), frag, attempt), salt)
 }
 
+// KeyedUnit derives a deterministic uniform [0,1) variate from a seed, a
+// fault-dimension salt and an identity key — the same keyed-hash discipline
+// as the radio tier's frame faults (a draw depends only on the seed and the
+// event's identity, never on draw order), exported for layers that inject
+// faults on other substrates. internal/wire keys its per-frame loss/dup/
+// delay decisions on (seed, salt, rpc sequence, attempt) with it, so a
+// socket fault scenario replays identically run over run.
+func KeyedUnit(seed int64, salt uint64, key ...uint64) float64 {
+	h := uint64(fnvOffset)
+	h = fnv64(h, uint64(seed))
+	h = fnv64(h, salt)
+	for _, k := range key {
+		h = fnv64(h, k)
+	}
+	return toUnit(h)
+}
+
 // stepDraw is the per-epoch transition variate of a link's Gilbert-Elliott
 // chain — a function of (seed, link, epoch) only.
 func stepDraw(seed int64, lo, hi model.NodeID, e model.Epoch) float64 {

@@ -1,0 +1,55 @@
+// Package registry maps algorithm names to operator constructors — the one
+// table behind both the public API's PostWith dispatch and the wire shard
+// server's Attach handler. A remote shard must instantiate *exactly* the
+// operator the coordinator would have run in-process (the federation
+// layer's identical-answer guarantee assumes the same protocol executes on
+// both sides of the socket), so the name → operator mapping lives here
+// once instead of being duplicated per entry point.
+package registry
+
+import (
+	"fmt"
+
+	"kspot/internal/topk"
+	"kspot/internal/topk/central"
+	"kspot/internal/topk/fila"
+	"kspot/internal/topk/mint"
+	"kspot/internal/topk/naive"
+	"kspot/internal/topk/tag"
+	"kspot/internal/topk/tja"
+	"kspot/internal/topk/tput"
+)
+
+// Snapshot instantiates the snapshot operator for an algorithm name. The
+// empty name follows the paper's router default (MINT).
+func Snapshot(name string) (topk.SnapshotOperator, error) {
+	switch name {
+	case "", "mint":
+		return mint.New(), nil
+	case "tag":
+		return tag.New(), nil
+	case "naive":
+		return naive.New(), nil
+	case "central":
+		return central.NewSnapshot(), nil
+	case "fila":
+		return fila.New(), nil
+	default:
+		return nil, fmt.Errorf("topk: %q is not a snapshot algorithm", name)
+	}
+}
+
+// Historic instantiates the historic operator for an algorithm name. The
+// empty name follows the paper's router default (TJA).
+func Historic(name string) (topk.HistoricOperator, error) {
+	switch name {
+	case "", "tja":
+		return tja.New(), nil
+	case "tput":
+		return tput.New(), nil
+	case "central":
+		return central.NewHistoric(), nil
+	default:
+		return nil, fmt.Errorf("topk: %q is not a historic algorithm", name)
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import "kspot/internal/model"
+
+// WindowAgg derives a source whose "reading" for a node at epoch e is the
+// aggregate of the node's trailing base-source window ending at e — the
+// node-local "search and filtering in the respective history window" of
+// the paper's §III-B (GROUP BY ... WITH HISTORY queries filter locally
+// before the in-network top-k runs). The derivation is a pure function of
+// (node, epoch), so every substrate — deterministic, live, and a remote
+// shard across a socket — derives bit-identical override readings.
+func WindowAgg(base Source, window int, agg model.AggKind) Source {
+	return &windowAggSource{base: base, window: window, agg: agg}
+}
+
+type windowAggSource struct {
+	base   Source
+	window int
+	agg    model.AggKind
+}
+
+// Sample implements Source.
+func (w *windowAggSource) Sample(node model.NodeID, e model.Epoch) model.Value {
+	lo := 0
+	if int(e) >= w.window {
+		lo = int(e) - w.window + 1
+	}
+	p := model.Partial{}
+	first := true
+	for i := lo; i <= int(e); i++ {
+		v := model.NewPartial(0, model.Quantize(w.base.Sample(node, model.Epoch(i))))
+		if first {
+			p = v
+			first = false
+		} else {
+			p = p.Merge(v)
+		}
+	}
+	return model.Quantize(p.Eval(w.agg))
+}

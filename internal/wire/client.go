@@ -1,0 +1,480 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kspot/internal/engine"
+	"kspot/internal/model"
+	"kspot/internal/stats"
+	"kspot/internal/topk"
+)
+
+// ClientConfig dials one shard server.
+type ClientConfig struct {
+	Addr string
+	// Identity the handshake asserts (see Hello): the flat scenario name,
+	// this shard's index, the deployment's shard count and the shard's
+	// sensor node count. The server refuses a mismatch.
+	Scenario string
+	Shard    int
+	Shards   int
+	Nodes    int
+
+	// DialTimeout bounds one connect attempt (default 5s). CallTimeout
+	// bounds one request attempt awaiting its response (default 10s).
+	// Retries is the number of re-attempts after the first per call
+	// (default 4); Backoff is the initial retry sleep, doubling per
+	// attempt (default 50ms).
+	DialTimeout time.Duration
+	CallTimeout time.Duration
+	Retries     int
+	Backoff     time.Duration
+
+	// Faults, when armed, injects deterministic frame faults on this
+	// client's socket path (tests; see Faults).
+	Faults *Faults
+}
+
+func (c *ClientConfig) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *ClientConfig) callTimeout() time.Duration {
+	if c.CallTimeout > 0 {
+		return c.CallTimeout
+	}
+	return 10 * time.Second
+}
+
+func (c *ClientConfig) retries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 4
+}
+
+func (c *ClientConfig) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// clientNonce distinguishes client sessions on the server's at-most-once
+// layer: same nonce + same sequence = same request. Process-unique.
+var clientNonce atomic.Uint64
+
+func newNonce() uint64 {
+	return uint64(os.Getpid())<<32 | clientNonce.Add(1)
+}
+
+// Client is the coordinator's handle on one remote shard. It implements
+// engine.RemoteShard; its historic executions implement fed.HistoricShard.
+// Calls are synchronous and serialized (the far end is one shard state
+// machine); each call retries with backoff across timeouts and reconnects,
+// reusing its sequence number so the server executes it at most once.
+// Close interrupts an in-flight call promptly.
+type Client struct {
+	cfg   ClientConfig
+	nonce uint64
+	name  string // shard display name, from the welcome
+
+	mu   sync.Mutex // serializes calls
+	seq  uint64
+	wbuf []byte
+
+	connMu sync.Mutex // guards conn/closed against concurrent Close
+	conn   net.Conn
+	closed bool
+
+	// retried counts calls that needed more than one attempt (tests
+	// assert fault injection actually exercised the retry path).
+	retried atomic.Int64
+}
+
+// Dial connects and handshakes with a shard server.
+func Dial(cfg ClientConfig) (*Client, error) {
+	c := &Client{cfg: cfg, nonce: newNonce(), seq: 1}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, fmt.Errorf("wire: shard %d at %s: %w", cfg.Shard, cfg.Addr, err)
+	}
+	return c, nil
+}
+
+// Name returns the shard's display name (from the handshake).
+func (c *Client) Name() string { return c.name }
+
+// Retried reports how many calls needed more than one attempt.
+func (c *Client) Retried() int64 { return c.retried.Load() }
+
+// connectLocked dials and handshakes under c.mu.
+func (c *Client) connectLocked() error {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return fmt.Errorf("client is closed")
+	}
+	c.connMu.Unlock()
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.dialTimeout())
+	if err != nil {
+		return err
+	}
+	hello := AppendHello(nil, Hello{
+		Version:  Version,
+		Shard:    uint16(c.cfg.Shard),
+		Shards:   uint16(c.cfg.Shards),
+		Nodes:    uint16(c.cfg.Nodes),
+		Nonce:    c.nonce,
+		Scenario: c.cfg.Scenario,
+	})
+	seq := c.seq
+	c.seq++
+	conn.SetDeadline(time.Now().Add(c.cfg.callTimeout()))
+	if err := WriteFrame(conn, &c.wbuf, Frame{Seq: seq, Type: MsgHello, Payload: hello}); err != nil {
+		conn.Close()
+		return err
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if f.Type == MsgError {
+		conn.Close()
+		return fmt.Errorf("%s", f.Payload)
+	}
+	if f.Type != MsgWelcome {
+		conn.Close()
+		return fmt.Errorf("handshake reply %v", f.Type)
+	}
+	w, err := DecodeWelcome(f.Payload)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if w.Version != Version {
+		conn.Close()
+		return fmt.Errorf("protocol version %d, client speaks %d", w.Version, Version)
+	}
+	if int(w.Shard) != c.cfg.Shard || int(w.Nodes) != c.cfg.Nodes {
+		conn.Close()
+		return fmt.Errorf("welcome identity shard=%d nodes=%d, want shard=%d nodes=%d", w.Shard, w.Nodes, c.cfg.Shard, c.cfg.Nodes)
+	}
+	conn.SetDeadline(time.Time{})
+	c.name = w.Name
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		conn.Close()
+		return fmt.Errorf("client is closed")
+	}
+	c.conn = conn
+	c.connMu.Unlock()
+	return nil
+}
+
+// dropConnLocked discards the connection after an error (under c.mu).
+func (c *Client) dropConnLocked() {
+	c.connMu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.connMu.Unlock()
+}
+
+func (c *Client) isClosed() bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.closed
+}
+
+// call performs one at-most-once RPC: stamp a fresh sequence, then retry
+// (same sequence) across timeouts, connection drops and injected frame
+// faults until a response lands or attempts run out. An application error
+// (MsgError) is a definitive response and is not retried.
+func (c *Client) call(t MsgType, payload []byte) (Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seq := c.seq
+	c.seq++
+	backoff := c.cfg.backoff()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.retries(); attempt++ {
+		if c.isClosed() {
+			return Frame{}, fmt.Errorf("wire: client is closed")
+		}
+		if attempt > 0 {
+			c.retried.Add(1)
+			time.Sleep(backoff)
+			backoff *= 2
+			if c.isClosed() {
+				return Frame{}, fmt.Errorf("wire: client is closed")
+			}
+		}
+		c.connMu.Lock()
+		conn := c.conn
+		c.connMu.Unlock()
+		if conn == nil {
+			if err := c.connectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+			c.connMu.Lock()
+			conn = c.conn
+			c.connMu.Unlock()
+		}
+		if err := c.send(conn, Frame{Seq: seq, Type: t, Payload: payload}, attempt); err != nil {
+			lastErr = err
+			c.dropConnLocked()
+			continue
+		}
+		f, err := c.await(conn, seq, attempt)
+		if err != nil {
+			lastErr = err
+			c.dropConnLocked()
+			continue
+		}
+		if f.Type == MsgError {
+			return Frame{}, fmt.Errorf("wire: shard %s: %s", c.shardLabel(), f.Payload)
+		}
+		return f, nil
+	}
+	return Frame{}, fmt.Errorf("wire: shard %s unreachable after %d attempts: %w", c.shardLabel(), c.cfg.retries()+1, lastErr)
+}
+
+func (c *Client) shardLabel() string {
+	if c.name != "" {
+		return c.name
+	}
+	return fmt.Sprintf("%d at %s", c.cfg.Shard, c.cfg.Addr)
+}
+
+// send writes the request frame, applying injected frame faults: a
+// dropped request is simply never written (the attempt times out), a
+// duplicated one is written twice (the server replays the cached reply
+// for the duplicate), a delayed one sleeps first.
+func (c *Client) send(conn net.Conn, f Frame, attempt int) error {
+	flt := c.cfg.Faults
+	if d := flt.delayReq(f.Seq, attempt); d > 0 {
+		time.Sleep(d)
+	}
+	if flt.dropReq(f.Seq, attempt) {
+		return nil // "lost on the wire": await will time out and retry
+	}
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.callTimeout()))
+	if err := WriteFrame(conn, &c.wbuf, f); err != nil {
+		return err
+	}
+	if flt.dupReq(f.Seq, attempt) {
+		if err := WriteFrame(conn, &c.wbuf, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// await reads frames until the response matching seq arrives or the
+// attempt times out. Stale responses (retries and duplicates of earlier
+// sequences, or responses whose injected fault says "lost") are
+// discarded; at-most-once execution on the server makes that safe.
+func (c *Client) await(conn net.Conn, seq uint64, attempt int) (Frame, error) {
+	conn.SetReadDeadline(time.Now().Add(c.cfg.callTimeout()))
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return Frame{}, err
+		}
+		if f.Seq < seq {
+			continue // response to an earlier attempt/sequence: stale
+		}
+		if f.Seq > seq {
+			return Frame{}, fmt.Errorf("wire: response sequence %d ahead of request %d", f.Seq, seq)
+		}
+		if c.cfg.Faults.dropResp(seq, attempt) {
+			// The response "was lost": keep waiting so the deadline fires
+			// and the next attempt retries the same sequence.
+			continue
+		}
+		conn.SetReadDeadline(time.Time{})
+		return f, nil
+	}
+}
+
+// Attach plans and attaches a query on the shard under an id.
+func (c *Client) Attach(queryID uint32, algo, sql string) error {
+	payload := AppendAttach(nil, AttachReq{Query: queryID, Algo: algo, SQL: sql})
+	f, err := c.call(MsgAttach, payload)
+	if err != nil {
+		return err
+	}
+	if f.Type != MsgAttached {
+		return fmt.Errorf("wire: attach reply %v", f.Type)
+	}
+	return nil
+}
+
+// Sense implements engine.RemoteShard: one shared sensing of the epoch.
+func (c *Client) Sense(e model.Epoch) (map[model.NodeID]model.Reading, error) {
+	f, err := c.call(MsgSense, AppendEpoch(nil, e))
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != MsgReadings {
+		return nil, fmt.Errorf("wire: sense reply %v", f.Type)
+	}
+	re, readings, err := DecodeReadings(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if re != e {
+		return nil, fmt.Errorf("wire: sense reply for epoch %d, want %d", re, e)
+	}
+	return readings, nil
+}
+
+// Acquire implements engine.RemoteShard: run one epoch of an attached
+// query on the shard.
+func (c *Client) Acquire(queryID uint32, e model.Epoch) (engine.RemoteAcquisition, error) {
+	f, err := c.call(MsgAcquire, AppendAcquire(nil, AcquireReq{Query: queryID, Epoch: e}))
+	if err != nil {
+		return engine.RemoteAcquisition{}, err
+	}
+	if f.Type != MsgAnswers {
+		return engine.RemoteAcquisition{}, fmt.Errorf("wire: acquire reply %v", f.Type)
+	}
+	re, answers, override, err := DecodeAnswers(f.Payload)
+	if err != nil {
+		return engine.RemoteAcquisition{}, err
+	}
+	if re != e {
+		return engine.RemoteAcquisition{}, fmt.Errorf("wire: acquire reply for epoch %d, want %d", re, e)
+	}
+	return engine.RemoteAcquisition{Answers: answers, Readings: override}, nil
+}
+
+// Stats fetches the shard's traffic/energy counters.
+func (c *Client) Stats() (stats.RunStats, error) {
+	f, err := c.call(MsgStats, nil)
+	if err != nil {
+		return stats.RunStats{}, err
+	}
+	if f.Type != MsgStatsReply {
+		return stats.RunStats{}, fmt.Errorf("wire: stats reply %v", f.Type)
+	}
+	var row stats.RunStats
+	if err := json.Unmarshal(f.Payload, &row); err != nil {
+		return stats.RunStats{}, err
+	}
+	return row, nil
+}
+
+// Close ends the session: best-effort goodbye, then the connection drops.
+// An in-flight call is interrupted promptly (its socket is closed under
+// it) and returns an error. Safe to call more than once.
+func (c *Client) Close() error {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.connMu.Unlock()
+	if conn != nil {
+		// Goodbye on the raw connection without taking c.mu: Close must
+		// not wait behind an in-flight call it is supposed to interrupt.
+		var wbuf []byte
+		conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
+		WriteFrame(conn, &wbuf, Frame{Seq: ^uint64(0), Type: MsgClose, Payload: nil})
+		conn.Close()
+	}
+	c.connMu.Lock()
+	c.conn = nil
+	c.connMu.Unlock()
+	return nil
+}
+
+// Historic opens a historic execution handle on the shard. The handle
+// implements fed.HistoricShard for the coordinator's threshold round.
+func (c *Client) Historic(exec uint32, algo string, q topk.HistoricQuery) *HistoricExec {
+	return &HistoricExec{c: c, exec: exec, algo: algo, q: q}
+}
+
+// HistoricExec is one historic execution on one remote shard.
+type HistoricExec struct {
+	c    *Client
+	exec uint32
+	algo string
+	q    topk.HistoricQuery
+}
+
+// run executes the shard-local historic operator with an explicit ranking
+// size and aggregate, returning the ranked answers and the shard's
+// buffered-node count.
+func (h *HistoricExec) run(k int, agg model.AggKind) ([]model.Answer, int, error) {
+	payload := AppendHistoric(nil, HistoricReq{Exec: h.exec, K: k, Window: h.q.Window, Agg: agg, Algo: h.algo})
+	f, err := h.c.call(MsgHistoric, payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if f.Type != MsgTopK {
+		return nil, 0, fmt.Errorf("wire: historic reply %v", f.Type)
+	}
+	exec, nodes, answers, err := DecodeTopK(f.Payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if exec != h.exec {
+		return nil, 0, fmt.Errorf("wire: historic reply for execution %d, want %d", exec, h.exec)
+	}
+	return answers, nodes, nil
+}
+
+// Run executes the query as posted — the flat (single-shard) path.
+func (h *HistoricExec) Run() ([]model.Answer, error) {
+	answers, _, err := h.run(h.q.K, h.q.Agg)
+	return answers, err
+}
+
+// LocalTopK implements fed.HistoricShard: the shard's top shipK instants
+// ranked by exact local SUM partial (see fed.OperatorShard — SUM and AVG
+// rank identically within a shard, and the coordinator needs raw sums).
+func (h *HistoricExec) LocalTopK(shipK int) ([]model.Answer, int, error) {
+	return h.run(shipK, model.AggSum)
+}
+
+// FetchSums implements fed.HistoricShard: the phase-2 targeted sweep.
+func (h *HistoricExec) FetchSums(ids []model.GroupID) (map[model.GroupID]int64, error) {
+	f, err := h.c.call(MsgFetch, AppendFetch(nil, h.exec, ids))
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != MsgSums {
+		return nil, fmt.Errorf("wire: fetch reply %v", f.Type)
+	}
+	exec, sums, err := DecodeSums(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if exec != h.exec {
+		return nil, fmt.Errorf("wire: fetch reply for execution %d, want %d", exec, h.exec)
+	}
+	return sums, nil
+}
+
+// Release drops the execution's cached windows on the shard (best effort).
+func (h *HistoricExec) Release() {
+	h.c.call(MsgRelease, AppendU32(nil, h.exec))
+}

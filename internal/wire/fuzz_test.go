@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"kspot/internal/model"
+)
+
+// FuzzFrameDecode drives arbitrary bytes through the framing layer and
+// every payload codec behind it. The invariant is total robustness: a
+// hostile or corrupt peer can make a decode fail, never panic, never
+// allocate past MaxPayload — and anything that does decode must re-encode
+// to the identical frame (the codecs have one canonical form).
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, Frame{Seq: 1, Type: MsgHello, Payload: AppendHello(nil, Hello{Version: Version, Scenario: "demo"})}))
+	f.Add(AppendFrame(nil, Frame{Seq: 2, Type: MsgSense, Payload: AppendEpoch(nil, 7)}))
+	f.Add(AppendFrame(nil, Frame{Seq: 3, Type: MsgAnswers, Payload: AppendAnswers(nil, 7, []model.Answer{{Group: 1, Score: 2}}, nil)}))
+	f.Add(AppendFrame(nil, Frame{Seq: 4, Type: MsgTopK, Payload: AppendTopK(nil, 1, 9, []model.Answer{{Group: 3, Score: -4.5}})}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			// Rejected input must also reject (not hang or panic) on the
+			// streaming path.
+			if _, rerr := ReadFrame(bytes.NewReader(data)); rerr == nil {
+				t.Fatalf("DecodeFrame rejected (%v) but ReadFrame accepted", err)
+			}
+			return
+		}
+		if n < frameHeaderSize || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if len(fr.Payload) > MaxPayload {
+			t.Fatalf("oversized payload %d decoded", len(fr.Payload))
+		}
+		if re := AppendFrame(nil, fr); !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x != %x", re, data[:n])
+		}
+		// Feed the payload to each structured codec; none may panic.
+		DecodeHello(fr.Payload)
+		DecodeWelcome(fr.Payload)
+		DecodeAttach(fr.Payload)
+		DecodeEpoch(fr.Payload)
+		DecodeU32(fr.Payload)
+		DecodeAcquire(fr.Payload)
+		DecodeReadings(fr.Payload)
+		DecodeAnswers(fr.Payload)
+		DecodeHistoric(fr.Payload)
+		DecodeTopK(fr.Payload)
+		DecodeFetch(fr.Payload)
+		DecodeSums(fr.Payload)
+	})
+}
+
+// FuzzHandshake round-trips arbitrary bytes through the hello codec: any
+// input that decodes must re-encode canonically, and version-skewed or
+// truncated hellos must be rejected by the server's admission check
+// rather than crash it.
+func FuzzHandshake(f *testing.F) {
+	f.Add(AppendHello(nil, Hello{Version: Version, Shard: 1, Shards: 4, Nodes: 250, Nonce: 99, Scenario: "scale-1000"}))
+	f.Add(AppendHello(nil, Hello{Version: Version + 1, Scenario: ""}))
+	f.Add([]byte("KSPW"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeHello(data)
+		if err != nil {
+			return
+		}
+		if re := AppendHello(nil, h); !bytes.Equal(re, data) {
+			t.Fatalf("hello re-encode mismatch: %x != %x", re, data)
+		}
+	})
+}

@@ -1,0 +1,404 @@
+package wire
+
+// Payload codecs for the RPC messages. Readings and snapshot answers reuse
+// the model wire codec verbatim — the same 12- and 6-byte records the radio
+// tier ships — so crossing the socket is exactly as lossy as crossing the
+// air, i.e. not at all: every Value on a shard is already centi-quantized
+// (operators rank with model.Quantize, sensing quantizes at the source), so
+// the fixed-point round trip is the identity. Historic records carry their
+// local sums as signed 64-bit centi-units instead: a window sum is the one
+// quantity in the system that can outgrow the 32-bit answer encoding, and
+// the federated threshold round needs it integer-exact.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+
+	"kspot/internal/model"
+)
+
+// fixed64 converts a centi-quantized Value to exact s64 centi-units (the
+// 64-bit analogue of model.ToFixed, without its int32 saturation).
+func fixed64(v model.Value) int64 {
+	return int64(math.Round(float64(v) * 100))
+}
+
+// unfixed64 is the inverse of fixed64.
+func unfixed64(s int64) model.Value { return model.Value(s) / 100 }
+
+// AttachReq asks the shard to plan and attach a query under an id.
+type AttachReq struct {
+	Query uint32
+	Algo  string // algorithm name ("" = router default), registry names
+	SQL   string
+}
+
+// AppendAttach appends the wire form of r.
+func AppendAttach(dst []byte, r AttachReq) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[0:], r.Query)
+	dst = append(dst, buf[:]...)
+	dst = appendString(dst, r.Algo)
+	return appendString(dst, r.SQL)
+}
+
+// DecodeAttach decodes an attach request.
+func DecodeAttach(b []byte) (AttachReq, error) {
+	if len(b) < 4 {
+		return AttachReq{}, io.ErrUnexpectedEOF
+	}
+	r := AttachReq{Query: binary.LittleEndian.Uint32(b[0:])}
+	var err error
+	b = b[4:]
+	if r.Algo, b, err = decodeString(b); err != nil {
+		return AttachReq{}, err
+	}
+	if r.SQL, b, err = decodeString(b); err != nil {
+		return AttachReq{}, err
+	}
+	if len(b) != 0 {
+		return AttachReq{}, fmt.Errorf("wire: %d trailing bytes after attach", len(b))
+	}
+	return r, nil
+}
+
+// AppendEpoch appends a bare epoch payload (sense requests).
+func AppendEpoch(dst []byte, e model.Epoch) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(e))
+	return append(dst, buf[:]...)
+}
+
+// DecodeEpoch decodes a bare epoch payload.
+func DecodeEpoch(b []byte) (model.Epoch, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("wire: epoch payload is %d bytes, want 4", len(b))
+	}
+	return model.Epoch(binary.LittleEndian.Uint32(b)), nil
+}
+
+// AppendU32 appends a bare u32 payload (attached/released acks).
+func AppendU32(dst []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[0:], v)
+	return append(dst, buf[:]...)
+}
+
+// DecodeU32 decodes a bare u32 payload.
+func DecodeU32(b []byte) (uint32, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("wire: payload is %d bytes, want 4", len(b))
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// AcquireReq runs one epoch of an attached query.
+type AcquireReq struct {
+	Query uint32
+	Epoch model.Epoch
+}
+
+// AppendAcquire appends the wire form of r.
+func AppendAcquire(dst []byte, r AcquireReq) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[0:], r.Query)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(r.Epoch))
+	return append(dst, buf[:]...)
+}
+
+// DecodeAcquire decodes an acquire request.
+func DecodeAcquire(b []byte) (AcquireReq, error) {
+	if len(b) != 8 {
+		return AcquireReq{}, fmt.Errorf("wire: acquire payload is %d bytes, want 8", len(b))
+	}
+	return AcquireReq{
+		Query: binary.LittleEndian.Uint32(b[0:]),
+		Epoch: model.Epoch(binary.LittleEndian.Uint32(b[4:])),
+	}, nil
+}
+
+// AppendReadings appends an epoch's readings reply: epoch, count, then the
+// model codec's 12-byte reading records in sorted node order (the encoding
+// is canonical so retried frames are byte-identical and fault decisions
+// keyed on content would not flap; sorting also makes tests stable).
+func AppendReadings(dst []byte, e model.Epoch, readings map[model.NodeID]model.Reading) []byte {
+	dst = AppendEpoch(dst, e)
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(readings)))
+	dst = append(dst, n[:]...)
+	for _, id := range sortedNodes(readings) {
+		dst = model.AppendReading(dst, readings[id])
+	}
+	return dst
+}
+
+// DecodeReadings decodes a readings reply into a map.
+func DecodeReadings(b []byte) (model.Epoch, map[model.NodeID]model.Reading, error) {
+	if len(b) < 6 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	e := model.Epoch(binary.LittleEndian.Uint32(b[0:]))
+	n := int(binary.LittleEndian.Uint16(b[4:]))
+	b = b[6:]
+	if len(b) != n*model.ReadingWireSize {
+		return 0, nil, fmt.Errorf("wire: readings payload %d bytes for %d records", len(b), n)
+	}
+	out := make(map[model.NodeID]model.Reading, n)
+	for i := 0; i < n; i++ {
+		r, rest, err := model.DecodeReading(b)
+		if err != nil {
+			return 0, nil, err
+		}
+		out[r.Node] = r
+		b = rest
+	}
+	return e, out, nil
+}
+
+// Answer reply flags.
+const flagOverrideReadings = 1 << 0
+
+// AppendAnswers appends an acquire reply: epoch, flags, the ranked answers
+// in the model codec's 6-byte record, and — for queries whose per-node
+// inputs are derived rather than shared (node-local window aggregation) —
+// the derived readings the shard actually ran on, so the coordinator's
+// exact oracle sees the same inputs the in-process coordinator would.
+func AppendAnswers(dst []byte, e model.Epoch, answers []model.Answer, override map[model.NodeID]model.Reading) []byte {
+	dst = AppendEpoch(dst, e)
+	flags := byte(0)
+	if override != nil {
+		flags |= flagOverrideReadings
+	}
+	dst = append(dst, flags)
+	var n [2]byte
+	binary.LittleEndian.PutUint16(n[:], uint16(len(answers)))
+	dst = append(dst, n[:]...)
+	for _, a := range answers {
+		dst = model.AppendAnswer(dst, a)
+	}
+	if override != nil {
+		binary.LittleEndian.PutUint16(n[:], uint16(len(override)))
+		dst = append(dst, n[:]...)
+		for _, id := range sortedNodes(override) {
+			dst = model.AppendReading(dst, override[id])
+		}
+	}
+	return dst
+}
+
+// DecodeAnswers decodes an acquire reply. override is nil unless the shard
+// ran the query on derived readings.
+func DecodeAnswers(b []byte) (e model.Epoch, answers []model.Answer, override map[model.NodeID]model.Reading, err error) {
+	if len(b) < 7 {
+		return 0, nil, nil, io.ErrUnexpectedEOF
+	}
+	e = model.Epoch(binary.LittleEndian.Uint32(b[0:]))
+	flags := b[4]
+	n := int(binary.LittleEndian.Uint16(b[5:]))
+	b = b[7:]
+	if len(b) < n*model.AnswerWireSize {
+		return 0, nil, nil, io.ErrUnexpectedEOF
+	}
+	answers = make([]model.Answer, 0, n)
+	for i := 0; i < n; i++ {
+		var a model.Answer
+		a, b, err = model.DecodeAnswer(b)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		answers = append(answers, a)
+	}
+	if flags&flagOverrideReadings != 0 {
+		if len(b) < 2 {
+			return 0, nil, nil, io.ErrUnexpectedEOF
+		}
+		m := int(binary.LittleEndian.Uint16(b[0:]))
+		b = b[2:]
+		if len(b) != m*model.ReadingWireSize {
+			return 0, nil, nil, fmt.Errorf("wire: override payload %d bytes for %d records", len(b), m)
+		}
+		override = make(map[model.NodeID]model.Reading, m)
+		for i := 0; i < m; i++ {
+			var r model.Reading
+			r, b, err = model.DecodeReading(b)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			override[r.Node] = r
+		}
+	} else if len(b) != 0 {
+		return 0, nil, nil, fmt.Errorf("wire: %d trailing bytes after answers", len(b))
+	}
+	return e, answers, override, nil
+}
+
+// HistoricReq runs a historic execution on the shard's buffered windows.
+type HistoricReq struct {
+	Exec   uint32
+	K      int // ranking size (the merger's ShipK; the query's K when flat)
+	Window int
+	Agg    model.AggKind
+	Algo   string
+}
+
+// AppendHistoric appends the wire form of r.
+func AppendHistoric(dst []byte, r HistoricReq) []byte {
+	var buf [9]byte
+	binary.LittleEndian.PutUint32(buf[0:], r.Exec)
+	binary.LittleEndian.PutUint16(buf[4:], uint16(r.K))
+	binary.LittleEndian.PutUint16(buf[6:], uint16(r.Window))
+	buf[8] = byte(r.Agg)
+	dst = append(dst, buf[:]...)
+	return appendString(dst, r.Algo)
+}
+
+// DecodeHistoric decodes a historic request.
+func DecodeHistoric(b []byte) (HistoricReq, error) {
+	if len(b) < 9 {
+		return HistoricReq{}, io.ErrUnexpectedEOF
+	}
+	r := HistoricReq{
+		Exec:   binary.LittleEndian.Uint32(b[0:]),
+		K:      int(binary.LittleEndian.Uint16(b[4:])),
+		Window: int(binary.LittleEndian.Uint16(b[6:])),
+		Agg:    model.AggKind(b[8]),
+	}
+	var err error
+	b = b[9:]
+	if r.Algo, b, err = decodeString(b); err != nil {
+		return HistoricReq{}, err
+	}
+	if len(b) != 0 {
+		return HistoricReq{}, fmt.Errorf("wire: %d trailing bytes after historic", len(b))
+	}
+	return r, nil
+}
+
+// sumRecordSize is one historic (group, s64 centi-sum) record.
+const sumRecordSize = 10
+
+// AppendTopK appends a historic reply: exec id, the count of shard nodes
+// holding a buffered window, and the ranked answers with exact s64 sums.
+func AppendTopK(dst []byte, exec uint32, nodes int, answers []model.Answer) []byte {
+	var buf [10]byte
+	binary.LittleEndian.PutUint32(buf[0:], exec)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(nodes))
+	binary.LittleEndian.PutUint16(buf[8:], uint16(len(answers)))
+	dst = append(dst, buf[:]...)
+	for _, a := range answers {
+		var rec [sumRecordSize]byte
+		binary.LittleEndian.PutUint16(rec[0:], uint16(a.Group))
+		binary.LittleEndian.PutUint64(rec[2:], uint64(fixed64(a.Score)))
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// DecodeTopK decodes a historic reply.
+func DecodeTopK(b []byte) (exec uint32, nodes int, answers []model.Answer, err error) {
+	if len(b) < 10 {
+		return 0, 0, nil, io.ErrUnexpectedEOF
+	}
+	exec = binary.LittleEndian.Uint32(b[0:])
+	nodes = int(binary.LittleEndian.Uint32(b[4:]))
+	n := int(binary.LittleEndian.Uint16(b[8:]))
+	b = b[10:]
+	if len(b) != n*sumRecordSize {
+		return 0, 0, nil, fmt.Errorf("wire: topk payload %d bytes for %d records", len(b), n)
+	}
+	answers = make([]model.Answer, 0, n)
+	for i := 0; i < n; i++ {
+		answers = append(answers, model.Answer{
+			Group: model.GroupID(binary.LittleEndian.Uint16(b[0:])),
+			Score: unfixed64(int64(binary.LittleEndian.Uint64(b[2:]))),
+		})
+		b = b[sumRecordSize:]
+	}
+	return exec, nodes, answers, nil
+}
+
+// AppendFetch appends a phase-2 targeted fetch request: exec id + group ids.
+func AppendFetch(dst []byte, exec uint32, ids []model.GroupID) []byte {
+	var buf [6]byte
+	binary.LittleEndian.PutUint32(buf[0:], exec)
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(ids)))
+	dst = append(dst, buf[:]...)
+	for _, id := range ids {
+		var rec [2]byte
+		binary.LittleEndian.PutUint16(rec[:], uint16(id))
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// DecodeFetch decodes a fetch request.
+func DecodeFetch(b []byte) (exec uint32, ids []model.GroupID, err error) {
+	if len(b) < 6 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	exec = binary.LittleEndian.Uint32(b[0:])
+	n := int(binary.LittleEndian.Uint16(b[4:]))
+	b = b[6:]
+	if len(b) != n*2 {
+		return 0, nil, fmt.Errorf("wire: fetch payload %d bytes for %d ids", len(b), n)
+	}
+	ids = make([]model.GroupID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, model.GroupID(binary.LittleEndian.Uint16(b[2*i:])))
+	}
+	return exec, ids, nil
+}
+
+// AppendSums appends a fetch reply: exec id + (group, s64 centi-sum)
+// records in ascending group order (canonical).
+func AppendSums(dst []byte, exec uint32, sums map[model.GroupID]int64) []byte {
+	var buf [6]byte
+	binary.LittleEndian.PutUint32(buf[0:], exec)
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(sums)))
+	dst = append(dst, buf[:]...)
+	ids := make([]model.GroupID, 0, len(sums))
+	for id := range sums {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		var rec [sumRecordSize]byte
+		binary.LittleEndian.PutUint16(rec[0:], uint16(id))
+		binary.LittleEndian.PutUint64(rec[2:], uint64(sums[id]))
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// DecodeSums decodes a fetch reply.
+func DecodeSums(b []byte) (exec uint32, sums map[model.GroupID]int64, err error) {
+	if len(b) < 6 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	exec = binary.LittleEndian.Uint32(b[0:])
+	n := int(binary.LittleEndian.Uint16(b[4:]))
+	b = b[6:]
+	if len(b) != n*sumRecordSize {
+		return 0, nil, fmt.Errorf("wire: sums payload %d bytes for %d records", len(b), n)
+	}
+	sums = make(map[model.GroupID]int64, n)
+	for i := 0; i < n; i++ {
+		id := model.GroupID(binary.LittleEndian.Uint16(b[0:]))
+		sums[id] = int64(binary.LittleEndian.Uint64(b[2:]))
+		b = b[sumRecordSize:]
+	}
+	return exec, sums, nil
+}
+
+// sortedNodes returns a reading map's node ids in ascending order.
+func sortedNodes(m map[model.NodeID]model.Reading) []model.NodeID {
+	ids := make([]model.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}

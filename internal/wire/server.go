@@ -1,0 +1,507 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"kspot/internal/config"
+	"kspot/internal/engine"
+	"kspot/internal/faults"
+	"kspot/internal/model"
+	"kspot/internal/query"
+	"kspot/internal/sim"
+	"kspot/internal/stats"
+	"kspot/internal/storage"
+	"kspot/internal/topk"
+	"kspot/internal/topk/registry"
+	"kspot/internal/trace"
+)
+
+// ServerConfig opens one shard of a federated scenario behind a socket.
+type ServerConfig struct {
+	// Scenario is the FLAT scenario (with its shards block). The server
+	// deploys only its own shard's sub-scenario, but samples the trace
+	// source built from the flat scenario — the federation invariant that
+	// roots the identical-answer guarantee (see engine.Deployment).
+	Scenario *config.Scenario
+	// Shard is this server's shard index into the scenario's shard list.
+	Shard int
+	// Parallel bounds the deterministic epoch sweep's worker count
+	// (kspot.WithParallel); 0/1 is the exact sequential walk.
+	Parallel int
+	// Live runs the shard on the concurrent substrate (one goroutine per
+	// sensor node) instead of the deterministic simulator. Answers and
+	// counters are pinned identical across substrates, so the coordinator
+	// cannot tell the difference.
+	Live bool
+	// LiveWindow sizes the live substrate's per-node history buffer.
+	LiveWindow int
+}
+
+// Server wraps one shard's local substrate behind the framed protocol: the
+// kspotd -serve-shard process body. It expects a single logical
+// coordinator; requests are serialized (the shard substrate is one state
+// machine) and executed at most once per sequence number — a reconnecting
+// coordinator resuming a session replays cached responses instead of
+// re-running sweeps.
+type Server struct {
+	cfg    ServerConfig
+	sub    *config.Scenario
+	net    *sim.Network
+	tp     engine.Transport // behind the shard's fault injector when armed
+	src    trace.Source
+	schema query.Schema
+	name   string
+
+	live       *engine.Live
+	liveCancel context.CancelFunc
+
+	mu          sync.Mutex
+	queries     map[uint32]*attachedQuery
+	historics   map[uint32]*historicExec
+	senseEpoch  model.Epoch
+	sensed      map[model.NodeID]model.Reading
+	nonce       uint64
+	maxSeq      uint64
+	replay      map[uint64][]byte
+	replayOrder []uint64
+
+	connMu sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// attachedQuery is one coordinator-posted query's shard-local execution
+// state: the planned query, its operator instance and, for queries whose
+// per-node inputs are derived rather than shared (GROUP BY ... WITH
+// HISTORY), the derivation source.
+type attachedQuery struct {
+	plan     *query.Plan
+	op       topk.SnapshotOperator
+	override trace.Source
+}
+
+// historicExec caches one historic execution's buffered windows between
+// the phase-1 ranking and phase-2 targeted fetches.
+type historicExec struct {
+	data topk.HistoricData
+}
+
+// replayCap bounds the at-most-once response cache. The coordinator runs
+// one call at a time per shard, so a handful of entries covers every
+// retry/duplicate pattern the client can produce.
+const replayCap = 16
+
+// NewServer builds a shard server: the shard's network (deterministic or
+// live), the flat trace source, and — when the scenario carries a faults
+// block — the shard's derived fault environment, exactly as an in-process
+// federated Open would arm it (same per-shard seeds, same injector), so
+// fault scenarios replay identically in-process and over the wire.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	shardScens, err := cfg.Scenario.ShardScenarios()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shard < 0 || cfg.Shard >= len(shardScens) {
+		return nil, fmt.Errorf("wire: shard %d out of range (scenario %q has %d)", cfg.Shard, cfg.Scenario.Name, len(shardScens))
+	}
+	sub := shardScens[cfg.Shard]
+	network, err := sub.Network()
+	if err != nil {
+		return nil, err
+	}
+	network.SetParallel(cfg.Parallel)
+	src, err := cfg.Scenario.Source()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		sub:       sub,
+		net:       network,
+		src:       src,
+		schema:    query.DefaultSchema(),
+		name:      cfg.Scenario.ShardName(cfg.Shard),
+		queries:   make(map[uint32]*attachedQuery),
+		historics: make(map[uint32]*historicExec),
+		replay:    make(map[uint64][]byte),
+		conns:     make(map[net.Conn]bool),
+	}
+	var tp engine.Transport = network
+	if cfg.Live {
+		window := cfg.LiveWindow
+		if window <= 0 {
+			window = 64
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		s.live = engine.NewLive(network, engine.LiveOptions{Window: window})
+		s.live.Start(ctx)
+		s.liveCancel = cancel
+		tp = s.live
+	}
+	if cfg.Scenario.Faults.Enabled() {
+		fcfg := cfg.Scenario.ShardFaults(*cfg.Scenario.Faults, cfg.Shard)
+		inj, err := faults.Wrap(tp, fcfg)
+		if err != nil {
+			s.stopLive()
+			return nil, err
+		}
+		tp = inj
+	}
+	s.tp = tp
+	return s, nil
+}
+
+// Name returns the shard's display name.
+func (s *Server) Name() string { return s.name }
+
+// Network exposes the shard's simulated network (tests reconcile its
+// counters against the coordinator's fetched stats).
+func (s *Server) Network() *sim.Network { return s.net }
+
+func (s *Server) stopLive() {
+	if s.live != nil {
+		s.live.Stop()
+		s.liveCancel()
+	}
+}
+
+// Serve accepts coordinator connections on ln until Close. Each
+// connection must open with a handshake; requests across all connections
+// serialize on the shard's single state machine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return fmt.Errorf("wire: server closed")
+	}
+	s.ln = ln
+	s.connMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.connMu.Lock()
+			closed := s.closed
+			s.connMu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.connMu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.connMu.Lock()
+			delete(s.conns, conn)
+			s.connMu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection, waits the handlers out
+// and tears the shard substrate down. Safe to call more than once.
+func (s *Server) Close() {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	s.stopLive()
+}
+
+// serveConn runs one connection: handshake, then the request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	var wbuf []byte
+	f, err := ReadFrame(conn)
+	if err != nil {
+		return
+	}
+	if f.Type != MsgHello {
+		WriteFrame(conn, &wbuf, Frame{Seq: f.Seq, Type: MsgError, Payload: []byte("wire: expected hello")})
+		return
+	}
+	hello, err := DecodeHello(f.Payload)
+	if err != nil {
+		WriteFrame(conn, &wbuf, Frame{Seq: f.Seq, Type: MsgError, Payload: []byte(err.Error())})
+		return
+	}
+	if err := s.checkHello(hello); err != nil {
+		WriteFrame(conn, &wbuf, Frame{Seq: f.Seq, Type: MsgError, Payload: []byte(err.Error())})
+		return
+	}
+	s.mu.Lock()
+	if hello.Nonce != s.nonce {
+		// A new coordinator session: reset the at-most-once state and the
+		// session-scoped query registry. Network state (energy spent,
+		// counters) persists — the field does not reset because a new
+		// coordinator dialed in.
+		s.nonce = hello.Nonce
+		s.maxSeq = 0
+		s.replay = make(map[uint64][]byte)
+		s.replayOrder = s.replayOrder[:0]
+		s.queries = make(map[uint32]*attachedQuery)
+		s.historics = make(map[uint32]*historicExec)
+		s.sensed = nil
+	}
+	s.mu.Unlock()
+	welcome := AppendWelcome(nil, Welcome{
+		Version: Version,
+		Shard:   uint16(s.cfg.Shard),
+		Nodes:   uint16(len(s.sub.Nodes)),
+		Name:    s.name,
+	})
+	if err := WriteFrame(conn, &wbuf, Frame{Seq: f.Seq, Type: MsgWelcome, Payload: welcome}); err != nil {
+		return
+	}
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		reply, close := s.dispatch(f)
+		if err := WriteFrame(conn, &wbuf, reply); err != nil {
+			return
+		}
+		if close {
+			return
+		}
+	}
+}
+
+// checkHello verifies the coordinator dialed the deployment it thinks it
+// dialed: protocol version, scenario name, shard index and count, node
+// count. A mismatch fails the handshake instead of corrupting epochs.
+func (s *Server) checkHello(h Hello) error {
+	if h.Version != Version {
+		return fmt.Errorf("wire: protocol version %d, server speaks %d", h.Version, Version)
+	}
+	if h.Scenario != s.cfg.Scenario.Name {
+		return fmt.Errorf("wire: scenario %q, server deploys %q", h.Scenario, s.cfg.Scenario.Name)
+	}
+	if int(h.Shard) != s.cfg.Shard {
+		return fmt.Errorf("wire: shard %d, server serves shard %d", h.Shard, s.cfg.Shard)
+	}
+	if int(h.Shards) != len(s.cfg.Scenario.Shards) && !(h.Shards == 1 && len(s.cfg.Scenario.Shards) == 0) {
+		return fmt.Errorf("wire: %d shards, server's scenario has %d", h.Shards, len(s.cfg.Scenario.Shards))
+	}
+	if int(h.Nodes) != len(s.sub.Nodes) {
+		return fmt.Errorf("wire: %d nodes, server's shard deploys %d", h.Nodes, len(s.sub.Nodes))
+	}
+	return nil
+}
+
+// dispatch executes one request frame at most once: a sequence number
+// already executed replays its cached reply (a retried or duplicated
+// frame must not re-run a sweep or re-charge sensing); a stale sequence
+// the server never executed is refused rather than run out of order.
+func (s *Server) dispatch(f Frame) (reply Frame, close bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.replay[f.Seq]; ok {
+		frame, _, err := DecodeFrame(cached)
+		if err != nil {
+			// Unreachable: the cache holds frames this server encoded.
+			return Frame{Seq: f.Seq, Type: MsgError, Payload: []byte("wire: corrupt replay cache")}, false
+		}
+		return frame, frame.Type == MsgClosed
+	}
+	if f.Seq <= s.maxSeq {
+		return Frame{Seq: f.Seq, Type: MsgError, Payload: []byte("wire: stale sequence")}, false
+	}
+	s.maxSeq = f.Seq
+	t, payload, err := s.handle(f)
+	if err != nil {
+		t, payload = MsgError, []byte(err.Error())
+	}
+	reply = Frame{Seq: f.Seq, Type: t, Payload: payload}
+	s.replay[f.Seq] = AppendFrame(nil, reply)
+	s.replayOrder = append(s.replayOrder, f.Seq)
+	if len(s.replayOrder) > replayCap {
+		delete(s.replay, s.replayOrder[0])
+		s.replayOrder = s.replayOrder[1:]
+	}
+	return reply, t == MsgClosed
+}
+
+// handle executes one request under s.mu.
+func (s *Server) handle(f Frame) (MsgType, []byte, error) {
+	switch f.Type {
+	case MsgAttach:
+		req, err := DecodeAttach(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if err := s.attach(req); err != nil {
+			return 0, nil, err
+		}
+		return MsgAttached, AppendU32(nil, req.Query), nil
+
+	case MsgSense:
+		e, err := DecodeEpoch(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Presample + commit is the coordinator's exact sensing order
+		// (idle charge, dead-node drop, sensing charge, history record);
+		// the post-commit readings are what this epoch's acquisitions see.
+		readings := engine.PresampleEpoch(s.tp, s.src, e)
+		engine.CommitSenseEpoch(s.tp, e, readings)
+		s.senseEpoch, s.sensed = e, readings
+		return MsgReadings, AppendReadings(nil, e, readings), nil
+
+	case MsgAcquire:
+		req, err := DecodeAcquire(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		q, ok := s.queries[req.Query]
+		if !ok {
+			return 0, nil, fmt.Errorf("wire: query %d not attached", req.Query)
+		}
+		readings := s.sensed
+		var override map[model.NodeID]model.Reading
+		if q.override != nil {
+			// Derived per-node inputs (window aggregation): re-sampled
+			// without charging, like the in-process coordinator.
+			override = engine.PresampleEpoch(s.tp, q.override, req.Epoch)
+			readings = override
+		} else if s.sensed == nil || s.senseEpoch != req.Epoch {
+			return 0, nil, fmt.Errorf("wire: acquire epoch %d without a matching sense (last sensed %d)", req.Epoch, s.senseEpoch)
+		}
+		answers, err := q.op.Epoch(req.Epoch, readings)
+		if err != nil {
+			return 0, nil, err
+		}
+		return MsgAnswers, AppendAnswers(nil, req.Epoch, answers, override), nil
+
+	case MsgHistoric:
+		req, err := DecodeHistoric(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		op, err := registry.Historic(req.Algo)
+		if err != nil {
+			return 0, nil, err
+		}
+		hq := topk.HistoricQuery{K: req.K, Agg: req.Agg, Window: req.Window}
+		if err := hq.Validate(); err != nil {
+			return 0, nil, err
+		}
+		data, err := s.bufferWindows(req.Window)
+		if err != nil {
+			return 0, nil, err
+		}
+		answers, err := op.Run(s.tp, hq, data)
+		if err != nil {
+			return 0, nil, err
+		}
+		s.historics[req.Exec] = &historicExec{data: data}
+		return MsgTopK, AppendTopK(nil, req.Exec, len(data), answers), nil
+
+	case MsgFetch:
+		exec, ids, err := DecodeFetch(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		h, ok := s.historics[exec]
+		if !ok {
+			return 0, nil, fmt.Errorf("wire: historic execution %d unknown", exec)
+		}
+		sums := topk.FetchHistoricSums(s.tp, h.data, ids)
+		return MsgSums, AppendSums(nil, exec, sums), nil
+
+	case MsgRelease:
+		exec, err := DecodeU32(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		delete(s.historics, exec)
+		return MsgReleased, AppendU32(nil, exec), nil
+
+	case MsgStats:
+		row := stats.Collect(s.name, s.net, 0)
+		payload, err := json.Marshal(row)
+		if err != nil {
+			return 0, nil, err
+		}
+		return MsgStatsReply, payload, nil
+
+	case MsgClose:
+		return MsgClosed, nil, nil
+
+	default:
+		return 0, nil, fmt.Errorf("wire: unexpected %v request", f.Type)
+	}
+}
+
+// attach plans the query text locally and instantiates the shard's own
+// operator — the shard re-derives everything from the SQL, so coordinator
+// and shard can never disagree about what the query means.
+func (s *Server) attach(req AttachReq) error {
+	plan, err := query.PlanText(req.SQL, s.schema)
+	if err != nil {
+		return err
+	}
+	if plan.Kind == query.PlanHistoricTopK {
+		return fmt.Errorf("wire: historic query %q executes via the historic round, not attach", req.SQL)
+	}
+	algo := req.Algo
+	if plan.Kind == query.PlanBasic {
+		algo = "tag"
+	}
+	op, err := registry.Snapshot(algo)
+	if err != nil {
+		return err
+	}
+	if err := op.Attach(s.tp, plan.Snapshot); err != nil {
+		return err
+	}
+	q := &attachedQuery{plan: plan, op: op}
+	if plan.Kind == query.PlanHistoricGroupTopK {
+		q.override = trace.WindowAgg(s.src, plan.History, plan.Snapshot.Agg)
+	}
+	s.queries[req.Query] = q
+	return nil
+}
+
+// bufferWindows materializes the shard's per-node windows from the flat
+// trace source, epoch-aligned across shards (global node ids).
+func (s *Server) bufferWindows(window int) (topk.HistoricData, error) {
+	series, err := storage.BufferSeries(s.tp.Topology().SensorNodes(), window, s.src.Sample)
+	if err != nil {
+		return nil, err
+	}
+	return topk.HistoricData(series), nil
+}
+
+// isClosedErr reports whether err is the benign shutdown error.
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF)
+}

@@ -35,6 +35,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"kspot/internal/config"
 	"kspot/internal/engine"
@@ -45,15 +47,10 @@ import (
 	"kspot/internal/sim"
 	"kspot/internal/stats"
 	"kspot/internal/topk"
-	"kspot/internal/topk/central"
 	"kspot/internal/topk/fed"
-	"kspot/internal/topk/fila"
-	"kspot/internal/topk/mint"
-	"kspot/internal/topk/naive"
-	"kspot/internal/topk/tag"
-	"kspot/internal/topk/tja"
-	"kspot/internal/topk/tput"
+	"kspot/internal/topk/registry"
 	"kspot/internal/trace"
+	"kspot/internal/wire"
 )
 
 // Re-exported identifiers, so that library users need only this package.
@@ -151,6 +148,15 @@ type System struct {
 	dets      []engine.Transport
 	posted    bool
 	posting   int
+
+	// Remote deployments (OpenFederated): the shard networks live in other
+	// processes behind these wire clients; rcoord drives them through
+	// lock-step epochs. nets/source stay empty — there is no local
+	// substrate to run on. qidSeq allocates query/execution ids unique
+	// within this coordinator's wire sessions.
+	remotes []*wire.Client
+	rcoord  *engine.RemoteCoordinator
+	qidSeq  atomic.Uint32
 }
 
 // OpenOption tunes how a scenario is opened.
@@ -158,6 +164,12 @@ type OpenOption func(*openConfig)
 
 type openConfig struct {
 	parallel int
+
+	// Remote-deployment knobs (OpenFederated; see federated.go).
+	wireCall    time.Duration
+	wireRetries int
+	wireBackoff time.Duration
+	wireFaults  *wire.Faults
 }
 
 // WithParallel bounds the worker count of every shard's level-synchronous
@@ -248,15 +260,27 @@ func (s *System) Scenario() *Scenario { return s.scenario }
 
 // Network exposes the underlying simulation (topology, counters, ledger)
 // for advanced callers; on a federated deployment it returns the first
-// shard's network — use Networks for all of them.
-func (s *System) Network() *sim.Network { return s.nets[0] }
+// shard's network — use Networks for all of them. Nil on a remote
+// deployment, whose networks live in the shard processes (use ShardStats
+// for their counters).
+func (s *System) Network() *sim.Network {
+	if len(s.nets) == 0 {
+		return nil
+	}
+	return s.nets[0]
+}
 
 // Networks returns every shard's simulated network, in shard order (a
 // single entry for a flat deployment).
 func (s *System) Networks() []*sim.Network { return append([]*sim.Network(nil), s.nets...) }
 
 // Shards reports the number of shard deployments (1 for a flat scenario).
-func (s *System) Shards() int { return len(s.nets) }
+func (s *System) Shards() int {
+	if s.Remote() {
+		return len(s.remotes)
+	}
+	return len(s.nets)
+}
 
 // FederationStats reports the coordinator tier's accumulated traffic —
 // phase-1 reports, phase-2 targeted fetches and backhaul bytes. All zero
@@ -320,6 +344,14 @@ func (s *System) PostWith(sql string, algo Algorithm, opts ...PostOption) (*Curs
 	plan, err := query.PlanText(sql, s.schema)
 	if err != nil {
 		return nil, err
+	}
+	if s.Remote() {
+		if cfg.live {
+			return nil, fmt.Errorf("kspot: a remote deployment has no local live substrate — each shard process picks its own (kspotd -serve-shard -live)")
+		}
+		if cfg.faults != nil {
+			return nil, fmt.Errorf("kspot: fault environments on a remote deployment are armed in the shard processes' scenarios, not at the coordinator")
+		}
 	}
 	// Arm (when requested) and register this post in one critical section:
 	// arming is refused while any other post is attaching or attached, so
@@ -487,11 +519,17 @@ func (s *System) beginLiveRun() (tps []engine.Transport, sched *engine.Scheduler
 	return s.liveTPs, s.sched, func() { s.liveRuns.Done() }, nil
 }
 
-// Close stops the live deployment's node goroutines, if any were started.
-// In-flight Steps complete first; later Steps on live cursors return an
-// error. Safe to call multiple times and concurrently with in-flight
-// Steps; deterministic-only Systems need no Close.
+// Close stops the live deployment's node goroutines, if any were started,
+// and drops every remote shard connection on a remote deployment (frames
+// in flight are interrupted; their cursors' Steps return an error).
+// In-flight Steps complete first on the live substrate; later Steps on
+// live cursors return an error. Safe to call multiple times and
+// concurrently with in-flight Steps; deterministic-only Systems need no
+// Close.
 func (s *System) Close() {
+	for _, cl := range s.remotes {
+		cl.Close()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.lives != nil {
@@ -533,12 +571,12 @@ func (s *System) SystemPanel(baseline *RunStats) string {
 		b := stats.RunStats(*baseline)
 		base = &b
 	}
-	if len(s.nets) == 1 {
+	if !s.Remote() && len(s.nets) == 1 {
 		return gui.SystemPanel(stats.Collect("current", s.nets[0], 0), base)
 	}
-	rows := make([]stats.RunStats, 0, len(s.nets)+1)
-	for i, net := range s.nets {
-		rows = append(rows, stats.Collect(s.scenario.ShardName(i), net, 0))
+	rows, err := s.shardStatRows()
+	if err != nil {
+		return fmt.Sprintf("system panel unavailable: %v\n", err)
 	}
 	total := stats.Merge("total", rows...)
 	rows = append(rows, total)
@@ -564,16 +602,19 @@ func RenderSystemPanel(run RunStats, baseline *RunStats) string {
 type RunStats stats.RunStats
 
 // CaptureStats snapshots the deployment's counters under a label, summed
-// across every shard network.
+// across every shard network — fetched over the wire on a remote
+// deployment (an unreachable shard leaves its counters out of the sum).
 func (s *System) CaptureStats(label string, epochs int) RunStats {
-	if len(s.nets) == 1 {
+	if !s.Remote() && len(s.nets) == 1 {
 		return RunStats(stats.Collect(label, s.nets[0], epochs))
 	}
-	rows := make([]stats.RunStats, 0, len(s.nets))
-	for i, net := range s.nets {
-		rows = append(rows, stats.Collect(s.scenario.ShardName(i), net, epochs))
+	rows, err := s.shardStatRows()
+	if err != nil {
+		return RunStats{Algorithm: label, Epochs: epochs}
 	}
-	return RunStats(stats.Merge(label, rows...))
+	merged := stats.Merge(label, rows...)
+	merged.Epochs = epochs
+	return RunStats(merged)
 }
 
 // DisplayPanel renders the deployment map with KSpot bullets beside the
@@ -588,33 +629,22 @@ func (s *System) RankingStrip(answers []Answer) string {
 }
 
 // snapshotOperator instantiates the snapshot operator for an algorithm.
+// The name-to-operator mapping lives in internal/topk/registry so remote
+// shard servers resolve a coordinator's algorithm name to the identical
+// operator.
 func snapshotOperator(algo Algorithm) (topk.SnapshotOperator, error) {
-	switch algo {
-	case AlgoAuto, AlgoMINT:
-		return mint.New(), nil
-	case AlgoTAG:
-		return tag.New(), nil
-	case AlgoNaive:
-		return naive.New(), nil
-	case AlgoCentral:
-		return central.NewSnapshot(), nil
-	case AlgoFILA:
-		return fila.New(), nil
-	default:
+	op, err := registry.Snapshot(string(algo))
+	if err != nil {
 		return nil, fmt.Errorf("kspot: %q is not a snapshot algorithm", algo)
 	}
+	return op, nil
 }
 
 // historicOperator instantiates the historic operator for an algorithm.
 func historicOperator(algo Algorithm) (topk.HistoricOperator, error) {
-	switch algo {
-	case AlgoAuto, AlgoTJA:
-		return tja.New(), nil
-	case AlgoTPUT:
-		return tput.New(), nil
-	case AlgoCentral:
-		return central.NewHistoric(), nil
-	default:
+	op, err := registry.Historic(string(algo))
+	if err != nil {
 		return nil, fmt.Errorf("kspot: %q is not a historic algorithm", algo)
 	}
+	return op, nil
 }
