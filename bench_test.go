@@ -180,3 +180,21 @@ func benchHistoric(b *testing.B, algo Algorithm) {
 		}
 	}
 }
+
+// BenchmarkSharedAcquisitionM{1,8,64} measure the multi-tenant serving
+// path: M queries posted under one sensing signature ride ONE in-network
+// acquisition per epoch, so the reported queries/sec should scale ~M× at
+// nearly constant ns/op. BenchmarkPrivateAcquisitionM8 is the pre-sharing
+// baseline (one acquisition group per query) for the same M=8 workload.
+func BenchmarkSharedAcquisitionM1(b *testing.B) { bench.RunSharedAcquisitionBench(b, 1, true) }
+
+func BenchmarkSharedAcquisitionM8(b *testing.B) { bench.RunSharedAcquisitionBench(b, 8, true) }
+
+func BenchmarkSharedAcquisitionM64(b *testing.B) { bench.RunSharedAcquisitionBench(b, 64, true) }
+
+func BenchmarkPrivateAcquisitionM8(b *testing.B) { bench.RunSharedAcquisitionBench(b, 8, false) }
+
+// BenchmarkSSEFanOut64 measures the streaming results tier: one cursor's
+// epoch stream fanned out through a serve.Hub into 64 subscribers (the SSE
+// path without the sockets), reported as subscriber-deliveries per second.
+func BenchmarkSSEFanOut64(b *testing.B) { bench.RunHubFanOutBench(b, 64) }

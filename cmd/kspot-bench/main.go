@@ -8,11 +8,12 @@
 //	kspot-bench -exp all          # run everything (the default)
 //	kspot-bench -exp e7 -scale .2 # quick run at reduced size
 //
-// Benchmark trajectory (machine-readable, see BENCH_PR6.json, which
-// carries the PR 3-5 trajectory forward):
+// Benchmark trajectory (machine-readable, see BENCH_PR8.json, which
+// carries the PR 3-6 trajectory forward; PR 7 — the wire transport —
+// recorded no trajectory run, so the file jumps from pr6 to pr8):
 //
-//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR6.json
-//	kspot-bench -json -json-run pr7         # record under a new run name
+//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR8.json
+//	kspot-bench -json -json-run pr9         # record under a new run name
 //	kspot-bench -json -json-out other.json  # write elsewhere
 //	kspot-bench -json -parallel 8           # add the parallel-sweep speedup leg
 //
@@ -48,8 +49,8 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 		emitJSON   = flag.Bool("json", false, "measure benchmarks and merge into the JSON trajectory file")
-		jsonOut    = flag.String("json-out", "BENCH_PR6.json", "trajectory file -json writes")
-		jsonRun    = flag.String("json-run", "pr6", "run name -json records the measurement under")
+		jsonOut    = flag.String("json-out", "BENCH_PR8.json", "trajectory file -json writes")
+		jsonRun    = flag.String("json-run", "pr8", "run name -json records the measurement under")
 	)
 	flag.Parse()
 

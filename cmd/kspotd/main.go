@@ -24,25 +24,38 @@
 // A shard server prints "kspotd-wire <addr>" on stdout once it listens
 // (so spawners can pass -wire-addr 127.0.0.1:0 and parse the port).
 //
+// The daemon is multi-tenant: -queries-file loads a workload at boot
+// (validated in full before any query arms), POST /query admits new
+// queries at runtime against -max-queries / -tenant-quota limits, and
+// GET /watch?query=N streams a query's per-epoch results over SSE — any
+// number of subscribers ride one cursor, and any number of same-signature
+// queries ride one in-network acquisition.
+//
 // Endpoints:
 //
 //	/         HTML dashboard (auto-refreshing)
 //	/panel    text display panel
 //	/ranking  one-line ranking strip
 //	/stats    JSON traffic statistics
+//	/query    POST SQL (body or q= form value; X-KSpot-Tenant attributes it)
+//	/watch    GET ?query=N: per-epoch results as Server-Sent Events
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"html"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -52,6 +65,8 @@ import (
 	"kspot/internal/config"
 	"kspot/internal/gui"
 	"kspot/internal/model"
+	"kspot/internal/query"
+	"kspot/internal/serve"
 	"kspot/internal/wire"
 )
 
@@ -72,6 +87,93 @@ type state struct {
 	drops    int
 }
 
+// workload is the daemon's mutable query set: the boot-time cursors plus
+// anything POST /query admits later, each paired with its streaming hub.
+// The step loop snapshots it per tick, so posts land between epochs.
+type workload struct {
+	mu      sync.Mutex
+	sys     *kspot.System
+	opts    []kspot.PostOption
+	cursors []*kspot.Cursor
+	hubs    []*serve.Hub
+	stopped bool
+}
+
+// add posts a query and registers its streaming hub, returning its index.
+func (w *workload) add(sql, tenant string) (int, error) {
+	opts := w.opts
+	if tenant != "" {
+		opts = append(append([]kspot.PostOption(nil), opts...), kspot.WithTenant(tenant))
+	}
+	cur, err := w.sys.Post(sql, opts...)
+	if err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped {
+		// The epoch loop already ended (-epochs ran out or a step failed):
+		// a cursor posted now would never step, so refuse it.
+		cur.Close()
+		return 0, fmt.Errorf("kspotd: epoch loop has stopped")
+	}
+	w.cursors = append(w.cursors, cur)
+	w.hubs = append(w.hubs, serve.NewHub(0))
+	return len(w.cursors) - 1, nil
+}
+
+// snapshot returns the current cursor and hub lists (shared backing
+// arrays: entries are append-only).
+func (w *workload) snapshot() ([]*kspot.Cursor, []*serve.Hub) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.cursors, w.hubs
+}
+
+// hub returns query i's streaming hub.
+func (w *workload) hub(i int) (*serve.Hub, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if i < 0 || i >= len(w.hubs) {
+		return nil, false
+	}
+	return w.hubs[i], true
+}
+
+// stop ends the streams: every hub closes (subscribers drain and finish)
+// and later posts are refused.
+func (w *workload) stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+	for _, h := range w.hubs {
+		h.Close()
+	}
+}
+
+// loadQueriesFile reads one query per line, skipping blank lines and
+// #-comments, and validates EVERY query against the schema before any is
+// armed — a typo on line 7 fails the boot instead of serving a partial
+// workload.
+func loadQueriesFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var queries []string
+	for i, line := range strings.Split(string(data), "\n") {
+		sql := strings.TrimSpace(line)
+		if sql == "" || strings.HasPrefix(sql, "#") {
+			continue
+		}
+		if _, err := query.PlanText(sql, query.DefaultSchema()); err != nil {
+			return nil, fmt.Errorf("%s:%d: %q: %v", path, i+1, sql, err)
+		}
+		queries = append(queries, sql)
+	}
+	return queries, nil
+}
+
 func main() {
 	var queries queryList
 	var (
@@ -90,6 +192,10 @@ func main() {
 		wireAddr     = flag.String("wire-addr", "127.0.0.1:0", "listen address for -serve-shard (port 0 picks one; the bound address is printed as \"kspotd-wire <addr>\")")
 		wireLive     = flag.Bool("wire-live", false, "with -serve-shard: host the shard on the concurrent live substrate")
 		connect      = flag.String("connect", "", "comma-separated shard wire addresses: run as the federated coordinator over already-running -serve-shard processes")
+		queriesFile  = flag.String("queries-file", "", "file with one query per line (# comments); every line is validated before any query is armed")
+		epochs       = flag.Int("epochs", 0, "stop stepping after N epochs (0 = run until shutdown); HTTP keeps serving and streams end cleanly")
+		maxQueries   = flag.Int("max-queries", 0, "admission: cap on concurrently live queries (0 = unlimited)")
+		tenantQuota  = flag.Int("tenant-quota", 0, "admission: per-tenant cap on live queries (0 = unlimited)")
 	)
 	flag.Var(&queries, "query", "extra SQL to post on the same deployment (repeatable)")
 	flag.Parse()
@@ -123,13 +229,25 @@ func main() {
 		return
 	}
 	placement := scen.Placement()
+	var fileQueries []string
+	if *queriesFile != "" {
+		var err error
+		fileQueries, err = loadQueriesFile(*queriesFile)
+		if err != nil {
+			log.Fatal("kspotd: ", err)
+		}
+	}
 	var sys *kspot.System
 	var err error
 	remote := *connect != ""
+	openOpts := []kspot.OpenOption{}
+	if *maxQueries > 0 || *tenantQuota > 0 {
+		openOpts = append(openOpts, kspot.WithAdmission(kspot.AdmissionConfig{MaxQueries: *maxQueries, TenantQuota: *tenantQuota}))
+	}
 	if remote {
-		sys, err = kspot.OpenFederated(scen, strings.Split(*connect, ","))
+		sys, err = kspot.OpenFederated(scen, strings.Split(*connect, ","), openOpts...)
 	} else {
-		sys, err = kspot.Open(scen, kspot.WithParallel(*parallel))
+		sys, err = kspot.Open(scen, append(openOpts, kspot.WithParallel(*parallel))...)
 	}
 	if err != nil {
 		log.Fatal("kspotd: ", err)
@@ -143,32 +261,33 @@ func main() {
 		primaryOpts = []kspot.PostOption{kspot.WithLive(), kspot.WithLiveWindow(*window)}
 		extraOpts = []kspot.PostOption{kspot.WithLive()}
 	}
+	wl := &workload{sys: sys, opts: extraOpts}
 	primary := fmt.Sprintf("SELECT TOP %d roomid, AVG(sound) FROM sensors GROUP BY roomid", *k)
-	cursors := make([]*kspot.Cursor, 0, 1+len(queries))
 	cur, err := sys.Post(primary, primaryOpts...)
 	if err != nil {
 		log.Fatal("kspotd: ", err)
 	}
-	cursors = append(cursors, cur)
-	for _, sql := range queries {
-		c, err := sys.Post(sql, extraOpts...)
-		if err != nil {
+	wl.cursors = append(wl.cursors, cur)
+	wl.hubs = append(wl.hubs, serve.NewHub(0))
+	for _, sql := range append(append([]string(nil), queries...), fileQueries...) {
+		if _, err := wl.add(sql, ""); err != nil {
 			log.Fatalf("kspotd: %q: %v", sql, err)
 		}
-		cursors = append(cursors, c)
 	}
 
 	st := &state{}
 	stop := make(chan struct{})
 	go func() {
+		defer wl.stop()
 		ticker := time.NewTicker(*interval)
 		defer ticker.Stop()
-		for {
+		for stepped := 0; *epochs <= 0 || stepped < *epochs; stepped++ {
 			select {
 			case <-stop:
 				return
 			case <-ticker.C:
 			}
+			cursors, hubs := wl.snapshot()
 			var primaryRes kspot.StepResult
 			for i, c := range cursors {
 				res, err := c.Step()
@@ -176,6 +295,7 @@ func main() {
 					log.Printf("kspotd: step: %v", err)
 					return
 				}
+				hubs[i].Publish(serve.Result{Epoch: res.Epoch, Answers: res.Answers, Correct: res.Correct})
 				if i == 0 {
 					primaryRes = res
 				}
@@ -192,6 +312,7 @@ func main() {
 			st.drops = total.Drops
 			st.mu.Unlock()
 		}
+		log.Printf("kspotd: epoch budget (%d) spent; streams closed, HTTP still serving", *epochs)
 	}()
 	defer close(stop)
 
@@ -213,6 +334,12 @@ func main() {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		fed := sys.FederationStats()
+		cursors, hubs := wl.snapshot()
+		subs := 0
+		for _, h := range hubs {
+			subs += h.Subscribers()
+		}
+		admitted, tenants := sys.AdmissionLoad()
 		st.mu.Lock()
 		out := map[string]interface{}{
 			"epoch":    st.epoch,
@@ -220,6 +347,12 @@ func main() {
 			"tx_bytes": st.txBytes,
 			"drops":    st.drops,
 			"queries":  len(cursors),
+			// Streaming/admission tier: live SSE subscribers and the
+			// admission controller's load (zero without -max-queries /
+			// -tenant-quota).
+			"subscribers": subs,
+			"admitted":    admitted,
+			"tenants":     tenants,
 			// Federation tier (all zero on a flat deployment): shard count
 			// and the coordinator's merge/backhaul counters.
 			"shards":            sys.Shards(),
@@ -233,6 +366,88 @@ func main() {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a query (body or q= form value)", http.StatusMethodNotAllowed)
+			return
+		}
+		// Read the body ourselves: r.FormValue would consume it as a
+		// form, silently discarding raw SQL posted with curl's default
+		// urlencoded content type. A body (or URL query) carrying q= is
+		// a form value; anything else is the SQL itself.
+		sql := r.URL.Query().Get("q")
+		if sql == "" {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			sql = strings.TrimSpace(string(body))
+			if vals, err := url.ParseQuery(sql); err == nil && vals.Get("q") != "" {
+				sql = strings.TrimSpace(vals.Get("q"))
+			}
+		}
+		if sql == "" {
+			http.Error(w, "empty query", http.StatusBadRequest)
+			return
+		}
+		idx, err := wl.add(sql, r.Header.Get("X-KSpot-Tenant"))
+		if err != nil {
+			status := http.StatusBadRequest
+			var aerr *kspot.AdmissionError
+			if errors.As(err, &aerr) {
+				// Admission rejection is load, not a client error: 429 with
+				// the typed limit detail, running queries undisturbed.
+				status = http.StatusTooManyRequests
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{"query": idx})
+	})
+	mux.HandleFunc("/watch", func(w http.ResponseWriter, r *http.Request) {
+		idx, err := strconv.Atoi(r.URL.Query().Get("query"))
+		if err != nil {
+			http.Error(w, "watch needs ?query=N", http.StatusBadRequest)
+			return
+		}
+		hub, ok := wl.hub(idx)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no query %d", idx), http.StatusNotFound)
+			return
+		}
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		sub := hub.Subscribe()
+		defer sub.Close()
+		// A dropped client unblocks the Next loop via the subscriber close.
+		go func() {
+			<-r.Context().Done()
+			sub.Close()
+		}()
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		flusher.Flush()
+		for {
+			res, ok := sub.Next()
+			if !ok {
+				return
+			}
+			data, err := json.Marshal(res)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -243,6 +458,7 @@ func main() {
 		epoch := st.epoch
 		messages, txBytes := st.messages, st.txBytes
 		st.mu.Unlock()
+		cursors, _ := wl.snapshot()
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprintf(w, `<!DOCTYPE html><html><head><meta http-equiv="refresh" content="2">
 <title>KSpot — %s</title><style>body{font-family:monospace;background:#111;color:#dfd}
@@ -258,10 +474,18 @@ pre{font-size:13px}</style></head><body>
 			html.EscapeString(gui.DisplayPanel(placement, answers, 72, 18)))
 	})
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal("kspotd: ", err)
+	}
+	// Printed like -serve-shard's "kspotd-wire" line: spawners listen on
+	// port 0 and parse the bound address.
+	fmt.Printf("kspotd-http %s\n", ln.Addr())
+	cursors, _ := wl.snapshot()
 	log.Printf("kspotd: serving %q on %s (%d queries, primary: TOP %d AVG(sound) per cluster, epoch %v)",
-		scen.Name, *addr, len(cursors), *k, *interval)
-	srv := &http.Server{Addr: *addr, Handler: mux}
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		scen.Name, ln.Addr(), len(cursors), *k, *interval)
+	srv := &http.Server{Handler: mux}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "kspotd:", err)
 		os.Exit(1)
 	}

@@ -3,6 +3,7 @@ package kspot
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"kspot/internal/engine"
 	"kspot/internal/model"
@@ -25,23 +26,25 @@ type Cursor struct {
 	algo Algorithm
 	live bool
 
-	runners []engine.EpochRunner // one snapshot operator per shard
-	merger  *fed.Merger          // nil on flat deployments
-	epoch   model.Epoch
+	merger *fed.Merger // nil on flat deployments
 
-	// Deterministic cursors drive their shards through their own
-	// coordinator (a private epoch clock); live cursors pin the
-	// deployment and scheduler they registered with at post time (Close
-	// tears the System's copies down concurrently).
-	coord *engine.Coordinator
+	// Continuous cursors are seats on a shared lock-step scheduler — the
+	// System's deterministic scheduler, its live scheduler, or the remote
+	// coordinator's scheduled tier. Cursors whose queries share a sensing
+	// signature (groupKey) ride ONE in-network acquisition per epoch; the
+	// cursor's own merge and TOP-K cut run above the shared view.
 	tps   []engine.Transport
 	sched *engine.Scheduler
 	sq    *engine.ScheduledQuery
+	rq    *engine.RemoteQuery
 
-	// rqid identifies this cursor's attached query on every remote shard
-	// (remote deployments only; the shard processes key their operator
-	// instances on it).
-	rqid uint32
+	// groupKey is the shared-acquisition key this cursor scheduled under
+	// (resolved algorithm + the plan's SenseKey); tenant/admitted record
+	// the admission slot Close releases.
+	groupKey  string
+	tenant    string
+	admitted  bool
+	closeOnce sync.Once
 }
 
 // StepResult is one epoch of a continuous query.
@@ -106,46 +109,20 @@ func (c *Cursor) prepare() error {
 			return fmt.Errorf("kspot: basic queries run on TAG, not %q", c.algo)
 		}
 	}
-	algo := c.algo
-	if c.plan.Kind == query.PlanBasic {
-		algo = AlgoTAG
-	}
+	algo := c.resolvedAlgo()
 	if c.sys.Remote() {
-		// Remote shards plan the SQL and instantiate the operator in their
-		// own process (internal/topk/registry maps the algorithm name to
-		// the identical implementation); validate the name here so a bad
-		// algorithm fails the Post, not the first Step.
-		if _, err := snapshotOperator(algo); err != nil {
-			return err
-		}
-		c.rqid = c.sys.nextQueryID()
-		for _, cl := range c.sys.remotes {
-			if err := cl.Attach(c.rqid, string(algo), c.plan.Query); err != nil {
-				return err
-			}
-		}
-		if len(c.sys.remotes) > 1 {
-			m, err := fed.New(c.plan.Snapshot, fed.Config{}, c.sys.fedStats)
-			if err != nil {
-				return err
-			}
-			c.merger = m
-		}
-		return nil
+		return c.prepareRemote(algo)
 	}
 	tps, err := c.transports()
 	if err != nil {
 		return err
 	}
-	for _, tp := range tps {
-		op, err := snapshotOperator(algo)
-		if err != nil {
-			return err
-		}
-		if err := op.Attach(tp, c.plan.Snapshot); err != nil {
-			return err
-		}
-		c.runners = append(c.runners, op)
+	if !c.live {
+		// Deterministic snapshot cursors share the System's lock-step
+		// scheduler, exactly like live cursors share theirs: the epoch is
+		// sensed once however many queries are posted, and same-signature
+		// queries share one acquisition.
+		c.sched = c.sys.detScheduler()
 	}
 	if len(tps) > 1 {
 		m, err := fed.New(c.plan.Snapshot, fed.Config{}, c.sys.fedStats)
@@ -154,22 +131,157 @@ func (c *Cursor) prepare() error {
 		}
 		c.merger = m
 	}
-	var override trace.Source
-	if c.plan.Kind == query.PlanHistoricGroupTopK {
-		override = c.source()
-	}
-	if c.live {
-		// Live snapshot cursors are served by the shared scheduler: one
-		// epoch sweep per shard per epoch, however many queries are posted.
-		c.sq = c.sched.Add(c.runners, c.mergeFunc(), override)
-	} else {
-		deps := make([]*engine.Deployment, len(tps))
+
+	// Schedule under the sensing signature. The first query of a signature
+	// attaches the operators; later ones join its in-network acquisition,
+	// widening it first when they need a deeper ranking than it was
+	// attached at. Group bookkeeping (existence, acquired depth) is
+	// serialized across posts and closes by groupMu.
+	key := string(algo) + "|" + c.plan.SenseKey
+	spec := engine.QuerySpec{Key: key, Merge: c.mergeFunc(), CutK: c.cutK()}
+	c.sys.groupMu.Lock()
+	defer c.sys.groupMu.Unlock()
+	capKey := c.capKeyFor(key)
+	if c.sched.GroupSize(key) == 0 || c.plan.Snapshot.K > c.sys.groupCaps[capKey] {
+		ops := make([]engine.EpochRunner, len(tps))
 		for i, tp := range tps {
-			deps[i] = engine.NewDeployment(c.sys.scenario.ShardName(i), tp, c.sys.source)
+			op, err := snapshotOperator(algo)
+			if err != nil {
+				return err
+			}
+			if err := op.Attach(tp, c.plan.Snapshot); err != nil {
+				return err
+			}
+			ops[i] = op
 		}
-		c.coord = engine.NewCoordinator(deps...)
+		if c.sched.GroupSize(key) == 0 {
+			spec.Ops = ops
+			if c.plan.Kind == query.PlanHistoricGroupTopK {
+				spec.Src = c.source()
+			}
+		} else if err := c.sched.WidenGroup(key, ops); err != nil {
+			return err
+		}
+		c.sys.groupCaps[capKey] = c.plan.Snapshot.K
 	}
+	c.sq = c.sched.Schedule(spec)
+	c.groupKey = key
 	return nil
+}
+
+// prepareRemote schedules the cursor on the remote coordinator's lock-step
+// tier. Remote shards plan the SQL and instantiate the operator in their
+// own process (internal/topk/registry maps the algorithm name to the
+// identical implementation); the coordinator attaches ONE wire query per
+// sensing signature and every same-signature cursor's epochs acquire it.
+func (c *Cursor) prepareRemote(algo Algorithm) error {
+	// Validate the name here so a bad algorithm fails the Post, not the
+	// first Step.
+	if _, err := snapshotOperator(algo); err != nil {
+		return err
+	}
+	if len(c.sys.remotes) > 1 {
+		m, err := fed.New(c.plan.Snapshot, fed.Config{}, c.sys.fedStats)
+		if err != nil {
+			return err
+		}
+		c.merger = m
+	}
+	key := string(algo) + "|" + c.plan.SenseKey
+	c.sys.groupMu.Lock()
+	defer c.sys.groupMu.Unlock()
+	st := c.sys.remoteKeys[key]
+	if st == nil || c.plan.Snapshot.K > st.cap {
+		// First query of the signature, or one needing a deeper ranking
+		// than the group was attached at: attach this cursor's own plan on
+		// every shard (its K is the new widest) and point the group at it.
+		rqid := c.sys.nextQueryID()
+		for _, cl := range c.sys.remotes {
+			if err := cl.Attach(rqid, string(c.wireAlgo()), c.plan.Query); err != nil {
+				return err
+			}
+		}
+		if st == nil {
+			st = &remoteKeyState{rqid: rqid, cap: c.plan.Snapshot.K}
+			c.sys.remoteKeys[key] = st
+		} else {
+			if err := c.sys.rcoord.WidenGroup(key, rqid); err != nil {
+				return err
+			}
+			st.rqid, st.cap = rqid, c.plan.Snapshot.K
+		}
+	}
+	c.rq = c.sys.rcoord.Schedule(key, st.rqid, c.mergeFunc(), c.cutK())
+	c.groupKey = key
+	return nil
+}
+
+// resolvedAlgo folds the algorithm the query actually runs on: basic
+// queries always run TAG, and AlgoAuto resolves to MINT for snapshot plans
+// (registry treats "" and "mint" as the same operator) — so equivalent
+// posts derive equal acquisition keys.
+func (c *Cursor) resolvedAlgo() Algorithm {
+	if c.plan.Kind == query.PlanBasic {
+		return AlgoTAG
+	}
+	if c.algo == AlgoAuto {
+		return AlgoMINT
+	}
+	return c.algo
+}
+
+// wireAlgo is the algorithm name sent on the wire Attach: the resolved
+// name, which every shard's registry maps to the identical operator.
+func (c *Cursor) wireAlgo() Algorithm { return c.resolvedAlgo() }
+
+// cutK is this cursor's own TOP-K depth — the per-tenant cut applied above
+// the (possibly wider) shared acquisition. 0 for plans without a TOP
+// clause: they keep the full ranking.
+func (c *Cursor) cutK() int {
+	switch c.plan.Kind {
+	case query.PlanSnapshotTopK, query.PlanHistoricGroupTopK:
+		return c.plan.Snapshot.K
+	default:
+		return 0
+	}
+}
+
+// capKeyFor prefixes an acquisition key with the cursor's substrate: the
+// det and live schedulers keep separate groups, so their acquired-depth
+// bookkeeping must not collide in the System's shared map.
+func (c *Cursor) capKeyFor(key string) string {
+	if c.live {
+		return "live|" + key
+	}
+	return "det|" + key
+}
+
+// Close detaches the cursor from its scheduler seat and releases its
+// admission slot. The last cursor of a shared-acquisition group dissolves
+// the group (a later same-signature post re-attaches fresh operators).
+// Safe to call multiple times; other cursors keep stepping undisturbed.
+// Historic (Run) cursors hold no seat — Close just frees admission.
+func (c *Cursor) Close() {
+	c.closeOnce.Do(func() {
+		s := c.sys
+		s.groupMu.Lock()
+		if c.sq != nil && c.sched != nil {
+			c.sched.Remove(c.sq)
+			if c.groupKey != "" && c.sched.GroupSize(c.groupKey) == 0 {
+				delete(s.groupCaps, c.capKeyFor(c.groupKey))
+			}
+		}
+		if c.rq != nil {
+			s.rcoord.Remove(c.rq)
+			if c.groupKey != "" && s.rcoord.GroupSize(c.groupKey) == 0 {
+				delete(s.remoteKeys, c.groupKey)
+			}
+		}
+		s.groupMu.Unlock()
+		if c.admitted {
+			s.admission.Release(c.tenant)
+		}
+	})
 }
 
 // mergeFunc adapts the cursor's fed merger to the engine's coordinator
@@ -206,39 +318,36 @@ func (c *Cursor) StepContext(ctx context.Context) (StepResult, error) {
 		return c.result(out), nil
 	}
 	if c.sys.Remote() {
-		// Remote cursors run on the deterministic epoch clock; every shard
-		// process senses and acquires the epoch over the wire. A shard loss
+		// Remote cursors advance on the remote coordinator's shared
+		// lock-step clock; every shard process senses once per epoch and
+		// acquires once per signature group over the wire. A shard loss
 		// surfaces here, on this cursor, tagged with the shard's name —
 		// other cursors (and the other shards' state machines) continue.
 		if err := ctx.Err(); err != nil {
 			return StepResult{}, err
 		}
-		e := c.epoch
-		c.epoch++
-		out := c.sys.rcoord.Epoch(c.rqid, e, c.mergeFunc())
+		out, err := c.sys.rcoord.Step(c.rq)
+		if err != nil {
+			return StepResult{}, err
+		}
 		if out.Err != nil {
 			return StepResult{}, out.Err
 		}
 		return c.result(out), nil
 	}
-	// Cancellation is observed here, between epochs: once an epoch number
-	// is consumed the deterministic coordinator runs it to completion, so
-	// the stream can never skip an epoch.
+	// Deterministic cursors advance on the System's shared scheduler.
+	// Cancellation is observed here, between epochs: once this cursor
+	// demands an epoch the deterministic substrate runs it to completion,
+	// so the stream can never skip an epoch.
 	if err := ctx.Err(); err != nil {
 		return StepResult{}, err
 	}
 	if _, err := c.transports(); err != nil {
 		return StepResult{}, err
 	}
-	e := c.epoch
-	c.epoch++
-	var override trace.Source
-	if c.plan.Kind == query.PlanHistoricGroupTopK {
-		override = c.source()
-	}
-	out := c.coord.Epoch(e, c.runners, override, c.mergeFunc())
-	if out.Err != nil {
-		return StepResult{}, out.Err
+	out, err := c.sched.Step(c.sq)
+	if err != nil {
+		return StepResult{}, err
 	}
 	return c.result(out), nil
 }

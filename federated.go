@@ -83,6 +83,11 @@ func OpenFederated(s *Scenario, addrs []string, opts ...OpenOption) (*System, er
 		shardScens: shardScens,
 		schema:     query.DefaultSchema(),
 		fedStats:   &fed.Stats{},
+		groupCaps:  make(map[string]int),
+		remoteKeys: make(map[string]*remoteKeyState),
+	}
+	if cfg.admission != nil {
+		sys.admission = engine.NewAdmission(*cfg.admission)
 	}
 	deps := make([]*engine.RemoteDeployment, len(addrs))
 	for i, addr := range addrs {

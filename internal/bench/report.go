@@ -36,6 +36,12 @@ type MicroResult struct {
 	// CoordBytesPerEpoch is the coordinator tier's backhaul, for the
 	// federated epoch benchmark.
 	CoordBytesPerEpoch float64 `json:"coord_bytes_per_epoch,omitempty"`
+	// QueriesPerSec and SubscribersPerSec are the multi-tenant serving
+	// axes: sustained query steps per second of the shared-acquisition
+	// scheduler, and sustained subscriber-deliveries per second of the
+	// streaming hub (see internal/bench/serving.go).
+	QueriesPerSec     float64 `json:"queries_per_sec,omitempty"`
+	SubscribersPerSec float64 `json:"subscribers_per_sec,omitempty"`
 	// UsPerNodePerEpoch and Workers annotate the scale-series entries —
 	// µs of epoch compute per sensor node, and the sweep worker bound the
 	// entry ran at. Deliberately not omitempty: they serialize as null on
@@ -94,6 +100,11 @@ func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
 		{"view-merge", func() (MicroResult, error) { return microViewMerge() }},
 		{"fed-mint-epoch", func() (MicroResult, error) { return microFederatedEpoch() }},
 		{"fed-historic-epoch", func() (MicroResult, error) { return microFederatedHistoric() }},
+		{"shared-acquisition-m1", func() (MicroResult, error) { return microSharedAcquisition(1, true) }},
+		{"shared-acquisition-m8", func() (MicroResult, error) { return microSharedAcquisition(8, true) }},
+		{"shared-acquisition-m64", func() (MicroResult, error) { return microSharedAcquisition(64, true) }},
+		{"private-acquisition-m8", func() (MicroResult, error) { return microSharedAcquisition(8, false) }},
+		{"hub-fanout-64", func() (MicroResult, error) { return microHubFanOut(64) }},
 	}
 	// The scale series always runs sequentially (workers = 1) so the
 	// µs-per-node trajectory is comparable across hosts and PRs; the
@@ -284,6 +295,31 @@ func microScaleMintEpoch(n, workers int) (MicroResult, error) {
 	res.UsPerNodePerEpoch = &us
 	res.Workers = &workers
 	return res, nil
+}
+
+// microSharedAcquisition measures m same-signature queries stepping over
+// the standard deployment — shared: one acquisition group; private: the
+// pre-sharing one-group-per-query baseline.
+func microSharedAcquisition(m int, shared bool) (MicroResult, error) {
+	var qps float64
+	r := testing.Benchmark(func(b *testing.B) {
+		qps = RunSharedAcquisitionBench(b, m, shared)
+	})
+	res, err := micro(r, 0, 0)
+	res.QueriesPerSec = qps
+	return res, err
+}
+
+// microHubFanOut measures the streaming hub's fan-out of one epoch stream
+// into subs concurrent subscribers.
+func microHubFanOut(subs int) (MicroResult, error) {
+	var rate float64
+	r := testing.Benchmark(func(b *testing.B) {
+		rate = RunHubFanOutBench(b, subs)
+	})
+	res, err := micro(r, 0, 0)
+	res.SubscribersPerSec = rate
+	return res, err
 }
 
 // microViewCodec measures the view codec round-trip.

@@ -123,7 +123,11 @@ func (c *Coordinator) acquire(e model.Epoch, ops []EpochRunner, shared []map[mod
 	}
 	run := func(i int) {
 		if src != nil {
-			a.readings[i] = sampleReadings(c.deps[i].tp, src, e)
+			// Derive over the sensed node set, not the transport's live
+			// aliveness: an earlier acquisition of this epoch may already
+			// have fired churn flips, and a shared epoch's queries must see
+			// the same node set an independent run would.
+			a.readings[i] = DeriveReadings(shared[i], src, e)
 		}
 		a.perShard[i], a.errs[i] = ops[i].Epoch(e, a.readings[i])
 	}

@@ -165,6 +165,27 @@ func CommitSenseEpoch(t Transport, e model.Epoch, readings map[model.NodeID]mode
 	}
 }
 
+// DeriveReadings rebuilds an epoch's per-node readings from a query-local
+// source over an already-sensed node set, without charging sensing. The
+// sensed map pins WHICH nodes participate: aliveness was decided once, at
+// the epoch's sensing point, so every acquisition of the epoch — however
+// many share it, in whatever order they run — derives from the same node
+// set. Sampling the transport again at acquire time would instead observe
+// churn flips fired by an earlier acquisition's transmissions, making a
+// query's traffic depend on which other queries share its epoch.
+func DeriveReadings(sensed map[model.NodeID]model.Reading, src trace.Source, e model.Epoch) map[model.NodeID]model.Reading {
+	out := make(map[model.NodeID]model.Reading, len(sensed))
+	for id, r := range sensed {
+		out[id] = model.Reading{
+			Node:  id,
+			Group: r.Group,
+			Epoch: e,
+			Value: model.Quantize(src.Sample(id, e)),
+		}
+	}
+	return out
+}
+
 // sampleReadings builds an epoch's readings without charging sensing —
 // used by the Scheduler for queries that derive their per-node values from
 // an already-sensed attribute (e.g. node-local window aggregation), so the

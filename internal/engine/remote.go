@@ -67,6 +67,33 @@ func (d *RemoteDeployment) Shard() RemoteShard { return d.shard }
 type RemoteCoordinator struct {
 	mu   sync.Mutex
 	deps []*RemoteDeployment
+
+	// The lock-step scheduled tier (Schedule/Step): every scheduled query
+	// advances on one shared epoch clock, grouped by sensing signature so
+	// one wire acquisition per group serves every member — the remote
+	// analogue of Scheduler's shared-acquisition groups.
+	epoch   model.Epoch
+	queries []*RemoteQuery
+	groups  []*remoteGroup
+	byKey   map[string]*remoteGroup
+}
+
+// RemoteQuery is one scheduled query on the remote lock-step tier.
+type RemoteQuery struct {
+	group   *remoteGroup
+	merge   MergeFunc
+	cutK    int
+	pending []Outcome
+	removed bool
+}
+
+// remoteGroup is a shared-acquisition group on the remote tier: one
+// attached wire query (the widest member's plan) acquired once per epoch,
+// fanned out to every member's own merge and TOP-K cut at the coordinator.
+type remoteGroup struct {
+	key     string
+	query   uint32 // the rqid attached on every shard for this group
+	members []*RemoteQuery
 }
 
 // NewRemoteCoordinator builds a coordinator over remote shards.
@@ -74,7 +101,182 @@ func NewRemoteCoordinator(deps ...*RemoteDeployment) *RemoteCoordinator {
 	if len(deps) == 0 {
 		panic("engine: remote coordinator needs at least one deployment")
 	}
-	return &RemoteCoordinator{deps: deps}
+	return &RemoteCoordinator{deps: deps, byKey: make(map[string]*remoteGroup)}
+}
+
+// Schedule registers a continuous query on the lock-step tier. Queries
+// sharing a non-empty key join one acquisition group: the shards run ONE
+// epoch sweep for the group's attached wire query, and each member applies
+// its own merge and TOP-K cut to the shared shard rankings. An empty key
+// schedules a private group. query is the rqid the caller attached on
+// every shard; for a joining member it is ignored — the group keeps its
+// existing attachment (the caller widens it first via WidenGroup when the
+// new member needs a deeper ranking).
+func (c *RemoteCoordinator) Schedule(key string, query uint32, merge MergeFunc, cutK int) *RemoteQuery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := &RemoteQuery{merge: merge, cutK: cutK}
+	g := c.byKey[key]
+	if g == nil {
+		g = &remoteGroup{key: key, query: query}
+		c.groups = append(c.groups, g)
+		if key != "" {
+			c.byKey[key] = g
+		}
+	}
+	q.group = g
+	g.members = append(g.members, q)
+	c.queries = append(c.queries, q)
+	return q
+}
+
+// GroupSize reports how many scheduled queries share the key's group (0
+// when no group exists — private "" groups are never counted).
+func (c *RemoteCoordinator) GroupSize(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g := c.byKey[key]; g != nil {
+		return len(g.members)
+	}
+	return 0
+}
+
+// WidenGroup repoints the key's group at a newly attached wire query — the
+// remote analogue of Scheduler.WidenGroup, used when a joining member's K
+// exceeds the group's current ranking depth. The old attachment stays
+// registered on the shards but is never acquired again.
+func (c *RemoteCoordinator) WidenGroup(key string, query uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.byKey[key]
+	if g == nil {
+		return fmt.Errorf("engine: no remote acquisition group for key %q", key)
+	}
+	g.query = query
+	return nil
+}
+
+// Step returns the query's next epoch outcome, running one shared lock-step
+// epoch for every scheduled query when this one's buffer is empty. Epoch
+// errors (a shard loss) surface in Outcome.Err without stalling the clock.
+func (c *RemoteCoordinator) Step(q *RemoteQuery) (Outcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q.removed {
+		return Outcome{}, fmt.Errorf("engine: query was removed from the remote scheduler")
+	}
+	if len(q.pending) == 0 {
+		c.runEpochLocked()
+	}
+	out := q.pending[0]
+	q.pending = q.pending[1:]
+	return out, nil
+}
+
+// Remove detaches a scheduled query; its group dissolves when the last
+// member leaves. The wire attachment is the caller's to release.
+func (c *RemoteCoordinator) Remove(q *RemoteQuery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if q.removed {
+		return
+	}
+	q.removed = true
+	for i, m := range c.queries {
+		if m == q {
+			c.queries = append(c.queries[:i], c.queries[i+1:]...)
+			break
+		}
+	}
+	g := q.group
+	for i, m := range g.members {
+		if m == q {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	if len(g.members) == 0 {
+		for i, og := range c.groups {
+			if og == g {
+				c.groups = append(c.groups[:i], c.groups[i+1:]...)
+				break
+			}
+		}
+		if g.key != "" {
+			delete(c.byKey, g.key)
+		}
+	}
+}
+
+// runEpochLocked advances the lock-step tier one epoch: sense every shard
+// once, then one wire acquisition per GROUP fanned out across shards, then
+// per-member merge and cut at the coordinator. A sense failure poisons the
+// whole epoch (every query buffers the error); an acquisition failure
+// poisons only that group's members.
+func (c *RemoteCoordinator) runEpochLocked() {
+	e := c.epoch
+	c.epoch++
+	n := len(c.deps)
+
+	senses := make([]map[model.NodeID]model.Reading, n)
+	errs := make([]error, n)
+	c.fanOut(func(i int) {
+		senses[i], errs[i] = c.deps[i].shard.Sense(e)
+	})
+	if err := c.firstErr(errs); err != nil {
+		for _, q := range c.queries {
+			q.pending = append(q.pending, Outcome{Epoch: e, Err: err})
+		}
+		return
+	}
+
+	for _, g := range c.groups {
+		acqs := make([]RemoteAcquisition, n)
+		aerrs := make([]error, n)
+		query := g.query
+		c.fanOut(func(i int) {
+			acqs[i], aerrs[i] = c.deps[i].shard.Acquire(query, e)
+		})
+		err := c.firstErr(aerrs)
+		// Union the readings the group actually ran on: the shared sensing,
+		// or the shards' derived readings when the query overrides them.
+		per := senses
+		if err == nil {
+			for i := range acqs {
+				if acqs[i].Readings != nil {
+					per = make([]map[model.NodeID]model.Reading, n)
+					for j := range acqs {
+						per[j] = acqs[j].Readings
+					}
+					break
+				}
+			}
+		}
+		readings := MergeReadings(per)
+		perShard := make([][]model.Answer, n)
+		for i := range acqs {
+			perShard[i] = acqs[i].Answers
+		}
+		for _, q := range g.members {
+			out := Outcome{Epoch: e, Readings: readings}
+			switch {
+			case err != nil:
+				out.Err = err
+			case q.merge == nil:
+				if n != 1 {
+					out.Err = fmt.Errorf("engine: %d shards need a merge function", n)
+				} else {
+					out.Answers = perShard[0]
+				}
+			default:
+				out.Answers, out.Err = q.merge(perShard)
+			}
+			if q.cutK > 0 && out.Err == nil && len(out.Answers) > q.cutK {
+				out.Answers = append([]model.Answer(nil), out.Answers[:q.cutK]...)
+			}
+			q.pending = append(q.pending, out)
+		}
+	}
 }
 
 // Shards returns the number of shard deployments.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"kspot/internal/model"
@@ -31,9 +32,9 @@ type Outcome struct {
 // produced in lock-step for every scheduled query and buffered here until
 // the query's cursor consumes them.
 type ScheduledQuery struct {
-	ops   []EpochRunner // one per shard deployment
-	merge MergeFunc     // nil on single-shard deployments
-	src   trace.Source  // nil → the deployment's shared readings
+	group *acqGroup // the shared acquisition this query rides
+	merge MergeFunc // nil on single-shard deployments
+	cutK  int       // >0: keep only the top cutK of the group's merged ranking
 
 	// stepMu serializes Step/StepContext per query: a cancelled
 	// StepContext's background hand-back holds it until the abandoned
@@ -44,6 +45,44 @@ type ScheduledQuery struct {
 
 	pending []Outcome // guarded by the scheduler's mu
 	removed bool
+}
+
+// acqGroup is one shared in-network acquisition: the per-shard runners and
+// override source that every member query's answers derive from. Queries
+// scheduled under the same non-empty key join one group — the network runs
+// ONE acquisition per group per epoch and the members' merges fan out from
+// it at the base station. A query scheduled without a key gets a private
+// singleton group (the pre-sharing behavior).
+type acqGroup struct {
+	key     string
+	ops     []EpochRunner // one per shard deployment
+	src     trace.Source  // nil → the deployment's shared readings
+	members []*ScheduledQuery
+}
+
+// QuerySpec declares one query's seat for Schedule. When Key names an
+// existing group, Ops and Src are ignored — the query joins the group's
+// shared acquisition and only its own Merge/CutK stage runs per epoch.
+type QuerySpec struct {
+	// Key is the shared-acquisition key (kspot derives it from the plan's
+	// SenseKey plus the resolved algorithm). Empty = private acquisition.
+	Key string
+	// Ops is one acquisition runner per shard deployment, index-aligned
+	// with the coordinator's Deployments. Used only when the key's group
+	// does not exist yet (or Key is empty).
+	Ops []EpochRunner
+	// Merge is this query's own coordinator-tier merge (nil on flat
+	// deployments). Members of one group each run their own merge over the
+	// group's shared per-shard rankings.
+	Merge MergeFunc
+	// Src, when non-nil, overrides the per-node readings for the group
+	// (node-local window aggregation). Like Ops, it binds at group creation.
+	Src trace.Source
+	// CutK, when > 0, caps this member's merged answers at the top CutK of
+	// the group ranking — the per-tenant TOP-K cut above the shared view. A
+	// group acquiring at a wider K than a member asked for hands the member
+	// a fresh prefix copy, never an alias of another member's slice.
+	CutK int
 }
 
 // Scheduler drives several queries over one federated deployment — N
@@ -67,6 +106,8 @@ type Scheduler struct {
 
 	mu       sync.Mutex
 	queries  []*ScheduledQuery
+	groups   []*acqGroup          // acquisition order: one entry per distinct acquisition
+	byKey    map[string]*acqGroup // keyed (shared) groups only
 	epoch    model.Epoch
 	closed   bool
 	pipeline int        // pipelineAuto / pipelineOn / pipelineOff
@@ -98,7 +139,7 @@ type presample struct {
 
 // NewScheduler returns a scheduler over the shard deployments.
 func NewScheduler(deps ...*Deployment) *Scheduler {
-	return &Scheduler{coord: NewCoordinator(deps...)}
+	return &Scheduler{coord: NewCoordinator(deps...), byKey: make(map[string]*acqGroup)}
 }
 
 // Coordinator exposes the scheduler's federation tier.
@@ -127,21 +168,73 @@ func (s *Scheduler) SetPipelining(on bool) {
 	}
 }
 
-// Add schedules an attached query: one runner per shard deployment
-// (index-aligned with the coordinator's Deployments) and the coordinator
-// merge (nil for single-shard). src, when non-nil, overrides the per-node
-// readings for this query only (e.g. node-local window aggregation);
-// sensing is still charged once per shard, against the shared source. A
-// query joins at the current epoch — earlier outcomes are not replayed.
+// Add schedules an attached query with a private acquisition: one runner
+// per shard deployment (index-aligned with the coordinator's Deployments)
+// and the coordinator merge (nil for single-shard). src, when non-nil,
+// overrides the per-node readings for this query only (e.g. node-local
+// window aggregation); sensing is still charged once per shard, against
+// the shared source. A query joins at the current epoch — earlier
+// outcomes are not replayed.
 func (s *Scheduler) Add(ops []EpochRunner, merge MergeFunc, src trace.Source) *ScheduledQuery {
+	return s.Schedule(QuerySpec{Ops: ops, Merge: merge, Src: src})
+}
+
+// Schedule registers a query, joining (or creating) the shared-acquisition
+// group its Key names — see QuerySpec. A query joins at the current epoch;
+// earlier outcomes are not replayed.
+func (s *Scheduler) Schedule(spec QuerySpec) *ScheduledQuery {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sq := &ScheduledQuery{ops: ops, merge: merge, src: src}
+	sq := &ScheduledQuery{merge: spec.Merge, cutK: spec.CutK}
+	var g *acqGroup
+	if spec.Key != "" {
+		g = s.byKey[spec.Key]
+	}
+	if g == nil {
+		g = &acqGroup{key: spec.Key, ops: spec.Ops, src: spec.Src}
+		s.groups = append(s.groups, g)
+		if spec.Key != "" {
+			s.byKey[spec.Key] = g
+		}
+	}
+	sq.group = g
+	g.members = append(g.members, sq)
 	s.queries = append(s.queries, sq)
 	return sq
 }
 
-// Remove unschedules a query; its buffered outcomes are discarded.
+// GroupSize reports how many scheduled queries share the key's
+// acquisition group (0: no such group).
+func (s *Scheduler) GroupSize(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g := s.byKey[key]; g != nil {
+		return len(g.members)
+	}
+	return 0
+}
+
+// WidenGroup replaces a shared group's acquisition runners — the K-cap
+// escalation path: when a new member needs a wider in-network acquisition
+// than the group was created with (a larger TOP K under the same sensing
+// signature), the caller attaches fresh runners at the wider K and swaps
+// them in before scheduling the member. The replaced runners' views are
+// simply abandoned; the new runners re-run their creation phase on their
+// next epoch, exactly as a newly posted query would.
+func (s *Scheduler) WidenGroup(key string, ops []EpochRunner) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.byKey[key]
+	if g == nil {
+		return fmt.Errorf("engine: no shared-acquisition group %q to widen", key)
+	}
+	g.ops = ops
+	return nil
+}
+
+// Remove unschedules a query; its buffered outcomes are discarded. The
+// last member leaving a shared group dissolves the group — a later
+// Schedule under the same key creates a fresh acquisition.
 func (s *Scheduler) Remove(sq *ScheduledQuery) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -150,7 +243,28 @@ func (s *Scheduler) Remove(sq *ScheduledQuery) {
 	for i, q := range s.queries {
 		if q == sq {
 			s.queries = append(s.queries[:i], s.queries[i+1:]...)
-			return
+			break
+		}
+	}
+	g := sq.group
+	if g == nil {
+		return
+	}
+	for i, m := range g.members {
+		if m == sq {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	if len(g.members) == 0 {
+		for i, gg := range s.groups {
+			if gg == g {
+				s.groups = append(s.groups[:i], s.groups[i+1:]...)
+				break
+			}
+		}
+		if g.key != "" {
+			delete(s.byKey, g.key)
 		}
 	}
 }
@@ -273,11 +387,12 @@ const (
 
 // runEpochLocked executes one shared epoch for every scheduled query in
 // three stages: sensing (consuming the pipelined presample when one is in
-// flight, then committing its deferred charges), acquisition (every
-// query's per-shard transport work), and merge (pure in-memory). Between
-// acquisition and merge the transports are quiescent for the rest of the
-// epoch, so that is where the next epoch's background presample launches —
-// the cross-epoch pipeline.
+// flight, then committing its deferred charges), acquisition (one
+// per-shard transport sweep per acquisition GROUP — however many member
+// queries each group serves), and merge (pure in-memory, one per member).
+// Between acquisition and merge the transports are quiescent for the rest
+// of the epoch, so that is where the next epoch's background presample
+// launches — the cross-epoch pipeline.
 func (s *Scheduler) runEpochLocked() {
 	e := s.epoch
 	s.epoch++
@@ -301,27 +416,27 @@ func (s *Scheduler) runEpochLocked() {
 	// override source — compute it once, not once per query.
 	union := MergeReadings(shard)
 
-	// Acquisition: on the concurrent substrate all acquisitions run in
-	// parallel, across queries and across shards: the Live transport
-	// supports any number of in-flight sweeps and floods. The
-	// deterministic simulator is a single-threaded state machine per
-	// shard, so there the queries run in sequence (each query still fans
+	// Acquisition: one per group. On the concurrent substrate all group
+	// acquisitions run in parallel, across groups and across shards: the
+	// Live transport supports any number of in-flight sweeps and floods.
+	// The deterministic simulator is a single-threaded state machine per
+	// shard, so there the groups run in sequence (each group still fans
 	// out across shards — distinct shards are distinct state machines).
 	// Decorators (fault injection) are stripped first — they forward
 	// concurrency-safely.
 	_, live := Baseof(s.coord.deps[0].tp).(*Live)
-	acqs := make([]*acquisition, len(s.queries))
-	errs := make([]error, len(s.queries))
+	acqs := make([]*acquisition, len(s.groups))
+	errs := make([]error, len(s.groups))
 	var wg sync.WaitGroup
-	for i, q := range s.queries {
+	for i, g := range s.groups {
 		if live {
 			wg.Add(1)
-			go func(i int, q *ScheduledQuery) {
+			go func(i int, g *acqGroup) {
 				defer wg.Done()
-				acqs[i], errs[i] = s.coord.acquire(e, q.ops, shard, q.src)
-			}(i, q)
+				acqs[i], errs[i] = s.coord.acquire(e, g.ops, shard, g.src)
+			}(i, g)
 		} else {
-			acqs[i], errs[i] = s.coord.acquire(e, q.ops, shard, q.src)
+			acqs[i], errs[i] = s.coord.acquire(e, g.ops, shard, g.src)
 		}
 	}
 	wg.Wait()
@@ -337,14 +452,40 @@ func (s *Scheduler) runEpochLocked() {
 		}()
 	}
 
-	// Merge: coordinator-tier fed rounds, no transport access.
-	for i, q := range s.queries {
-		var out Outcome
-		if errs[i] != nil {
-			out = Outcome{Epoch: e, Err: errs[i]}
-		} else {
-			out = s.coord.mergeAcquisition(e, acqs[i], union, q.merge)
+	// Merge: coordinator-tier fed rounds, no transport access. Every member
+	// of a group runs its own merge/cut over the group's shared per-shard
+	// rankings (fed.Merger never mutates its inputs), so M same-key tenants
+	// cost M in-memory merges and ONE in-network acquisition.
+	for i, g := range s.groups {
+		ga := acqs[i]
+		gUnion := union
+		if errs[i] == nil && ga.override {
+			// Derive the override union once per group, not once per member;
+			// the flag is cleared so mergeAcquisition trusts the passed union.
+			gUnion = MergeReadings(ga.readings)
+			ga.override = false
 		}
-		q.pending = append(q.pending, out)
+		for _, q := range g.members {
+			var out Outcome
+			if errs[i] != nil {
+				out = Outcome{Epoch: e, Err: errs[i]}
+			} else {
+				out = s.coord.mergeAcquisition(e, ga, gUnion, q.merge)
+				out = q.cut(out)
+			}
+			q.pending = append(q.pending, out)
+		}
 	}
+}
+
+// cut applies the member's TOP-K prefix cut to a merged outcome. The
+// group's ranking may be wider than this member asked for (the group
+// acquires at the widest member K); the member keeps the top cutK. The
+// prefix is copied, never aliased — members of one group must not share
+// answer slices across their buffered outcomes.
+func (sq *ScheduledQuery) cut(out Outcome) Outcome {
+	if sq.cutK > 0 && out.Err == nil && len(out.Answers) > sq.cutK {
+		out.Answers = append([]model.Answer(nil), out.Answers[:sq.cutK]...)
+	}
+	return out
 }

@@ -219,47 +219,23 @@ func (c *Config) frameModel(p *topo.Placement) radio.FaultModel {
 
 // frameModel implements radio.FaultModel: loss first (per the selected
 // model), then delay, then duplication, each from an independent salted
-// draw on the message identity. The payload hash is memoized across a
-// Transmit's fragment/retry loop (Frame is called once per frame attempt
-// with the identical message), so the O(payload) work happens once per
-// message.
+// draw on the message identity. The payload is hashed on every Frame call:
+// an earlier revision memoized the digest under a (header, length, backing
+// pointer) key, but a multi-query epoch runs several sweeps over the same
+// links with pooled payload buffers, so a recycled buffer can carry
+// different bytes under an identical key — a false hit that silently
+// violates the determinism contract. The payloads are tens of bytes;
+// rehashing per frame attempt is noise next to that hazard.
 type frameModel struct {
 	seed   int64
 	lossAt func(msg radio.Message) float64 // nil = lossless
 	dup    float64
 	delay  float64
-
-	mu      sync.Mutex
-	memoKey msgKey
-	memoH   uint64
-	memoOK  bool
 }
 
-// msgKey identifies a message cheaply for the digest memo: header fields
-// plus the payload's length and backing pointer. A different payload with
-// the same backing array cannot alias here — callers never mutate a
-// payload mid-Transmit.
-type msgKey struct {
-	from, to model.NodeID
-	kind     radio.MsgKind
-	epoch    model.Epoch
-	n        int
-	p        *byte
-}
-
-// base returns the memoized per-message digest.
+// base returns the per-message digest.
 func (m *frameModel) base(msg radio.Message) uint64 {
-	k := msgKey{msg.From, msg.To, msg.Kind, msg.Epoch, len(msg.Payload), nil}
-	if k.n > 0 {
-		k.p = &msg.Payload[0]
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.memoOK && m.memoKey == k {
-		return m.memoH
-	}
-	m.memoKey, m.memoH, m.memoOK = k, msgDigest(m.seed, msg), true
-	return m.memoH
+	return msgDigest(m.seed, msg)
 }
 
 // Draw salts, one per fault dimension so the streams are independent.

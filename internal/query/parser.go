@@ -183,7 +183,10 @@ func (p *parser) parseSelectList() ([]SelectItem, error) {
 		if err != nil {
 			return nil, err
 		}
-		if agg, isAgg := model.ParseAggKind(t.Text); isAgg && p.peek().Kind == TokLParen {
+		// Probe the folded keyword form, not the raw text: the dialect is
+		// case-insensitive everywhere, and "Avg(sound)" must parse like
+		// "AVG(sound)" or equivalent spellings would not share a SenseKey.
+		if agg, isAgg := model.ParseAggKind(t.Keyword()); isAgg && p.peek().Kind == TokLParen {
 			p.next() // consume '('
 			attr, err := p.expectIdent()
 			if err != nil {

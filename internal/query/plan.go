@@ -77,6 +77,7 @@ func DefaultSchema() Schema {
 type Plan struct {
 	Kind     PlanKind
 	Query    string // canonical text
+	SenseKey string // canonical sensing signature (see AST.SenseKey)
 	Attr     AttrInfo
 	GroupBy  string
 	Epoch    time.Duration
@@ -87,7 +88,7 @@ type Plan struct {
 
 // PlanAST routes a parsed query against a schema.
 func PlanAST(ast *AST, schema Schema) (*Plan, error) {
-	plan := &Plan{Query: ast.String(), GroupBy: ast.GroupBy, Epoch: ast.Epoch, History: ast.History}
+	plan := &Plan{Query: ast.String(), SenseKey: ast.SenseKey(), GroupBy: ast.GroupBy, Epoch: ast.Epoch, History: ast.History}
 
 	agg, hasAgg := ast.Aggregate()
 	if hasAgg {

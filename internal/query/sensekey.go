@@ -1,0 +1,54 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The sensing signature: the part of a query that determines what the
+// network must acquire each epoch. Two queries with the same SenseKey can
+// share one in-network acquisition — the same partials climb the routing
+// tree once — and differ only in work that happens at the base station:
+// how many of the ranked groups each tenant keeps (TOP K) and which
+// columns it projects. K and the SELECT shape are therefore deliberately
+// excluded from the key; top-k cutting happens above the shared view, so
+// including K would split tenants that the network cannot tell apart.
+
+// SenseKey returns the canonical sensing signature of the query: the
+// relation, the aggregate over its attribute, the GROUP BY attribute, the
+// epoch duration and the history window. The parser already folds case,
+// whitespace and duration units, so every spelling of the same sensing
+// plan yields byte-identical keys.
+func (a *AST) SenseKey() string {
+	var b strings.Builder
+	b.WriteString("from=")
+	b.WriteString(a.From)
+	if agg, ok := a.Aggregate(); ok {
+		fmt.Fprintf(&b, "|agg=%s(%s)", agg.Agg, agg.Attr)
+	}
+	if a.GroupBy != "" {
+		b.WriteString("|group=")
+		b.WriteString(a.GroupBy)
+	}
+	if a.Epoch > 0 {
+		fmt.Fprintf(&b, "|epoch=%dms", a.Epoch/time.Millisecond)
+	}
+	if a.History > 0 {
+		fmt.Fprintf(&b, "|history=%d", a.History)
+	}
+	return b.String()
+}
+
+// Normalize parses a query and returns its canonical spelling — the form
+// AST.String emits, with keyword case, whitespace and duration units
+// folded. Equivalent spellings normalize to byte-identical text (and thus
+// byte-identical SenseKeys); the canonical form always reparses to the
+// identical AST.
+func Normalize(src string) (string, error) {
+	ast, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return ast.String(), nil
+}

@@ -1,0 +1,167 @@
+package query
+
+import (
+	"testing"
+	"time"
+)
+
+// Equivalent spellings — case, whitespace, duration units, K and SELECT
+// shape — must share one SenseKey, so the scheduler folds them into one
+// shared acquisition. Distinct sensing plans must not.
+func TestSenseKeyEquivalentSpellings(t *testing.T) {
+	groups := [][]string{
+		// One sensing plan, many spellings: case, whitespace, K, projection.
+		{
+			"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+			"select top 3 roomid, avg(sound) from sensors group by roomid",
+			"SELECT   TOP 7   AVG( SOUND )  FROM  SENSORS   GROUP BY ROOMID",
+			"select top 1 Avg(Sound) from Sensors group by RoomId",
+		},
+		// Duration-unit folding: 60 s == 1 min.
+		{
+			"SELECT TOP 2 roomid, MAX(temp) FROM sensors GROUP BY roomid EPOCH DURATION 60 s",
+			"select top 5 max(temp) from sensors group by roomid epoch duration 1 min",
+			"SELECT TOP 5 MAX(TEMP) FROM SENSORS GROUP BY ROOMID EPOCH DURATION 60 SECONDS",
+		},
+		// History window participates in the key.
+		{
+			"SELECT TOP 4 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8",
+			"select top 9 avg(sound) from sensors with history 8 group by roomid",
+		},
+		// Basic (no TOP) queries key on the same signature fields.
+		{
+			"SELECT roomid, AVG(light) FROM sensors GROUP BY roomid",
+			"select Avg(LIGHT), roomid from sensors group by roomid",
+		},
+	}
+	seen := map[string]int{}
+	for gi, g := range groups {
+		var key string
+		for i, sql := range g {
+			ast, err := Parse(sql)
+			if err != nil {
+				t.Fatalf("group %d %q: %v", gi, sql, err)
+			}
+			k := ast.SenseKey()
+			if i == 0 {
+				key = k
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("groups %d and %d collide on SenseKey %q", prev, gi, k)
+				}
+				seen[k] = gi
+				continue
+			}
+			if k != key {
+				t.Fatalf("group %d: %q keyed %q, want %q", gi, sql, k, key)
+			}
+		}
+	}
+}
+
+// Distinct sensing plans — different aggregate, attribute, grouping,
+// epoch duration or history — must produce distinct keys.
+func TestSenseKeyDistinguishes(t *testing.T) {
+	distinct := []string{
+		"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid",
+		"SELECT TOP 3 roomid, MAX(sound) FROM sensors GROUP BY roomid",
+		"SELECT TOP 3 roomid, AVG(temp) FROM sensors GROUP BY roomid",
+		"SELECT TOP 3 clusterid, AVG(sound) FROM sensors GROUP BY clusterid",
+		"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid EPOCH DURATION 2 s",
+		"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 4",
+		"SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 8",
+	}
+	seen := map[string]string{}
+	for _, sql := range distinct {
+		ast, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		k := ast.SenseKey()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("%q and %q collide on SenseKey %q", prev, sql, k)
+		}
+		seen[k] = sql
+	}
+}
+
+// Normalize folds every accepted spelling to one canonical form, and the
+// canonical form is a fixed point: it reparses to the identical AST and
+// renormalizes to itself (the String round-trip the normalizer relies on).
+func TestNormalizeRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{
+			"select top 3 roomid, avg(sound) from sensors group by roomid",
+			"SELECT TOP 3 ROOMID, AVG(SOUND) FROM SENSORS GROUP BY ROOMID",
+		},
+		{
+			"SELECT TOP 2 MAX(temp) FROM sensors GROUP BY roomid EPOCH DURATION 60 seconds",
+			"SELECT TOP 2 MAX(TEMP) FROM SENSORS GROUP BY ROOMID EPOCH DURATION 1 min",
+		},
+		{
+			"select top 4 epoch, avg(sound) from sensors with history 16 epoch duration 1500 ms",
+			"SELECT TOP 4 EPOCH, AVG(SOUND) FROM SENSORS EPOCH DURATION 1500 ms WITH HISTORY 16",
+		},
+		{
+			"select   sound , roomid   from sensors",
+			"SELECT SOUND, ROOMID FROM SENSORS",
+		},
+	}
+	for _, c := range cases {
+		got, err := Normalize(c.in)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+		// Fixed point: the canonical form reparses and renormalizes to itself.
+		again, err := Normalize(got)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", got, err)
+		}
+		if again != got {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", got, again)
+		}
+		// And equivalent spellings share one SenseKey through the plan layer.
+		p1, err := PlanText(c.in, DefaultSchema())
+		if err != nil {
+			t.Fatalf("PlanText(%q): %v", c.in, err)
+		}
+		p2, err := PlanText(got, DefaultSchema())
+		if err != nil {
+			t.Fatalf("PlanText(%q): %v", got, err)
+		}
+		if p1.SenseKey == "" || p1.SenseKey != p2.SenseKey {
+			t.Fatalf("plan SenseKeys diverge: %q vs %q", p1.SenseKey, p2.SenseKey)
+		}
+	}
+}
+
+// Every duration unit String can emit must reparse to the same AST.
+func TestStringDurationRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{
+		time.Millisecond, 1500 * time.Millisecond, time.Second,
+		90 * time.Second, time.Minute, 5 * time.Minute,
+	} {
+		a := &AST{
+			TopK:    2,
+			Items:   []SelectItem{{Attr: "SOUND", Agg: 0, IsAgg: true}},
+			From:    "SENSORS",
+			GroupBy: "ROOMID",
+			Epoch:   d,
+		}
+		out, err := Parse(a.String())
+		if err != nil {
+			t.Fatalf("String() with epoch %v emits unparseable %q: %v", d, a.String(), err)
+		}
+		if out.Epoch != d {
+			t.Fatalf("epoch %v round-tripped to %v via %q", d, out.Epoch, a.String())
+		}
+		if out.SenseKey() != a.SenseKey() {
+			t.Fatalf("SenseKey diverged across round-trip: %q vs %q", a.SenseKey(), out.SenseKey())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package serve is the streaming results tier of a KSpot daemon: one Hub
+// per posted cursor caches the query's per-epoch results and fans them out
+// to any number of subscribers (SSE connections in cmd/kspotd). The hub
+// decouples the epoch clock from the consumers — a slow subscriber buffers,
+// it never back-pressures the deployment's lock-step — and replays its
+// cache on subscribe, so every subscriber of one cursor observes the
+// identical per-epoch sequence regardless of when it connected.
+package serve
+
+import (
+	"sync"
+
+	"kspot/internal/model"
+)
+
+// Result is one published epoch of a query.
+type Result struct {
+	Epoch   model.Epoch    `json:"epoch"`
+	Answers []model.Answer `json:"answers"`
+	Correct bool           `json:"correct"`
+	// Err carries an epoch error (shard loss) as text; the stream
+	// continues, mirroring the cursor's buffered-outcome semantics.
+	Err string `json:"err,omitempty"`
+}
+
+// Hub caches and fans out one cursor's epoch results. All methods are safe
+// for concurrent use.
+type Hub struct {
+	mu     sync.Mutex
+	cache  []Result // last cacheCap published results, oldest first
+	cap    int
+	subs   map[*Subscriber]struct{}
+	closed bool
+}
+
+// NewHub builds a hub whose replay cache keeps the last cacheCap results
+// (0 selects the default of 64).
+func NewHub(cacheCap int) *Hub {
+	if cacheCap <= 0 {
+		cacheCap = 64
+	}
+	return &Hub{cap: cacheCap, subs: make(map[*Subscriber]struct{})}
+}
+
+// Publish appends an epoch result to the cache and every subscriber's
+// queue. Publishing on a closed hub is a no-op.
+func (h *Hub) Publish(r Result) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if len(h.cache) == h.cap {
+		h.cache = append(h.cache[:0], h.cache[1:]...)
+	}
+	h.cache = append(h.cache, r)
+	for s := range h.subs {
+		s.queue = append(s.queue, r)
+		s.cond.Signal()
+	}
+}
+
+// Subscribe registers a consumer, replaying the cached results into its
+// queue first: a subscriber joining at epoch e receives every cached epoch
+// before e, then the live stream — the same sequence an epoch-0 subscriber
+// sees (up to cache capacity). Subscribing to a closed hub returns a
+// subscriber that drains the cache and then reports closed.
+func (h *Hub) Subscribe() *Subscriber {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := &Subscriber{h: h}
+	s.cond = sync.NewCond(&h.mu)
+	s.queue = append(s.queue, h.cache...)
+	if !h.closed {
+		h.subs[s] = struct{}{}
+	} else {
+		s.done = true
+	}
+	return s
+}
+
+// Close ends the stream: every subscriber drains its queue and then its
+// Next returns false. Safe to call multiple times.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		s.done = true
+		s.cond.Broadcast()
+	}
+	h.subs = make(map[*Subscriber]struct{})
+}
+
+// Subscribers reports the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Subscriber is one consumer's seat on a hub. Results queue unboundedly
+// between Next calls, so a slow consumer loses nothing and stalls nobody.
+type Subscriber struct {
+	h     *Hub
+	cond  *sync.Cond
+	queue []Result
+	done  bool
+}
+
+// Next blocks until a result is available and returns it; ok is false once
+// the stream ended (hub or subscriber closed) and the queue has drained.
+func (s *Subscriber) Next() (Result, bool) {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	for len(s.queue) == 0 && !s.done {
+		s.cond.Wait()
+	}
+	if len(s.queue) == 0 {
+		return Result{}, false
+	}
+	r := s.queue[0]
+	s.queue = s.queue[1:]
+	return r, true
+}
+
+// Close unsubscribes: a blocked Next wakes and returns false after the
+// queue drains. Safe to call multiple times and concurrently with Next.
+func (s *Subscriber) Close() {
+	s.h.mu.Lock()
+	defer s.h.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.done = true
+	delete(s.h.subs, s)
+	s.cond.Broadcast()
+}

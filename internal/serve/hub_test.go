@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"kspot/internal/model"
+)
+
+func res(e int) Result {
+	return Result{Epoch: model.Epoch(e), Answers: []model.Answer{{Group: model.GroupID(e), Score: model.Value(e)}}, Correct: true}
+}
+
+// Every subscriber sees the identical per-epoch sequence, regardless of
+// when it joined (within cache capacity) or how slowly it consumes.
+func TestHubFanOutIdenticalSequences(t *testing.T) {
+	h := NewHub(16)
+	early := h.Subscribe()
+	for e := 0; e < 5; e++ {
+		h.Publish(res(e))
+	}
+	late := h.Subscribe() // replays the cache
+	for e := 5; e < 10; e++ {
+		h.Publish(res(e))
+	}
+	h.Close()
+
+	drain := func(s *Subscriber) []Result {
+		var out []Result
+		for {
+			r, ok := s.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, r)
+		}
+	}
+	a, b := drain(early), drain(late)
+	if len(a) != 10 {
+		t.Fatalf("early subscriber got %d results, want 10", len(a))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("subscribers diverged:\nearly: %v\nlate:  %v", a, b)
+	}
+	for e, r := range a {
+		if r.Epoch != model.Epoch(e) {
+			t.Fatalf("result %d has epoch %d", e, r.Epoch)
+		}
+	}
+}
+
+// A blocked Next wakes on publish and on close; concurrent subscribers
+// each get every result exactly once.
+func TestHubConcurrentSubscribers(t *testing.T) {
+	h := NewHub(0)
+	const subs, results = 8, 50
+	var wg sync.WaitGroup
+	got := make([][]Result, subs)
+	for i := 0; i < subs; i++ {
+		s := h.Subscribe()
+		wg.Add(1)
+		go func(i int, s *Subscriber) {
+			defer wg.Done()
+			for {
+				r, ok := s.Next()
+				if !ok {
+					return
+				}
+				got[i] = append(got[i], r)
+			}
+		}(i, s)
+	}
+	for e := 0; e < results; e++ {
+		h.Publish(res(e))
+	}
+	h.Close()
+	wg.Wait()
+	for i := 1; i < subs; i++ {
+		if !reflect.DeepEqual(got[0], got[i]) {
+			t.Fatalf("subscriber %d diverged from subscriber 0", i)
+		}
+	}
+	if len(got[0]) != results {
+		t.Fatalf("got %d results, want %d", len(got[0]), results)
+	}
+}
+
+// The replay cache is bounded: a very late subscriber sees only the last
+// cap results, still in order.
+func TestHubCacheBound(t *testing.T) {
+	h := NewHub(4)
+	for e := 0; e < 10; e++ {
+		h.Publish(res(e))
+	}
+	s := h.Subscribe()
+	h.Close()
+	var epochs []model.Epoch
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		epochs = append(epochs, r.Epoch)
+	}
+	want := []model.Epoch{6, 7, 8, 9}
+	if !reflect.DeepEqual(epochs, want) {
+		t.Fatalf("late subscriber replayed %v, want %v", epochs, want)
+	}
+}
+
+// Closing a subscriber mid-stream never deadlocks the hub or other
+// subscribers, and a subscriber of a closed hub still drains the cache.
+func TestHubCloseSemantics(t *testing.T) {
+	h := NewHub(8)
+	s1, s2 := h.Subscribe(), h.Subscribe()
+	h.Publish(res(0))
+	s1.Close()
+	s1.Close() // idempotent
+	h.Publish(res(1))
+	if r, ok := s2.Next(); !ok || r.Epoch != 0 {
+		t.Fatalf("s2 first = %v %v", r, ok)
+	}
+	if r, ok := s2.Next(); !ok || r.Epoch != 1 {
+		t.Fatalf("s2 second = %v %v", r, ok)
+	}
+	// s1 drains what it queued before closing, then ends.
+	if r, ok := s1.Next(); !ok || r.Epoch != 0 {
+		t.Fatalf("closed s1 did not drain its queue: %v %v", r, ok)
+	}
+	if _, ok := s1.Next(); ok {
+		t.Fatal("closed s1 kept streaming")
+	}
+	h.Close()
+	post := h.Subscribe()
+	if r, ok := post.Next(); !ok || r.Epoch != 0 {
+		t.Fatalf("post-close subscriber lost the cache: %v %v", r, ok)
+	}
+	if r, ok := post.Next(); !ok || r.Epoch != 1 {
+		t.Fatalf("post-close subscriber lost the cache: %v %v", r, ok)
+	}
+	if _, ok := post.Next(); ok {
+		t.Fatal("post-close subscriber kept streaming")
+	}
+	if h.Subscribers() != 0 {
+		t.Fatalf("closed hub reports %d subscribers", h.Subscribers())
+	}
+}

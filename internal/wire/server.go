@@ -385,15 +385,18 @@ func (s *Server) handle(f Frame) (MsgType, []byte, error) {
 		if !ok {
 			return 0, nil, fmt.Errorf("wire: query %d not attached", req.Query)
 		}
+		if s.sensed == nil || s.senseEpoch != req.Epoch {
+			return 0, nil, fmt.Errorf("wire: acquire epoch %d without a matching sense (last sensed %d)", req.Epoch, s.senseEpoch)
+		}
 		readings := s.sensed
 		var override map[model.NodeID]model.Reading
 		if q.override != nil {
-			// Derived per-node inputs (window aggregation): re-sampled
-			// without charging, like the in-process coordinator.
-			override = engine.PresampleEpoch(s.tp, q.override, req.Epoch)
+			// Derived per-node inputs (window aggregation): rebuilt without
+			// charging over the node set the epoch's sense committed — the
+			// in-process coordinator's exact derivation, so shared epochs
+			// stay order-independent across acquisitions.
+			override = engine.DeriveReadings(s.sensed, q.override, req.Epoch)
 			readings = override
-		} else if s.sensed == nil || s.senseEpoch != req.Epoch {
-			return 0, nil, fmt.Errorf("wire: acquire epoch %d without a matching sense (last sensed %d)", req.Epoch, s.senseEpoch)
 		}
 		answers, err := q.op.Epoch(req.Epoch, readings)
 		if err != nil {

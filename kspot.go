@@ -78,6 +78,12 @@ type (
 	// deterministic link loss, frame duplication/delay and node churn
 	// (see internal/faults for the determinism contract).
 	FaultConfig = faults.Config
+	// AdmissionConfig bounds how many concurrent queries the System
+	// accepts, globally and per tenant (see WithAdmission).
+	AdmissionConfig = engine.AdmissionConfig
+	// AdmissionError is the typed rejection a Post receives when an
+	// admission limit is hit; test with errors.As.
+	AdmissionError = engine.AdmissionError
 	// ChurnEvent schedules one node's death or revival.
 	ChurnEvent = faults.ChurnEvent
 	// DistanceLossSpec weights link loss by hop length.
@@ -157,19 +163,51 @@ type System struct {
 	remotes []*wire.Client
 	rcoord  *engine.RemoteCoordinator
 	qidSeq  atomic.Uint32
+
+	// Multi-tenant serving state. admission, when non-nil, gates every
+	// Post (WithAdmission). groupMu serializes shared-acquisition group
+	// bookkeeping across posts and cursor closes: groupCaps records each
+	// group's current acquired ranking depth (keyed by substrate-prefixed
+	// acquisition key, so det and live groups never collide), remoteKeys
+	// the wire query id each remote group's shards are acquired under.
+	// detSched is the deterministic substrate's shared scheduler, created
+	// at the first deterministic snapshot post — every det cursor advances
+	// on its lock-step clock, exactly like live cursors on sched.
+	admission  *engine.Admission
+	groupMu    sync.Mutex
+	groupCaps  map[string]int
+	remoteKeys map[string]*remoteKeyState
+	detSched   *engine.Scheduler
+}
+
+// remoteKeyState tracks one remote shared-acquisition group's wire
+// attachment: the query id acquired each epoch and the ranking depth it
+// was planned at.
+type remoteKeyState struct {
+	rqid uint32
+	cap  int
 }
 
 // OpenOption tunes how a scenario is opened.
 type OpenOption func(*openConfig)
 
 type openConfig struct {
-	parallel int
+	parallel  int
+	admission *engine.AdmissionConfig
 
 	// Remote-deployment knobs (OpenFederated; see federated.go).
 	wireCall    time.Duration
 	wireRetries int
 	wireBackoff time.Duration
 	wireFaults  *wire.Faults
+}
+
+// WithAdmission arms admission control: every Post first reserves a slot
+// against the limits, and a rejection returns *AdmissionError without
+// touching the deployment (already-running cursors are undisturbed; the
+// slot frees when the cursor is Closed). Zero-valued limits are unlimited.
+func WithAdmission(cfg AdmissionConfig) OpenOption {
+	return func(c *openConfig) { c.admission = &cfg }
 }
 
 // WithParallel bounds the worker count of every shard's level-synchronous
@@ -206,6 +244,11 @@ func Open(s *Scenario, opts ...OpenOption) (*System, error) {
 		source:     src,
 		schema:     query.DefaultSchema(),
 		fedStats:   &fed.Stats{},
+		groupCaps:  make(map[string]int),
+		remoteKeys: make(map[string]*remoteKeyState),
+	}
+	if cfg.admission != nil {
+		sys.admission = engine.NewAdmission(*cfg.admission)
 	}
 	for _, sub := range shardScens {
 		net, err := sub.Network()
@@ -302,6 +345,14 @@ type postConfig struct {
 	live   bool
 	window int
 	faults *FaultConfig
+	tenant string
+}
+
+// WithTenant attributes the posted query to a tenant for admission
+// accounting (see WithAdmission). Unattributed posts share the empty
+// tenant.
+func WithTenant(name string) PostOption {
+	return func(c *postConfig) { c.tenant = name }
 }
 
 // WithFaults arms the deployment's fault environment — deterministic
@@ -353,6 +404,14 @@ func (s *System) PostWith(sql string, algo Algorithm, opts ...PostOption) (*Curs
 			return nil, fmt.Errorf("kspot: fault environments on a remote deployment are armed in the shard processes' scenarios, not at the coordinator")
 		}
 	}
+	// Admission runs after parsing (a malformed query is a syntax error,
+	// never a consumed slot) and before any deployment work: a rejected
+	// post touches nothing, so running cursors keep stepping undisturbed.
+	if s.admission != nil {
+		if err := s.admission.Admit(cfg.tenant); err != nil {
+			return nil, err
+		}
+	}
 	// Arm (when requested) and register this post in one critical section:
 	// arming is refused while any other post is attaching or attached, so
 	// no cursor can slip below the churn injector concurrently.
@@ -368,7 +427,7 @@ func (s *System) PostWith(sql string, algo Algorithm, opts ...PostOption) (*Curs
 	s.posting++
 	s.mu.Unlock()
 
-	cur := &Cursor{sys: s, plan: plan, algo: algo, live: cfg.live}
+	cur := &Cursor{sys: s, plan: plan, algo: algo, live: cfg.live, tenant: cfg.tenant, admitted: s.admission != nil}
 	if cfg.live {
 		s.ensureLive(cfg.window)
 	}
@@ -386,11 +445,42 @@ func (s *System) PostWith(sql string, algo Algorithm, opts ...PostOption) (*Curs
 			s.disarmFaultsLocked()
 		}
 		s.mu.Unlock()
+		if cur.admitted {
+			// The slot reserved above frees: a post that never produced a
+			// cursor must not count against the tenant forever.
+			s.admission.Release(cfg.tenant)
+		}
 		return nil, err
 	}
 	s.posted = true
 	s.mu.Unlock()
 	return cur, nil
+}
+
+// AdmissionLoad reports the admission controller's live-query count and
+// per-tenant breakdown (zero and empty without WithAdmission).
+func (s *System) AdmissionLoad() (total int, perTenant map[string]int) {
+	if s.admission == nil {
+		return 0, map[string]int{}
+	}
+	return s.admission.Load()
+}
+
+// detScheduler lazily creates the deterministic substrate's shared
+// scheduler over the shard transports (behind their fault injectors when
+// armed — arming is refused once any query posted, so the transports are
+// settled by the time the first cursor lands here).
+func (s *System) detScheduler() *engine.Scheduler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.detSched == nil {
+		deps := make([]*engine.Deployment, len(s.dets))
+		for i, tp := range s.dets {
+			deps[i] = engine.NewDeployment(s.scenario.ShardName(i), tp, s.source)
+		}
+		s.detSched = engine.NewScheduler(deps...)
+	}
+	return s.detSched
 }
 
 // armFaults installs the fault environment on the deterministic substrate
