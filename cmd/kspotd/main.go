@@ -191,6 +191,7 @@ func main() {
 		serveShard   = flag.Int("serve-shard", -1, "serve shard N of the scenario over the wire protocol instead of the GUI daemon (see -wire-addr)")
 		wireAddr     = flag.String("wire-addr", "127.0.0.1:0", "listen address for -serve-shard (port 0 picks one; the bound address is printed as \"kspotd-wire <addr>\")")
 		wireLive     = flag.Bool("wire-live", false, "with -serve-shard: host the shard on the concurrent live substrate")
+		wireLegacy   = flag.Bool("wire-legacy", false, "with -serve-shard: withhold the batched epoch-round capability, speaking only the per-call protocol (mixed-version deployments)")
 		connect      = flag.String("connect", "", "comma-separated shard wire addresses: run as the federated coordinator over already-running -serve-shard processes")
 		queriesFile  = flag.String("queries-file", "", "file with one query per line (# comments); every line is validated before any query is armed")
 		epochs       = flag.Int("epochs", 0, "stop stepping after N epochs (0 = run until shutdown); HTTP keeps serving and streams end cleanly")
@@ -225,7 +226,7 @@ func main() {
 		}
 	}
 	if *serveShard >= 0 {
-		serveShardProcess(scen, *serveShard, *wireAddr, *parallel, *wireLive, *window)
+		serveShardProcess(scen, *serveShard, *wireAddr, *parallel, *wireLive, *window, *wireLegacy)
 		return
 	}
 	placement := scen.Placement()
@@ -359,6 +360,11 @@ func main() {
 			"coord_rounds":      fed.Rounds,
 			"coord_phase2_reqs": fed.Phase2Reqs,
 			"coord_bytes":       fed.TxBytes,
+		}
+		// Remote deployments add per-shard wire RTT/traffic accounting:
+		// calls, epoch rounds, retries, p50/p99 latency and bytes both ways.
+		if wm := sys.WireMetrics(); wm != nil {
+			out["wire"] = wm
 		}
 		st.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
@@ -497,13 +503,14 @@ pre{font-size:13px}</style></head><body>
 // drives it. The bound address is printed to stdout as "kspotd-wire
 // <addr>" so spawners can listen on port 0 and parse the outcome; SIGINT
 // or SIGTERM shuts the server down cleanly.
-func serveShardProcess(scen *config.Scenario, shard int, addr string, parallel int, live bool, window int) {
+func serveShardProcess(scen *config.Scenario, shard int, addr string, parallel int, live bool, window int, legacy bool) {
 	srv, err := wire.NewServer(wire.ServerConfig{
-		Scenario:   scen,
-		Shard:      shard,
-		Parallel:   parallel,
-		Live:       live,
-		LiveWindow: window,
+		Scenario:          scen,
+		Shard:             shard,
+		Parallel:          parallel,
+		Live:              live,
+		LiveWindow:        window,
+		DisableEpochRound: legacy,
 	})
 	if err != nil {
 		log.Fatal("kspotd: ", err)

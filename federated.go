@@ -14,9 +14,11 @@ package kspot
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"kspot/internal/engine"
+	"kspot/internal/model"
 	"kspot/internal/query"
 	"kspot/internal/stats"
 	"kspot/internal/topk/fed"
@@ -48,6 +50,14 @@ func WithWireRetry(retries int, backoff time.Duration) OpenOption {
 // from real networks.
 func withWireFaults(f wire.Faults) OpenOption {
 	return func(c *openConfig) { c.wireFaults = &f }
+}
+
+// withWireLegacy withholds the epoch-round capability from every shard
+// handshake, forcing the per-call protocol — the conformance tests pin the
+// batched round byte-identical to it. Unexported: real deployments
+// negotiate the best protocol both ends speak.
+func withWireLegacy() OpenOption {
+	return func(c *openConfig) { c.wireLegacy = true }
 }
 
 // OpenFederated opens a scenario whose shards are already running as
@@ -91,16 +101,26 @@ func OpenFederated(s *Scenario, addrs []string, opts ...OpenOption) (*System, er
 	}
 	deps := make([]*engine.RemoteDeployment, len(addrs))
 	for i, addr := range addrs {
+		// The shard's sensor roster, ascending — the positional frame of
+		// reference both ends derive from the same scenario, letting epoch
+		// readings cross as a bitmap + delta vector instead of keyed records.
+		roster := make([]model.NodeID, 0, len(shardScens[i].Nodes))
+		for _, n := range shardScens[i].Nodes {
+			roster = append(roster, model.NodeID(n.ID))
+		}
+		slices.Sort(roster)
 		cl, err := wire.Dial(wire.ClientConfig{
-			Addr:        addr,
-			Scenario:    s.Name,
-			Shard:       i,
-			Shards:      len(shardScens),
-			Nodes:       len(shardScens[i].Nodes),
-			CallTimeout: cfg.wireCall,
-			Retries:     cfg.wireRetries,
-			Backoff:     cfg.wireBackoff,
-			Faults:      cfg.wireFaults,
+			Addr:              addr,
+			Scenario:          s.Name,
+			Shard:             i,
+			Shards:            len(shardScens),
+			Nodes:             len(shardScens[i].Nodes),
+			Roster:            roster,
+			DisableEpochRound: cfg.wireLegacy,
+			CallTimeout:       cfg.wireCall,
+			Retries:           cfg.wireRetries,
+			Backoff:           cfg.wireBackoff,
+			Faults:            cfg.wireFaults,
 		})
 		if err != nil {
 			for _, prev := range sys.remotes {
@@ -117,6 +137,20 @@ func OpenFederated(s *Scenario, addrs []string, opts ...OpenOption) (*System, er
 
 // Remote reports whether this System coordinates remote shard processes.
 func (s *System) Remote() bool { return s.rcoord != nil }
+
+// WireMetrics snapshots every shard connection's RTT/traffic accounting
+// (calls, epoch rounds, retries, p50/p99 latency, bytes both ways), in
+// shard order. Nil on a non-remote System — local shards have no wire.
+func (s *System) WireMetrics() []wire.ClientMetrics {
+	if !s.Remote() {
+		return nil
+	}
+	out := make([]wire.ClientMetrics, 0, len(s.remotes))
+	for _, cl := range s.remotes {
+		out = append(out, cl.Metrics())
+	}
+	return out
+}
 
 // nextQueryID allocates a deployment-unique id for a remote query or
 // historic execution.

@@ -42,6 +42,12 @@ type MicroResult struct {
 	// streaming hub (see internal/bench/serving.go).
 	QueriesPerSec     float64 `json:"queries_per_sec,omitempty"`
 	SubscribersPerSec float64 `json:"subscribers_per_sec,omitempty"`
+	// RoundsPerEpoch and WireBytesPerEpoch are the federated wire-protocol
+	// axes (see internal/bench/wire.go): RPC round trips and frame bytes
+	// (both directions) one coordinator epoch costs per shard — the batched
+	// epoch-round protocol drops rounds from 1+G to 1.
+	RoundsPerEpoch    float64 `json:"rounds_per_epoch,omitempty"`
+	WireBytesPerEpoch float64 `json:"wire_bytes_per_epoch,omitempty"`
 	// UsPerNodePerEpoch and Workers annotate the scale-series entries —
 	// µs of epoch compute per sensor node, and the sweep worker bound the
 	// entry ran at. Deliberately not omitempty: they serialize as null on
@@ -105,6 +111,9 @@ func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
 		{"shared-acquisition-m64", func() (MicroResult, error) { return microSharedAcquisition(64, true) }},
 		{"private-acquisition-m8", func() (MicroResult, error) { return microSharedAcquisition(8, false) }},
 		{"hub-fanout-64", func() (MicroResult, error) { return microHubFanOut(64) }},
+		{"wire-epoch-percall", func() (MicroResult, error) { return microWireEpochRTT(WirePerCallSerialized) }},
+		{"wire-epoch-overlapped", func() (MicroResult, error) { return microWireEpochRTT(WirePerCallOverlapped) }},
+		{"wire-epoch-batched", func() (MicroResult, error) { return microWireEpochRTT(WireBatched) }},
 	}
 	// The scale series always runs sequentially (workers = 1) so the
 	// µs-per-node trajectory is comparable across hosts and PRs; the
@@ -319,6 +328,21 @@ func microHubFanOut(subs int) (MicroResult, error) {
 	})
 	res, err := micro(r, 0, 0)
 	res.SubscribersPerSec = rate
+	return res, err
+}
+
+// microWireEpochRTT measures one leg of the wire epoch-RTT benchmark:
+// wall latency of one federated epoch at an injected link delay, with the
+// protocol's round trips and wire bytes per epoch alongside so the
+// trajectory records the 1+G → 1 collapse independent of host speed.
+func microWireEpochRTT(leg WireLeg) (MicroResult, error) {
+	var rounds, bytes float64
+	r := testing.Benchmark(func(b *testing.B) {
+		rounds, bytes = RunWireEpochRTTBench(b, leg, WireRTTLinkDelay, WireRTTGroups)
+	})
+	res, err := micro(r, 0, 0)
+	res.RoundsPerEpoch = rounds
+	res.WireBytesPerEpoch = bytes
 	return res, err
 }
 

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWireEpochRTTSpeedup is the PR-9 acceptance bar in test form: at a
+// link-dominated RTT the batched epoch-round protocol must cut epoch
+// latency at least 3× versus the serialized per-call protocol (ideal is
+// 1+G = 5×), with rounds per epoch dropping from 1+G to exactly 1.
+func TestWireEpochRTTSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("injects real link delay in -short mode")
+	}
+	const (
+		linkDelay = 2 * time.Millisecond
+		groups    = WireRTTGroups
+		epochs    = 6
+	)
+	legs, err := MeasureWireEpochRTT(linkDelay, groups, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLeg := map[WireLeg]WireRTTLegResult{}
+	for _, l := range legs {
+		t.Logf("%-20s %8.2f ms/epoch  %5.2f rounds/epoch  %7.0f bytes/epoch",
+			l.Leg, l.NsPerEpoch/1e6, l.RoundsPerEpoch, l.BytesPerEpoch)
+		byLeg[l.Leg] = l
+	}
+	ser, bat := byLeg[WirePerCallSerialized], byLeg[WireBatched]
+	if ser.RoundsPerEpoch != float64(1+groups) {
+		t.Errorf("serialized rounds/epoch = %v, want %d", ser.RoundsPerEpoch, 1+groups)
+	}
+	if bat.RoundsPerEpoch != 1 {
+		t.Errorf("batched rounds/epoch = %v, want 1", bat.RoundsPerEpoch)
+	}
+	if bat.BytesPerEpoch <= 0 || ser.BytesPerEpoch <= 0 {
+		t.Errorf("bytes/epoch not recorded: serialized %v, batched %v", ser.BytesPerEpoch, bat.BytesPerEpoch)
+	}
+	if speedup := ser.NsPerEpoch / bat.NsPerEpoch; speedup < 3 {
+		t.Errorf("batched epoch speedup %.2fx, want >= 3x (serialized %.2fms, batched %.2fms)",
+			speedup, ser.NsPerEpoch/1e6, bat.NsPerEpoch/1e6)
+	}
+}

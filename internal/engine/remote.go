@@ -39,6 +39,31 @@ type RemoteShard interface {
 	Acquire(query uint32, e model.Epoch) (RemoteAcquisition, error)
 }
 
+// RemoteGroupResult is one shared-acquisition group's slice of a batched
+// epoch round: the group's acquisition, or its isolated failure.
+type RemoteGroupResult struct {
+	Acq RemoteAcquisition
+	Err error
+}
+
+// RemoteRoundShard is optionally implemented by remote shards that can
+// collapse a whole epoch — the sense plus every group's acquisition — into
+// one round trip (wire.Client when the session negotiated CapEpochRound).
+// The scheduled tier prefers it per shard and falls back to the per-call
+// Sense/Acquire protocol for shards that lack it, so mixed deployments
+// keep working.
+type RemoteRoundShard interface {
+	RemoteShard
+	// SupportsEpochRound reports whether the shard's session actually
+	// negotiated the batched protocol (an implementation may exist but be
+	// talking to an old server).
+	SupportsEpochRound() bool
+	// EpochRound senses the epoch and runs one epoch of every listed
+	// attached query, in order. A transport-level failure poisons the
+	// whole round; a single query's failure is carried in its result.
+	EpochRound(e model.Epoch, queries []uint32) (map[model.NodeID]model.Reading, []RemoteGroupResult, error)
+}
+
 // RemoteDeployment pairs a remote shard with its display name — the
 // remote analogue of Deployment.
 type RemoteDeployment struct {
@@ -208,19 +233,55 @@ func (c *RemoteCoordinator) Remove(q *RemoteQuery) {
 	}
 }
 
-// runEpochLocked advances the lock-step tier one epoch: sense every shard
-// once, then one wire acquisition per GROUP fanned out across shards, then
-// per-member merge and cut at the coordinator. A sense failure poisons the
-// whole epoch (every query buffers the error); an acquisition failure
-// poisons only that group's members.
+// runEpochLocked advances the lock-step tier one epoch. Shards whose
+// session speaks the batched protocol (RemoteRoundShard) run the sense
+// AND every group's acquisition in ONE round trip; legacy shards sense
+// first, then run their groups' acquisitions back to back on the
+// pipelined connection — sequential per shard (the per-call protocol's
+// exact execution order on the shard state machine) but with a single
+// barrier for the whole epoch instead of one per group. Then per-member
+// merge and cut at the coordinator. A sense failure poisons the whole
+// epoch (every query buffers the error); an acquisition failure poisons
+// only that group's members.
 func (c *RemoteCoordinator) runEpochLocked() {
 	e := c.epoch
 	c.epoch++
 	n := len(c.deps)
+	qids := make([]uint32, len(c.groups))
+	for gi, g := range c.groups {
+		qids[gi] = g.query
+	}
 
 	senses := make([]map[model.NodeID]model.Reading, n)
 	errs := make([]error, n)
+	batched := make([]bool, n)
+	groupAcqs := make([][]RemoteAcquisition, len(c.groups))
+	groupErrs := make([][]error, len(c.groups))
+	for gi := range c.groups {
+		groupAcqs[gi] = make([]RemoteAcquisition, n)
+		groupErrs[gi] = make([]error, n)
+	}
+
+	// Round phase: one trip for batched shards, sense-only for the rest.
 	c.fanOut(func(i int) {
+		if rs, ok := c.deps[i].shard.(RemoteRoundShard); ok && rs.SupportsEpochRound() {
+			batched[i] = true
+			readings, results, err := rs.EpochRound(e, qids)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(results) != len(qids) {
+				errs[i] = fmt.Errorf("epoch round returned %d groups, want %d", len(results), len(qids))
+				return
+			}
+			senses[i] = readings
+			for gi := range results {
+				groupAcqs[gi][i] = results[gi].Acq
+				groupErrs[gi][i] = results[gi].Err
+			}
+			return
+		}
 		senses[i], errs[i] = c.deps[i].shard.Sense(e)
 	})
 	if err := c.firstErr(errs); err != nil {
@@ -230,14 +291,22 @@ func (c *RemoteCoordinator) runEpochLocked() {
 		return
 	}
 
-	for _, g := range c.groups {
-		acqs := make([]RemoteAcquisition, n)
-		aerrs := make([]error, n)
-		query := g.query
+	// Legacy acquisition phase: each non-batched shard walks its groups in
+	// group order on its own connection; shards overlap, one barrier total.
+	if len(c.groups) > 0 {
 		c.fanOut(func(i int) {
-			acqs[i], aerrs[i] = c.deps[i].shard.Acquire(query, e)
+			if batched[i] {
+				return
+			}
+			for gi, qid := range qids {
+				groupAcqs[gi][i], groupErrs[gi][i] = c.deps[i].shard.Acquire(qid, e)
+			}
 		})
-		err := c.firstErr(aerrs)
+	}
+
+	for gi, g := range c.groups {
+		acqs := groupAcqs[gi]
+		err := c.firstErr(groupErrs[gi])
 		// Union the readings the group actually ran on: the shared sensing,
 		// or the shards' derived readings when the query overrides them.
 		per := senses

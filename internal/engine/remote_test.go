@@ -190,3 +190,197 @@ func TestRemoteCoordinatorRunShards(t *testing.T) {
 		t.Fatalf("RunShards error: %v", err)
 	}
 }
+
+// roundStubShard is a scripted RemoteRoundShard: a stubShard that can also
+// serve whole epochs in one call, with per-group scripted results.
+type roundStubShard struct {
+	stubShard
+	supports   bool
+	rounds     int
+	lastQids   []uint32
+	roundErr   error
+	groupErrAt map[uint32]error // per-qid isolated failure
+	shortReply bool             // return one fewer group than asked
+}
+
+func (s *roundStubShard) SupportsEpochRound() bool { return s.supports }
+
+func (s *roundStubShard) EpochRound(e model.Epoch, queries []uint32) (map[model.NodeID]model.Reading, []RemoteGroupResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rounds++
+	s.lastQids = append([]uint32(nil), queries...)
+	if s.roundErr != nil {
+		return nil, nil, s.roundErr
+	}
+	n := len(queries)
+	if s.shortReply && n > 0 {
+		n--
+	}
+	results := make([]RemoteGroupResult, n)
+	for i := 0; i < n; i++ {
+		if err := s.groupErrAt[queries[i]]; err != nil {
+			results[i] = RemoteGroupResult{Err: err}
+			continue
+		}
+		results[i] = RemoteGroupResult{Acq: RemoteAcquisition{Answers: s.answers, Readings: s.override}}
+	}
+	return s.readings, results, nil
+}
+
+func TestRemoteCoordinatorBatchedRound(t *testing.T) {
+	// A round-capable shard serves the whole epoch in one call: no Sense,
+	// no Acquire, every group's qid in the request, readings in the union.
+	a := &roundStubShard{stubShard: stubShard{readings: readingsOf(1, 2), answers: []model.Answer{{Group: 1, Score: 10}}}, supports: true}
+	coord := NewRemoteCoordinator(NewRemoteDeployment("shard-0", a))
+	q1 := coord.Schedule("g1", 11, nil, 0)
+	q2 := coord.Schedule("g2", 22, nil, 0)
+	out1, err := coord.Step(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := coord.Step(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []Outcome{out1, out2} {
+		if out.Err != nil {
+			t.Fatal(out.Err)
+		}
+		if len(out.Answers) != 1 || len(out.Readings) != 2 {
+			t.Fatalf("batched outcome: %+v", out)
+		}
+	}
+	if a.rounds != 1 || a.senses != 0 || a.acquires != 0 {
+		t.Fatalf("calls: %d rounds, %d senses, %d acquires", a.rounds, a.senses, a.acquires)
+	}
+	if len(a.lastQids) != 2 || a.lastQids[0] != 11 || a.lastQids[1] != 22 {
+		t.Fatalf("round qids: %v", a.lastQids)
+	}
+}
+
+func TestRemoteCoordinatorBatchedFallsBackWhenUnsupported(t *testing.T) {
+	// A RemoteRoundShard whose session did NOT negotiate the capability
+	// must be driven through the per-call protocol.
+	a := &roundStubShard{stubShard: stubShard{readings: readingsOf(1)}, supports: false}
+	coord := NewRemoteCoordinator(NewRemoteDeployment("shard-0", a))
+	q := coord.Schedule("", 7, nil, 0)
+	if out, err := coord.Step(q); err != nil || out.Err != nil {
+		t.Fatalf("step: %v / %v", err, out.Err)
+	}
+	if a.rounds != 0 || a.senses != 1 || a.acquires != 1 {
+		t.Fatalf("calls: %d rounds, %d senses, %d acquires", a.rounds, a.senses, a.acquires)
+	}
+}
+
+func TestRemoteCoordinatorMixedBatchedLegacy(t *testing.T) {
+	// One batched shard, one legacy shard: same epoch, merged together.
+	a := &roundStubShard{stubShard: stubShard{readings: readingsOf(1), answers: []model.Answer{{Group: 1, Score: 10}}}, supports: true}
+	b := &stubShard{readings: readingsOf(2), answers: []model.Answer{{Group: 2, Score: 20}}}
+	coord := NewRemoteCoordinator(
+		NewRemoteDeployment("shard-0", a),
+		NewRemoteDeployment("shard-1", b),
+	)
+	merge := func(per [][]model.Answer) ([]model.Answer, error) {
+		return append(append([]model.Answer(nil), per[0]...), per[1]...), nil
+	}
+	q := coord.Schedule("", 9, merge, 0)
+	out, err := coord.Step(q)
+	if err != nil || out.Err != nil {
+		t.Fatalf("step: %v / %v", err, out.Err)
+	}
+	if len(out.Answers) != 2 || len(out.Readings) != 2 {
+		t.Fatalf("mixed outcome: %+v", out)
+	}
+	if a.rounds != 1 || a.senses != 0 || a.acquires != 0 {
+		t.Fatalf("batched shard calls: %d/%d/%d", a.rounds, a.senses, a.acquires)
+	}
+	if b.senses != 1 || b.acquires != 1 {
+		t.Fatalf("legacy shard calls: %d senses, %d acquires", b.senses, b.acquires)
+	}
+}
+
+func TestRemoteCoordinatorBatchedGroupCountMismatch(t *testing.T) {
+	// A reply with the wrong group count is a transport-level failure: the
+	// whole epoch is poisoned, tagged with the shard's name.
+	a := &roundStubShard{stubShard: stubShard{readings: readingsOf(1)}, supports: true, shortReply: true}
+	coord := NewRemoteCoordinator(NewRemoteDeployment("shard-0", a))
+	q := coord.Schedule("", 5, nil, 0)
+	out, err := coord.Step(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err == nil || !strings.Contains(out.Err.Error(), "shard-0") || !strings.Contains(out.Err.Error(), "0 groups, want 1") {
+		t.Fatalf("mismatch error: %v", out.Err)
+	}
+}
+
+func TestRemoteCoordinatorBatchedGroupErrorIsolated(t *testing.T) {
+	// One group's failure inside a round poisons only that group's members;
+	// the other group still gets its answers from the same round trip.
+	a := &roundStubShard{stubShard: stubShard{readings: readingsOf(1), answers: []model.Answer{{Group: 1, Score: 10}}}, supports: true,
+		groupErrAt: map[uint32]error{33: fmt.Errorf("query gone")}}
+	coord := NewRemoteCoordinator(NewRemoteDeployment("shard-0", a))
+	ok := coord.Schedule("ok", 11, nil, 0)
+	bad := coord.Schedule("bad", 33, nil, 0)
+	outOK, err := coord.Step(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBad, err := coord.Step(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outOK.Err != nil || len(outOK.Answers) != 1 {
+		t.Fatalf("healthy group: %+v", outOK)
+	}
+	if outBad.Err == nil || !strings.Contains(outBad.Err.Error(), "query gone") || !strings.Contains(outBad.Err.Error(), "shard-0") {
+		t.Fatalf("failed group: %v", outBad.Err)
+	}
+	if a.rounds != 1 {
+		t.Fatalf("rounds: %d", a.rounds)
+	}
+}
+
+func TestRemoteCoordinatorLegacyOverlapKeepsGroupOrder(t *testing.T) {
+	// The legacy fallback overlaps shards but must walk each shard's groups
+	// in group order — the per-call protocol's exact execution order on the
+	// shard state machine.
+	a := &orderShard{stubShard: stubShard{readings: readingsOf(1)}}
+	b := &orderShard{stubShard: stubShard{readings: readingsOf(2)}}
+	coord := NewRemoteCoordinator(
+		NewRemoteDeployment("shard-0", a),
+		NewRemoteDeployment("shard-1", b),
+	)
+	merge := func(per [][]model.Answer) ([]model.Answer, error) { return nil, nil }
+	q1 := coord.Schedule("g1", 101, merge, 0)
+	coord.Schedule("g2", 102, merge, 0)
+	coord.Schedule("g3", 103, merge, 0)
+	if _, err := coord.Step(q1); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{101, 102, 103}
+	for _, s := range []*orderShard{a, b} {
+		if len(s.order) != len(want) {
+			t.Fatalf("acquire order: %v", s.order)
+		}
+		for i, qid := range want {
+			if s.order[i] != qid {
+				t.Fatalf("acquire order: %v, want %v", s.order, want)
+			}
+		}
+	}
+}
+
+// orderShard records the order its acquisitions arrive in.
+type orderShard struct {
+	stubShard
+	order []uint32
+}
+
+func (s *orderShard) Acquire(query uint32, e model.Epoch) (RemoteAcquisition, error) {
+	s.mu.Lock()
+	s.order = append(s.order, query)
+	s.mu.Unlock()
+	return s.stubShard.Acquire(query, e)
+}

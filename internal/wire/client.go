@@ -2,9 +2,11 @@ package wire
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"os"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +27,17 @@ type ClientConfig struct {
 	Shard    int
 	Shards   int
 	Nodes    int
+
+	// Roster is the shard's sensor node ids in ascending order — the
+	// positional frame of reference for the batched epoch-round encoding.
+	// Without it the client does not offer CapEpochRound and the session
+	// falls back to the per-call protocol.
+	Roster []model.NodeID
+
+	// DisableEpochRound withholds CapEpochRound from the handshake even
+	// when a roster is set, forcing the per-call protocol (tests and the
+	// RTT benchmark compare the two paths).
+	DisableEpochRound bool
 
 	// DialTimeout bounds one connect attempt (default 5s). CallTimeout
 	// bounds one request attempt awaiting its response (default 10s).
@@ -69,6 +82,14 @@ func (c *ClientConfig) backoff() time.Duration {
 	return 50 * time.Millisecond
 }
 
+// offeredCaps is the capability set the client puts in its hello.
+func (c *ClientConfig) offeredCaps() uint16 {
+	if len(c.Roster) == 0 || c.DisableEpochRound {
+		return 0
+	}
+	return CapEpochRound
+}
+
 // clientNonce distinguishes client sessions on the server's at-most-once
 // layer: same nonce + same sequence = same request. Process-unique.
 var clientNonce atomic.Uint64
@@ -77,121 +98,185 @@ func newNonce() uint64 {
 	return uint64(os.Getpid())<<32 | clientNonce.Add(1)
 }
 
+// latRingCap bounds the latency sample ring backing the p50/p99 estimates.
+const latRingCap = 512
+
+// ClientMetrics is a snapshot of one shard connection's RTT and traffic
+// accounting, surfaced through kspotd /stats and the System Panel's
+// coordinator line.
+type ClientMetrics struct {
+	Shard     string `json:"shard"`
+	Calls     int64  `json:"calls"`    // completed RPCs (any outcome)
+	Rounds    int64  `json:"rounds"`   // epoch-opening calls (sense / epoch-round)
+	Retries   int64  `json:"retries"`  // calls that needed >1 attempt
+	BytesOut  int64  `json:"tx_bytes"` // frames written, headers included
+	BytesIn   int64  `json:"rx_bytes"` // frames read, headers included
+	P50Micros int64  `json:"p50_us"`   // median call latency
+	P99Micros int64  `json:"p99_us"`   // tail call latency
+}
+
+// waiter is one in-flight call's slot in the demux table: the reader
+// goroutine delivers the response frame matching its sequence here.
+// attempt tracks the call's current attempt so the reader can key the
+// drop-response fault the way the serialized client did.
+type waiter struct {
+	ch      chan Frame
+	attempt atomic.Int32
+}
+
+func (w *waiter) deliver(f Frame) {
+	select {
+	case w.ch <- f:
+	default: // a duplicate response; the buffered one wins
+	}
+}
+
+// clientConn is one live connection: the socket, its write half (frames
+// from concurrent calls interleave under writeMu) and a death signal the
+// reader closes so every pending call learns of a broken socket at once.
+type clientConn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	wbuf    []byte
+
+	once sync.Once
+	dead chan struct{}
+	err  error
+
+	// lastRecv is the wall-clock nanos of the last frame read off this
+	// conn — a liveness hint: a call that times out with nothing received
+	// since its send treats the conn as gone and forces a redial.
+	lastRecv atomic.Int64
+}
+
+func (cc *clientConn) fail(err error) {
+	cc.once.Do(func() {
+		cc.err = err
+		close(cc.dead)
+		cc.conn.Close()
+	})
+}
+
+func (cc *clientConn) isDead() bool {
+	select {
+	case <-cc.dead:
+		return true
+	default:
+		return false
+	}
+}
+
 // Client is the coordinator's handle on one remote shard. It implements
-// engine.RemoteShard; its historic executions implement fed.HistoricShard.
-// Calls are synchronous and serialized (the far end is one shard state
-// machine); each call retries with backoff across timeouts and reconnects,
-// reusing its sequence number so the server executes it at most once.
-// Close interrupts an in-flight call promptly.
+// engine.RemoteShard (and, when the session negotiated CapEpochRound,
+// engine.RemoteRoundShard); its historic executions implement
+// fed.HistoricShard. Calls are synchronous for their caller but pipeline
+// on the connection: a reader goroutine demultiplexes responses by
+// sequence number to per-call waiters, so concurrent calls (overlapped
+// group acquisitions, stats polls, historic rounds) share one socket
+// without queueing behind each other. Each call retries with backoff
+// across timeouts and reconnects, reusing its sequence number so the
+// server executes it at most once; the backoff sleeps only the retrying
+// call. Close interrupts in-flight calls promptly.
 type Client struct {
 	cfg   ClientConfig
 	nonce uint64
-	name  string // shard display name, from the welcome
 
-	mu   sync.Mutex // serializes calls
-	seq  uint64
-	wbuf []byte
+	// name is the shard display name and caps the negotiated capability
+	// set (offered ∩ granted), both from the welcome. Reconnects re-derive
+	// them, so reads synchronize (name under connMu, caps atomically).
+	name string
+	caps atomic.Uint32
 
-	connMu sync.Mutex // guards conn/closed against concurrent Close
-	conn   net.Conn
-	closed bool
+	seqMu sync.Mutex
+	seq   uint64
+
+	connMu   sync.Mutex // guards cur/closed against concurrent Close
+	cur      *clientConn
+	closed   bool
+	closedCh chan struct{}
+	dialMu   sync.Mutex // serializes reconnect attempts
+
+	pendMu  sync.Mutex
+	pending map[uint64]*waiter
 
 	// retried counts calls that needed more than one attempt (tests
 	// assert fault injection actually exercised the retry path).
-	retried atomic.Int64
+	retried  atomic.Int64
+	calls    atomic.Int64
+	rounds   atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+
+	latMu sync.Mutex
+	lat   []int64 // µs ring, latRingCap entries once warm
+	latN  int64   // total samples recorded
 }
 
 // Dial connects and handshakes with a shard server.
 func Dial(cfg ClientConfig) (*Client, error) {
-	c := &Client{cfg: cfg, nonce: newNonce(), seq: 1}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	c := &Client{
+		cfg:      cfg,
+		nonce:    newNonce(),
+		seq:      1,
+		closedCh: make(chan struct{}),
+		pending:  make(map[uint64]*waiter),
+	}
+	if _, err := c.getConn(); err != nil {
 		return nil, fmt.Errorf("wire: shard %d at %s: %w", cfg.Shard, cfg.Addr, err)
 	}
 	return c, nil
 }
 
 // Name returns the shard's display name (from the handshake).
-func (c *Client) Name() string { return c.name }
+func (c *Client) Name() string {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.name
+}
 
 // Retried reports how many calls needed more than one attempt.
 func (c *Client) Retried() int64 { return c.retried.Load() }
 
-// connectLocked dials and handshakes under c.mu.
-func (c *Client) connectLocked() error {
-	c.connMu.Lock()
-	if c.closed {
-		c.connMu.Unlock()
-		return fmt.Errorf("client is closed")
+// Metrics snapshots the connection's RTT/traffic accounting.
+func (c *Client) Metrics() ClientMetrics {
+	m := ClientMetrics{
+		Shard:    c.shardLabel(),
+		Calls:    c.calls.Load(),
+		Rounds:   c.rounds.Load(),
+		Retries:  c.retried.Load(),
+		BytesOut: c.bytesOut.Load(),
+		BytesIn:  c.bytesIn.Load(),
 	}
-	c.connMu.Unlock()
-	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.dialTimeout())
-	if err != nil {
-		return err
+	c.latMu.Lock()
+	samples := append([]int64(nil), c.lat...)
+	c.latMu.Unlock()
+	if len(samples) > 0 {
+		slices.Sort(samples)
+		m.P50Micros = samples[len(samples)/2]
+		m.P99Micros = samples[(len(samples)*99)/100]
 	}
-	hello := AppendHello(nil, Hello{
-		Version:  Version,
-		Shard:    uint16(c.cfg.Shard),
-		Shards:   uint16(c.cfg.Shards),
-		Nodes:    uint16(c.cfg.Nodes),
-		Nonce:    c.nonce,
-		Scenario: c.cfg.Scenario,
-	})
-	seq := c.seq
-	c.seq++
-	conn.SetDeadline(time.Now().Add(c.cfg.callTimeout()))
-	if err := WriteFrame(conn, &c.wbuf, Frame{Seq: seq, Type: MsgHello, Payload: hello}); err != nil {
-		conn.Close()
-		return err
-	}
-	f, err := ReadFrame(conn)
-	if err != nil {
-		conn.Close()
-		return err
-	}
-	if f.Type == MsgError {
-		conn.Close()
-		return fmt.Errorf("%s", f.Payload)
-	}
-	if f.Type != MsgWelcome {
-		conn.Close()
-		return fmt.Errorf("handshake reply %v", f.Type)
-	}
-	w, err := DecodeWelcome(f.Payload)
-	if err != nil {
-		conn.Close()
-		return err
-	}
-	if w.Version != Version {
-		conn.Close()
-		return fmt.Errorf("protocol version %d, client speaks %d", w.Version, Version)
-	}
-	if int(w.Shard) != c.cfg.Shard || int(w.Nodes) != c.cfg.Nodes {
-		conn.Close()
-		return fmt.Errorf("welcome identity shard=%d nodes=%d, want shard=%d nodes=%d", w.Shard, w.Nodes, c.cfg.Shard, c.cfg.Nodes)
-	}
-	conn.SetDeadline(time.Time{})
-	c.name = w.Name
-	c.connMu.Lock()
-	if c.closed {
-		c.connMu.Unlock()
-		conn.Close()
-		return fmt.Errorf("client is closed")
-	}
-	c.conn = conn
-	c.connMu.Unlock()
-	return nil
+	return m
 }
 
-// dropConnLocked discards the connection after an error (under c.mu).
-func (c *Client) dropConnLocked() {
-	c.connMu.Lock()
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+func (c *Client) recordLatency(d time.Duration) {
+	us := d.Microseconds()
+	c.latMu.Lock()
+	if len(c.lat) < latRingCap {
+		c.lat = append(c.lat, us)
+	} else {
+		c.lat[c.latN%latRingCap] = us
 	}
-	c.connMu.Unlock()
+	c.latN++
+	c.latMu.Unlock()
+}
+
+func (c *Client) nextSeq() uint64 {
+	c.seqMu.Lock()
+	defer c.seqMu.Unlock()
+	seq := c.seq
+	c.seq++
+	return seq
 }
 
 func (c *Client) isClosed() bool {
@@ -200,63 +285,242 @@ func (c *Client) isClosed() bool {
 	return c.closed
 }
 
-// call performs one at-most-once RPC: stamp a fresh sequence, then retry
-// (same sequence) across timeouts, connection drops and injected frame
-// faults until a response lands or attempts run out. An application error
-// (MsgError) is a definitive response and is not retried.
+// getConn returns the live connection, dialing and handshaking a fresh one
+// if the current one is gone. Reconnects serialize on dialMu; calls that
+// lose the race reuse the winner's connection.
+func (c *Client) getConn() (*clientConn, error) {
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil, errors.New("wire: client is closed")
+	}
+	cc := c.cur
+	c.connMu.Unlock()
+	if cc != nil && !cc.isDead() {
+		return cc, nil
+	}
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil, errors.New("wire: client is closed")
+	}
+	cc = c.cur
+	c.connMu.Unlock()
+	if cc != nil && !cc.isDead() {
+		return cc, nil
+	}
+	cc, err := c.handshake()
+	if err != nil {
+		return nil, err
+	}
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		cc.conn.Close()
+		return nil, errors.New("wire: client is closed")
+	}
+	c.cur = cc
+	c.connMu.Unlock()
+	go c.readLoop(cc)
+	return cc, nil
+}
+
+// handshake dials and runs the hello/welcome exchange synchronously (the
+// demux reader starts only after the connection is admitted).
+func (c *Client) handshake() (*clientConn, error) {
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.dialTimeout())
+	if err != nil {
+		return nil, err
+	}
+	offered := c.cfg.offeredCaps()
+	hello := AppendHello(nil, Hello{
+		Version:  Version,
+		Shard:    uint16(c.cfg.Shard),
+		Shards:   uint16(c.cfg.Shards),
+		Nodes:    uint16(c.cfg.Nodes),
+		Caps:     offered,
+		Nonce:    c.nonce,
+		Scenario: c.cfg.Scenario,
+	})
+	var wbuf []byte
+	conn.SetDeadline(time.Now().Add(c.cfg.callTimeout()))
+	if err := WriteFrame(conn, &wbuf, Frame{Seq: c.nextSeq(), Type: MsgHello, Payload: hello}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if f.Type == MsgError {
+		conn.Close()
+		return nil, fmt.Errorf("%s", f.Payload)
+	}
+	if f.Type != MsgWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("handshake reply %v", f.Type)
+	}
+	w, err := DecodeWelcome(f.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if w.Version != Version {
+		conn.Close()
+		return nil, fmt.Errorf("protocol version %d, client speaks %d", w.Version, Version)
+	}
+	if int(w.Shard) != c.cfg.Shard || int(w.Nodes) != c.cfg.Nodes {
+		conn.Close()
+		return nil, fmt.Errorf("welcome identity shard=%d nodes=%d, want shard=%d nodes=%d", w.Shard, w.Nodes, c.cfg.Shard, c.cfg.Nodes)
+	}
+	conn.SetDeadline(time.Time{})
+	c.connMu.Lock()
+	c.name = w.Name
+	c.connMu.Unlock()
+	c.caps.Store(uint32(offered & w.Caps))
+	cc := &clientConn{conn: conn, dead: make(chan struct{})}
+	return cc, nil
+}
+
+// readLoop is the connection's demux reader: every response frame routes
+// to the pending call with its sequence number. Frames with no pending
+// waiter (responses to earlier attempts whose call already completed) are
+// discarded — at-most-once execution on the server makes that safe. A
+// read error marks the connection dead, waking every pending call.
+func (c *Client) readLoop(cc *clientConn) {
+	for {
+		f, err := ReadFrame(cc.conn)
+		if err != nil {
+			cc.fail(err)
+			c.clearConn(cc)
+			return
+		}
+		cc.lastRecv.Store(time.Now().UnixNano())
+		c.bytesIn.Add(int64(frameHeaderSize + len(f.Payload)))
+		c.pendMu.Lock()
+		w := c.pending[f.Seq]
+		c.pendMu.Unlock()
+		if w == nil {
+			continue
+		}
+		if c.cfg.Faults.dropResp(f.Seq, int(w.attempt.Load())) {
+			// The response "was lost": the call times out and retries the
+			// same sequence; the server replays its cached reply.
+			continue
+		}
+		if d := c.cfg.Faults.linkDelay(); d > 0 {
+			// Propagation delay is per frame, not per link: deliveries must
+			// overlap the reader draining the next frame.
+			go func(f Frame) {
+				time.Sleep(d)
+				w.deliver(f)
+			}(f)
+			continue
+		}
+		w.deliver(f)
+	}
+}
+
+// clearConn forgets cc as the current connection (the next call redials).
+func (c *Client) clearConn(cc *clientConn) {
+	c.connMu.Lock()
+	if c.cur == cc {
+		c.cur = nil
+	}
+	c.connMu.Unlock()
+}
+
+// sleep waits d out unless the client closes first.
+func (c *Client) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closedCh:
+		return false
+	}
+}
+
+// call performs one at-most-once RPC: stamp a fresh sequence, register a
+// response waiter, then retry (same sequence) across timeouts, connection
+// drops and injected frame faults until a response lands or attempts run
+// out. Retry backoff sleeps only this call — concurrent calls keep flowing
+// on the shared connection. An application error (MsgError) is a
+// definitive response and is not retried.
 func (c *Client) call(t MsgType, payload []byte) (Frame, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	seq := c.seq
-	c.seq++
+	c.calls.Add(1)
+	if t == MsgSense || t == MsgEpochRound {
+		c.rounds.Add(1)
+	}
+	seq := c.nextSeq()
+	w := &waiter{ch: make(chan Frame, 1)}
+	c.pendMu.Lock()
+	c.pending[seq] = w
+	c.pendMu.Unlock()
+	defer func() {
+		c.pendMu.Lock()
+		delete(c.pending, seq)
+		c.pendMu.Unlock()
+	}()
+	start := time.Now()
 	backoff := c.cfg.backoff()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.retries(); attempt++ {
-		if c.isClosed() {
-			return Frame{}, fmt.Errorf("wire: client is closed")
-		}
 		if attempt > 0 {
 			c.retried.Add(1)
-			time.Sleep(backoff)
+			if !c.sleep(backoff) {
+				return Frame{}, errors.New("wire: client is closed")
+			}
 			backoff *= 2
-			if c.isClosed() {
-				return Frame{}, fmt.Errorf("wire: client is closed")
-			}
 		}
-		c.connMu.Lock()
-		conn := c.conn
-		c.connMu.Unlock()
-		if conn == nil {
-			if err := c.connectLocked(); err != nil {
-				lastErr = err
-				continue
-			}
-			c.connMu.Lock()
-			conn = c.conn
-			c.connMu.Unlock()
+		if c.isClosed() {
+			return Frame{}, errors.New("wire: client is closed")
 		}
-		if err := c.send(conn, Frame{Seq: seq, Type: t, Payload: payload}, attempt); err != nil {
-			lastErr = err
-			c.dropConnLocked()
-			continue
-		}
-		f, err := c.await(conn, seq, attempt)
+		w.attempt.Store(int32(attempt))
+		cc, err := c.getConn()
 		if err != nil {
 			lastErr = err
-			c.dropConnLocked()
 			continue
 		}
-		if f.Type == MsgError {
-			return Frame{}, fmt.Errorf("wire: shard %s: %s", c.shardLabel(), f.Payload)
+		sentAt := time.Now()
+		if err := c.send(cc, Frame{Seq: seq, Type: t, Payload: payload}, attempt); err != nil {
+			lastErr = err
+			cc.fail(err)
+			c.clearConn(cc)
+			continue
 		}
-		return f, nil
+		timer := time.NewTimer(c.cfg.callTimeout())
+		select {
+		case f := <-w.ch:
+			timer.Stop()
+			c.recordLatency(time.Since(start))
+			if f.Type == MsgError {
+				return Frame{}, fmt.Errorf("wire: shard %s: %s", c.shardLabel(), f.Payload)
+			}
+			return f, nil
+		case <-cc.dead:
+			timer.Stop()
+			lastErr = cc.err
+		case <-timer.C:
+			lastErr = fmt.Errorf("wire: %v call timed out after %v", t, c.cfg.callTimeout())
+			if cc.lastRecv.Load() < sentAt.UnixNano() {
+				// Nothing has arrived since we sent: the socket itself is
+				// suspect, not just this response. Redial on retry.
+				cc.fail(errors.New("wire: connection silent past call timeout"))
+				c.clearConn(cc)
+			}
+		}
 	}
 	return Frame{}, fmt.Errorf("wire: shard %s unreachable after %d attempts: %w", c.shardLabel(), c.cfg.retries()+1, lastErr)
 }
 
 func (c *Client) shardLabel() string {
-	if c.name != "" {
-		return c.name
+	if name := c.Name(); name != "" {
+		return name
 	}
 	return fmt.Sprintf("%d at %s", c.cfg.Shard, c.cfg.Addr)
 }
@@ -264,52 +528,33 @@ func (c *Client) shardLabel() string {
 // send writes the request frame, applying injected frame faults: a
 // dropped request is simply never written (the attempt times out), a
 // duplicated one is written twice (the server replays the cached reply
-// for the duplicate), a delayed one sleeps first.
-func (c *Client) send(conn net.Conn, f Frame, attempt int) error {
+// for the duplicate), a delayed one sleeps first. Faults sleep outside
+// writeMu so a delayed call never blocks a concurrent sender.
+func (c *Client) send(cc *clientConn, f Frame, attempt int) error {
 	flt := c.cfg.Faults
 	if d := flt.delayReq(f.Seq, attempt); d > 0 {
 		time.Sleep(d)
 	}
-	if flt.dropReq(f.Seq, attempt) {
-		return nil // "lost on the wire": await will time out and retry
+	if d := flt.linkDelay(); d > 0 {
+		time.Sleep(d)
 	}
-	conn.SetWriteDeadline(time.Now().Add(c.cfg.callTimeout()))
-	if err := WriteFrame(conn, &c.wbuf, f); err != nil {
+	if flt.dropReq(f.Seq, attempt) {
+		return nil // "lost on the wire": the call will time out and retry
+	}
+	cc.writeMu.Lock()
+	defer cc.writeMu.Unlock()
+	cc.conn.SetWriteDeadline(time.Now().Add(c.cfg.callTimeout()))
+	if err := WriteFrame(cc.conn, &cc.wbuf, f); err != nil {
 		return err
 	}
+	c.bytesOut.Add(int64(frameHeaderSize + len(f.Payload)))
 	if flt.dupReq(f.Seq, attempt) {
-		if err := WriteFrame(conn, &c.wbuf, f); err != nil {
+		if err := WriteFrame(cc.conn, &cc.wbuf, f); err != nil {
 			return err
 		}
+		c.bytesOut.Add(int64(frameHeaderSize + len(f.Payload)))
 	}
 	return nil
-}
-
-// await reads frames until the response matching seq arrives or the
-// attempt times out. Stale responses (retries and duplicates of earlier
-// sequences, or responses whose injected fault says "lost") are
-// discarded; at-most-once execution on the server makes that safe.
-func (c *Client) await(conn net.Conn, seq uint64, attempt int) (Frame, error) {
-	conn.SetReadDeadline(time.Now().Add(c.cfg.callTimeout()))
-	for {
-		f, err := ReadFrame(conn)
-		if err != nil {
-			return Frame{}, err
-		}
-		if f.Seq < seq {
-			continue // response to an earlier attempt/sequence: stale
-		}
-		if f.Seq > seq {
-			return Frame{}, fmt.Errorf("wire: response sequence %d ahead of request %d", f.Seq, seq)
-		}
-		if c.cfg.Faults.dropResp(seq, attempt) {
-			// The response "was lost": keep waiting so the deadline fires
-			// and the next attempt retries the same sequence.
-			continue
-		}
-		conn.SetReadDeadline(time.Time{})
-		return f, nil
-	}
 }
 
 // Attach plans and attaches a query on the shard under an id.
@@ -364,6 +609,46 @@ func (c *Client) Acquire(queryID uint32, e model.Epoch) (engine.RemoteAcquisitio
 	return engine.RemoteAcquisition{Answers: answers, Readings: override}, nil
 }
 
+// SupportsEpochRound implements engine.RemoteRoundShard: whether the
+// session negotiated the batched one-round protocol.
+func (c *Client) SupportsEpochRound() bool {
+	return uint16(c.caps.Load())&CapEpochRound != 0
+}
+
+// EpochRound implements engine.RemoteRoundShard: sense the epoch and run
+// every group's acquisition in one round trip.
+func (c *Client) EpochRound(e model.Epoch, queries []uint32) (map[model.NodeID]model.Reading, []engine.RemoteGroupResult, error) {
+	payload := AppendEpochRound(nil, EpochRoundReq{Epoch: e, Queries: queries})
+	f, err := c.call(MsgEpochRound, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.Type != MsgEpochRoundReply {
+		return nil, nil, fmt.Errorf("wire: epoch-round reply %v", f.Type)
+	}
+	rep, err := DecodeEpochRoundReply(f.Payload, c.cfg.Roster)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rep.Epoch != e {
+		return nil, nil, fmt.Errorf("wire: epoch-round reply for epoch %d, want %d", rep.Epoch, e)
+	}
+	if len(rep.Groups) != len(queries) {
+		return nil, nil, fmt.Errorf("wire: epoch-round reply carries %d groups, want %d", len(rep.Groups), len(queries))
+	}
+	results := make([]engine.RemoteGroupResult, len(rep.Groups))
+	for i, g := range rep.Groups {
+		if g.Err != "" {
+			// Same shape a per-call MsgError takes, so a group failure is
+			// indistinguishable from the legacy path's acquire failure.
+			results[i].Err = fmt.Errorf("wire: shard %s: %s", c.shardLabel(), g.Err)
+			continue
+		}
+		results[i].Acq = engine.RemoteAcquisition{Answers: g.Answers, Readings: g.Override}
+	}
+	return rep.Readings, results, nil
+}
+
 // Stats fetches the shard's traffic/energy counters.
 func (c *Client) Stats() (stats.RunStats, error) {
 	f, err := c.call(MsgStats, nil)
@@ -381,8 +666,9 @@ func (c *Client) Stats() (stats.RunStats, error) {
 }
 
 // Close ends the session: best-effort goodbye, then the connection drops.
-// An in-flight call is interrupted promptly (its socket is closed under
-// it) and returns an error. Safe to call more than once.
+// In-flight calls are interrupted promptly (the socket is closed under
+// them, the reader broadcasts the death) and return errors; the reader
+// goroutine exits. Safe to call more than once.
 func (c *Client) Close() error {
 	c.connMu.Lock()
 	if c.closed {
@@ -390,19 +676,18 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	conn := c.conn
+	close(c.closedCh)
+	cc := c.cur
+	c.cur = nil
 	c.connMu.Unlock()
-	if conn != nil {
-		// Goodbye on the raw connection without taking c.mu: Close must
-		// not wait behind an in-flight call it is supposed to interrupt.
+	if cc != nil {
+		// Goodbye on the raw connection without touching the write mutex:
+		// Close must not wait behind a sender it is supposed to interrupt.
 		var wbuf []byte
-		conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
-		WriteFrame(conn, &wbuf, Frame{Seq: ^uint64(0), Type: MsgClose, Payload: nil})
-		conn.Close()
+		cc.conn.SetDeadline(time.Now().Add(100 * time.Millisecond))
+		WriteFrame(cc.conn, &wbuf, Frame{Seq: ^uint64(0), Type: MsgClose, Payload: nil})
+		cc.fail(errors.New("wire: client is closed"))
 	}
-	c.connMu.Lock()
-	c.conn = nil
-	c.connMu.Unlock()
 	return nil
 }
 

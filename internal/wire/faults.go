@@ -40,6 +40,13 @@ type Faults struct {
 	DropResp float64
 	// MaxDelay bounds an injected delay (default 2ms).
 	MaxDelay time.Duration
+	// LinkDelay models symmetric propagation latency: every request frame
+	// sleeps LinkDelay before hitting the socket and every response frame
+	// sleeps LinkDelay before delivery, so one call costs 2×LinkDelay of
+	// round-trip time. Unlike the probabilistic dimensions it is applied
+	// unconditionally — it is the RTT-injection leg of
+	// BenchmarkWireEpochRTT, not a loss model.
+	LinkDelay time.Duration
 }
 
 // Enabled reports whether any fault dimension is armed.
@@ -78,4 +85,12 @@ func (f *Faults) delayReq(seq uint64, attempt int) time.Duration {
 func (f *Faults) dropResp(seq uint64, attempt int) bool {
 	return f.Enabled() && f.DropResp > 0 &&
 		faults.KeyedUnit(f.Seed, saltDropResp, seq, uint64(attempt)) < f.DropResp
+}
+
+// linkDelay returns the symmetric per-frame propagation delay (0 = none).
+func (f *Faults) linkDelay() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.LinkDelay
 }

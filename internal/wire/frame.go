@@ -20,12 +20,20 @@
 // Requests are at-most-once: the client stamps a monotone per-session
 // sequence number on every call and retries the *same* sequence on timeout
 // or reconnect; the server replays the cached response for a sequence it
-// already executed and refuses stale sequences it never saw. That is what
-// makes per-connection retry/timeout/backoff — and the deterministic
-// frame-level fault injection in faults.go — safe: a sense is charged and
-// an acquisition sweep runs exactly once per sequence number no matter how
-// many frames the socket loses, duplicates or delays, so a federated run
-// over lossy sockets stays byte-identical to the in-process run.
+// already executed and refuses sequences old enough to have been evicted
+// from the replay cache. That is what makes per-connection
+// retry/timeout/backoff — and the deterministic frame-level fault
+// injection in faults.go — safe: a sense is charged and an acquisition
+// sweep runs exactly once per sequence number no matter how many frames
+// the socket loses, duplicates or delays, so a federated run over lossy
+// sockets stays byte-identical to the in-process run.
+//
+// The connection is full-duplex: the client pipelines calls, demultiplexing
+// responses back to their callers by sequence number, and — when both peers
+// negotiated CapEpochRound at handshake — collapses a whole federated epoch
+// (sense + every shared-acquisition group) into ONE MsgEpochRound round
+// trip whose readings cross in a roster-positional delta encoding instead
+// of keyed reading records. See round.go.
 package wire
 
 import (
@@ -74,6 +82,18 @@ const (
 	MsgStatsReply       // reply: JSON stats.RunStats
 	MsgClose            // graceful session close
 	MsgClosed           // reply: acknowledged
+	MsgEpochRound       // batched epoch round: epoch + every group's query id
+	MsgEpochRoundReply  // reply: sense readings + every group's acquisition
+)
+
+// Capability bits, negotiated at handshake: the client offers its set in
+// Hello.Caps, the server grants its own in Welcome.Caps, and the session
+// speaks the intersection. An old peer (or one with the capability
+// disabled) simply never sees the newer frames.
+const (
+	// CapEpochRound: the peer speaks the batched one-round epoch protocol
+	// (MsgEpochRound) with roster-positional readings encoding.
+	CapEpochRound uint16 = 1 << 0
 )
 
 func (t MsgType) String() string {
@@ -116,6 +136,10 @@ func (t MsgType) String() string {
 		return "close"
 	case MsgClosed:
 		return "closed"
+	case MsgEpochRound:
+		return "epoch-round"
+	case MsgEpochRoundReply:
+		return "epoch-round-reply"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -211,6 +235,7 @@ type Hello struct {
 	Shard    uint16 // shard index the client believes it is dialing
 	Shards   uint16 // total shard count of the deployment
 	Nodes    uint16 // sensor node count of this shard's sub-scenario
+	Caps     uint16 // capability bits the client offers (CapEpochRound, ...)
 	Nonce    uint64
 	Scenario string // flat scenario name
 }
@@ -220,18 +245,20 @@ type Welcome struct {
 	Version uint16
 	Shard   uint16
 	Nodes   uint16
+	Caps    uint16 // capability bits the server grants
 	Name    string // shard display name (panels, error tags)
 }
 
 // AppendHello appends the wire form of h.
 func AppendHello(dst []byte, h Hello) []byte {
-	var buf [20]byte
+	var buf [22]byte
 	binary.LittleEndian.PutUint32(buf[0:], Magic)
 	binary.LittleEndian.PutUint16(buf[4:], h.Version)
 	binary.LittleEndian.PutUint16(buf[6:], h.Shard)
 	binary.LittleEndian.PutUint16(buf[8:], h.Shards)
 	binary.LittleEndian.PutUint16(buf[10:], h.Nodes)
-	binary.LittleEndian.PutUint64(buf[12:], h.Nonce)
+	binary.LittleEndian.PutUint16(buf[12:], h.Caps)
+	binary.LittleEndian.PutUint64(buf[14:], h.Nonce)
 	dst = append(dst, buf[:]...)
 	return appendString(dst, h.Scenario)
 }
@@ -239,7 +266,7 @@ func AppendHello(dst []byte, h Hello) []byte {
 // DecodeHello decodes a handshake request, rejecting bad magic, truncation
 // and trailing garbage.
 func DecodeHello(b []byte) (Hello, error) {
-	if len(b) < 20 {
+	if len(b) < 22 {
 		return Hello{}, io.ErrUnexpectedEOF
 	}
 	if binary.LittleEndian.Uint32(b[0:]) != Magic {
@@ -250,9 +277,10 @@ func DecodeHello(b []byte) (Hello, error) {
 		Shard:   binary.LittleEndian.Uint16(b[6:]),
 		Shards:  binary.LittleEndian.Uint16(b[8:]),
 		Nodes:   binary.LittleEndian.Uint16(b[10:]),
-		Nonce:   binary.LittleEndian.Uint64(b[12:]),
+		Caps:    binary.LittleEndian.Uint16(b[12:]),
+		Nonce:   binary.LittleEndian.Uint64(b[14:]),
 	}
-	s, rest, err := decodeString(b[20:])
+	s, rest, err := decodeString(b[22:])
 	if err != nil {
 		return Hello{}, err
 	}
@@ -265,18 +293,19 @@ func DecodeHello(b []byte) (Hello, error) {
 
 // AppendWelcome appends the wire form of w.
 func AppendWelcome(dst []byte, w Welcome) []byte {
-	var buf [10]byte
+	var buf [12]byte
 	binary.LittleEndian.PutUint32(buf[0:], Magic)
 	binary.LittleEndian.PutUint16(buf[4:], w.Version)
 	binary.LittleEndian.PutUint16(buf[6:], w.Shard)
 	binary.LittleEndian.PutUint16(buf[8:], w.Nodes)
+	binary.LittleEndian.PutUint16(buf[10:], w.Caps)
 	dst = append(dst, buf[:]...)
 	return appendString(dst, w.Name)
 }
 
 // DecodeWelcome decodes a handshake reply.
 func DecodeWelcome(b []byte) (Welcome, error) {
-	if len(b) < 10 {
+	if len(b) < 12 {
 		return Welcome{}, io.ErrUnexpectedEOF
 	}
 	if binary.LittleEndian.Uint32(b[0:]) != Magic {
@@ -286,8 +315,9 @@ func DecodeWelcome(b []byte) (Welcome, error) {
 		Version: binary.LittleEndian.Uint16(b[4:]),
 		Shard:   binary.LittleEndian.Uint16(b[6:]),
 		Nodes:   binary.LittleEndian.Uint16(b[8:]),
+		Caps:    binary.LittleEndian.Uint16(b[10:]),
 	}
-	s, rest, err := decodeString(b[10:])
+	s, rest, err := decodeString(b[12:])
 	if err != nil {
 		return Welcome{}, err
 	}

@@ -51,6 +51,70 @@ func FuzzFrameDecode(f *testing.F) {
 		DecodeTopK(fr.Payload)
 		DecodeFetch(fr.Payload)
 		DecodeSums(fr.Payload)
+		DecodeEpochRound(fr.Payload)
+		DecodeEpochRoundReply(fr.Payload, fuzzRoster)
+		DecodeRosterReadings(fr.Payload, fuzzRoster, 0)
+	})
+}
+
+// fuzzRoster is the fixed positional frame of reference for the
+// epoch-round fuzz targets — gaps and a >255 id exercise the bitmap and
+// varint paths.
+var fuzzRoster = []model.NodeID{1, 2, 3, 5, 8, 13, 21, 300}
+
+// FuzzEpochRoundDecode drives arbitrary bytes through the batched
+// epoch-round codecs against a fixed roster. The invariant is the
+// canonical-form one the retry layer depends on (a replayed reply must be
+// byte-identical): any input that decodes — request, reply or bare roster
+// readings block — must re-encode to exactly the bytes consumed, and no
+// input may panic or over-allocate.
+func FuzzEpochRoundDecode(f *testing.F) {
+	f.Add(AppendEpochRound(nil, EpochRoundReq{Epoch: 7, Queries: []uint32{1, 2, 3}}))
+	readings := map[model.NodeID]model.Reading{
+		1:   {Node: 1, Group: 1, Epoch: 7, Value: 42.25},
+		8:   {Node: 8, Group: 2, Epoch: 7, Value: -3.5},
+		300: {Node: 300, Group: 9, Epoch: 9, Value: 1e4},
+	}
+	if seed, err := AppendEpochRoundReply(nil, fuzzRoster, EpochRoundReply{
+		Epoch:    7,
+		Readings: readings,
+		Groups: []RoundGroup{
+			{Answers: []model.Answer{{Group: 1, Score: 10}, {Group: 2, Score: -4.5}}},
+			{Err: "query gone"},
+			{Answers: []model.Answer{{Group: 3, Score: 1}}, Override: readings},
+		},
+	}); err == nil {
+		f.Add(seed)
+	}
+	if block, err := AppendRosterReadings(nil, fuzzRoster, 3, readings); err == nil {
+		f.Add(block)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeEpochRound(data); err == nil {
+			if re := AppendEpochRound(nil, req); !bytes.Equal(re, data) {
+				t.Fatalf("request re-encode mismatch: %x != %x", re, data)
+			}
+		}
+		if rep, err := DecodeEpochRoundReply(data, fuzzRoster); err == nil {
+			re, err := AppendEpochRoundReply(nil, fuzzRoster, rep)
+			if err != nil {
+				t.Fatalf("decoded reply refused to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Fatalf("reply re-encode mismatch: %x != %x", re, data)
+			}
+		}
+		if m, rest, err := DecodeRosterReadings(data, fuzzRoster, 9); err == nil {
+			re, err := AppendRosterReadings(nil, fuzzRoster, 9, m)
+			if err != nil {
+				t.Fatalf("decoded readings refused to re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data[:len(data)-len(rest)]) {
+				t.Fatalf("readings re-encode mismatch: %x != %x", re, data[:len(data)-len(rest)])
+			}
+		}
 	})
 }
 

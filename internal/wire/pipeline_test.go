@@ -1,0 +1,562 @@
+package wire
+
+// The pipelined-client suite: concurrent calls multiplexing one socket
+// must not queue behind each other's timeouts or backoffs, responses may
+// land out of order, injected frame faults must stay invisible at the
+// at-most-once layer, and the batched epoch round must be byte-identical
+// to the per-call protocol it replaces.
+
+import (
+	"bytes"
+	"net"
+	"runtime"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"kspot/internal/config"
+	"kspot/internal/model"
+	"kspot/internal/stats"
+)
+
+// startTestServer runs a real shard server for the Figure-3 scenario on a
+// loopback listener.
+func startTestServer(t *testing.T, legacy bool) (string, *Server) {
+	t.Helper()
+	srv, err := NewServer(ServerConfig{Scenario: config.Figure3Scenario(), Shard: 0, DisableEpochRound: legacy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return ln.Addr().String(), srv
+}
+
+// testClientConfig dials the Figure-3 shard with its roster set (so the
+// client offers CapEpochRound).
+func testClientConfig(addr string) ClientConfig {
+	scen := config.Figure3Scenario()
+	roster := make([]model.NodeID, 0, len(scen.Nodes))
+	for _, n := range scen.Nodes {
+		roster = append(roster, model.NodeID(n.ID))
+	}
+	slices.Sort(roster)
+	return ClientConfig{
+		Addr:     addr,
+		Scenario: scen.Name,
+		Shard:    0,
+		Shards:   1,
+		Nodes:    len(scen.Nodes),
+		Roster:   roster,
+	}
+}
+
+// startStubServer speaks the handshake (echoing the hello's identity and
+// capability bits), then hands every subsequent frame to fn on its own
+// goroutine; fn returns the reply frame, or ok=false to swallow the
+// request. Concurrent replies interleave under a write mutex — a scripted
+// far end for timeout, backoff and shutdown scenarios a real server
+// answers too quickly to produce.
+func startStubServer(t *testing.T, fn func(f Frame) (Frame, bool)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				f, err := ReadFrame(conn)
+				if err != nil || f.Type != MsgHello {
+					return
+				}
+				h, err := DecodeHello(f.Payload)
+				if err != nil {
+					return
+				}
+				var wmu sync.Mutex
+				var wbuf []byte
+				welcome := AppendWelcome(nil, Welcome{Version: Version, Shard: h.Shard, Nodes: h.Nodes, Caps: h.Caps, Name: "stub"})
+				if err := WriteFrame(conn, &wbuf, Frame{Seq: f.Seq, Type: MsgWelcome, Payload: welcome}); err != nil {
+					return
+				}
+				for {
+					f, err := ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					go func(f Frame) {
+						if rep, ok := fn(f); ok {
+							wmu.Lock()
+							defer wmu.Unlock()
+							var buf []byte
+							WriteFrame(conn, &buf, rep)
+						}
+					}(f)
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// readingsBytes pins byte-identity of a readings map via its canonical
+// wire encoding (sorted node order).
+func readingsBytes(e model.Epoch, readings map[model.NodeID]model.Reading) []byte {
+	return AppendReadings(nil, e, readings)
+}
+
+func answersBytesOf(answers []model.Answer) []byte {
+	var b []byte
+	for _, a := range answers {
+		b = model.AppendAnswer(b, a)
+	}
+	return b
+}
+
+// TestEpochRoundByteIdenticalToPerCall: the batched round — sense plus
+// every group's acquisition in one frame — must produce byte-identical
+// readings, answers and derived-readings overrides to the per-call
+// Sense/Acquire sequence on an identical server, epoch for epoch,
+// including a WITH HISTORY group whose override readings ride the reply.
+func TestEpochRoundByteIdenticalToPerCall(t *testing.T) {
+	queries := []struct {
+		qid  uint32
+		algo string
+		sql  string
+	}{
+		{1, "mint", "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid"},
+		{2, "tag", "SELECT TOP 3 roomid, MAX(sound) FROM sensors GROUP BY roomid"},
+		{3, "mint", "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid WITH HISTORY 4"},
+	}
+	qids := []uint32{1, 2, 3}
+	const epochs = 6
+
+	// Batched leg: one EpochRound call per epoch.
+	addrA, _ := startTestServer(t, false)
+	clA, err := Dial(testClientConfig(addrA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clA.Close()
+	if !clA.SupportsEpochRound() {
+		t.Fatal("session did not negotiate the epoch-round capability")
+	}
+	for _, q := range queries {
+		if err := clA.Attach(q.qid, q.algo, q.sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Per-call leg: identical server, capability withheld client-side.
+	addrB, _ := startTestServer(t, false)
+	cfgB := testClientConfig(addrB)
+	cfgB.DisableEpochRound = true
+	clB, err := Dial(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clB.Close()
+	if clB.SupportsEpochRound() {
+		t.Fatal("capability negotiated despite DisableEpochRound")
+	}
+	for _, q := range queries {
+		if err := clB.Attach(q.qid, q.algo, q.sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for e := model.Epoch(0); e < epochs; e++ {
+		readings, results, err := clA.EpochRound(e, qids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		senseB, err := clB.Sense(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(readingsBytes(e, readings), readingsBytes(e, senseB)) {
+			t.Fatalf("epoch %d: batched sense diverged from per-call", e)
+		}
+		for gi, qid := range qids {
+			acqB, err := clB.Acquire(qid, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[gi].Err != nil {
+				t.Fatalf("epoch %d group %d: %v", e, qid, results[gi].Err)
+			}
+			acqA := results[gi].Acq
+			if !bytes.Equal(answersBytesOf(acqA.Answers), answersBytesOf(acqB.Answers)) {
+				t.Fatalf("epoch %d group %d: answers %v != %v", e, qid, acqA.Answers, acqB.Answers)
+			}
+			if (acqA.Readings == nil) != (acqB.Readings == nil) {
+				t.Fatalf("epoch %d group %d: override presence diverged", e, qid)
+			}
+			if acqA.Readings != nil && !bytes.Equal(readingsBytes(e, acqA.Readings), readingsBytes(e, acqB.Readings)) {
+				t.Fatalf("epoch %d group %d: override readings diverged", e, qid)
+			}
+		}
+	}
+	// The WITH HISTORY group actually exercised the override leg.
+	if _, results, err := clA.EpochRound(epochs, qids); err != nil || results[2].Acq.Readings == nil {
+		t.Fatalf("derived-readings group shipped no override (err %v)", err)
+	}
+}
+
+// TestEpochRoundAgainstLegacyServer: an old server (no CapEpochRound in
+// its welcome) downgrades the session — the client reports no support and
+// keeps working through the per-call protocol; a group error inside a
+// round on a new server stays isolated to its group.
+func TestEpochRoundAgainstLegacyServer(t *testing.T) {
+	addr, _ := startTestServer(t, true) // server withholds the capability
+	cl, err := Dial(testClientConfig(addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.SupportsEpochRound() {
+		t.Fatal("client negotiated epoch-round against a legacy server")
+	}
+	if err := cl.Attach(1, "mint", "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Sense(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Acquire(1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new server isolates one group's failure inside a round: the unknown
+	// qid errors, the attached one answers, the sense stands.
+	addr2, _ := startTestServer(t, false)
+	cl2, err := Dial(testClientConfig(addr2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if err := cl2.Attach(1, "mint", "SELECT TOP 2 roomid, AVG(sound) FROM sensors GROUP BY roomid"); err != nil {
+		t.Fatal(err)
+	}
+	readings, results, err := cl2.EpochRound(0, []uint32{1, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) == 0 {
+		t.Fatal("round with a failed group lost the sense")
+	}
+	if results[0].Err != nil {
+		t.Fatalf("healthy group poisoned: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("unknown query id succeeded")
+	}
+}
+
+// TestClientBackoffDoesNotBlockConcurrentCalls: a call waiting out its
+// retry backoff must not delay other calls on the shared connection — the
+// regression this pins is the serialized client sleeping its backoff
+// under the call mutex. The stub swallows the first sense attempt (the
+// call times out and backs off); a Stats issued mid-backoff must complete
+// immediately.
+func TestClientBackoffDoesNotBlockConcurrentCalls(t *testing.T) {
+	var mu sync.Mutex
+	senseDropped := false
+	addr := startStubServer(t, func(f Frame) (Frame, bool) {
+		switch f.Type {
+		case MsgSense:
+			mu.Lock()
+			first := !senseDropped
+			senseDropped = true
+			mu.Unlock()
+			if first {
+				return Frame{}, false // swallowed: the attempt times out
+			}
+			e, _ := DecodeEpoch(f.Payload)
+			return Frame{Seq: f.Seq, Type: MsgReadings, Payload: AppendReadings(nil, e, nil)}, true
+		case MsgStats:
+			return Frame{Seq: f.Seq, Type: MsgStatsReply, Payload: []byte("{}")}, true
+		case MsgClose:
+			return Frame{}, false
+		}
+		return Frame{Seq: f.Seq, Type: MsgError, Payload: []byte("unexpected " + f.Type.String())}, true
+	})
+	cl, err := Dial(ClientConfig{
+		Addr: addr, Scenario: "stub", Shard: 0, Shards: 1, Nodes: 0,
+		CallTimeout: 250 * time.Millisecond,
+		Retries:     3,
+		Backoff:     500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	senseDone := make(chan error, 1)
+	go func() {
+		_, err := cl.Sense(0)
+		senseDone <- err
+	}()
+	// Land inside the sense's timeout+backoff window (first attempt is
+	// swallowed at t=0, times out at 250ms, sleeps 500ms, retries at 750ms).
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if _, err := cl.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("concurrent Stats took %v while another call was retrying — backoff is blocking the connection", elapsed)
+	}
+	if err := <-senseDone; err != nil {
+		t.Fatalf("the backed-off sense never recovered: %v", err)
+	}
+	if cl.Retried() == 0 {
+		t.Fatal("the swallowed sense never retried — the scenario did not run")
+	}
+}
+
+// TestClientPipelinedFaultsOutOfOrder: three concurrent callers multiplex
+// one faulty socket — duplicated, delayed and response-dropped frames, so
+// responses land out of order and retried sequences replay — and the
+// sensed epoch stream plus the server's execution counters must stay
+// byte-identical to a clean serial run: every request executed at most
+// once, every response routed to its caller.
+func TestClientPipelinedFaultsOutOfOrder(t *testing.T) {
+	const epochs = 8
+	run := func(faults *Faults) ([][]byte, int64, ClientMetrics) {
+		addr, srv := startTestServer(t, false)
+		cfg := testClientConfig(addr)
+		cfg.Faults = faults
+		cfg.CallTimeout = 150 * time.Millisecond
+		cfg.Retries = 12
+		cfg.Backoff = 2 * time.Millisecond
+		cl, err := Dial(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+
+		stop := make(chan struct{})
+		var pollers sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			pollers.Add(1)
+			go func() {
+				defer pollers.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := cl.Stats(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		var senses [][]byte
+		for e := model.Epoch(0); e < epochs; e++ {
+			readings, err := cl.Sense(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			senses = append(senses, readingsBytes(e, readings))
+		}
+		close(stop)
+		pollers.Wait()
+		// The server-side counters witness at-most-once execution: a
+		// replayed (rather than re-executed) retry leaves them untouched.
+		msgs := stats.Collect("", srv.Network(), 0).Messages
+		return senses, int64(msgs), cl.Metrics()
+	}
+
+	clean, cleanMsgs, _ := run(nil)
+	faulty, faultyMsgs, m := run(&Faults{Seed: 11, Dup: 0.2, Delay: 0.3, DropResp: 0.15, MaxDelay: 2 * time.Millisecond})
+
+	for e := range clean {
+		if !bytes.Equal(clean[e], faulty[e]) {
+			t.Fatalf("epoch %d: sensed readings diverged under faults", e)
+		}
+	}
+	if cleanMsgs != faultyMsgs {
+		t.Fatalf("server executed %d messages under faults, %d clean — a retry re-executed", faultyMsgs, cleanMsgs)
+	}
+	if m.Retries == 0 {
+		t.Fatal("faults armed but no call retried — the fault path did not run")
+	}
+	if m.Calls < epochs || m.Rounds != epochs {
+		t.Fatalf("metrics: %d calls, %d rounds (want >= %d calls, %d rounds)", m.Calls, m.Rounds, epochs, epochs)
+	}
+	if m.BytesOut == 0 || m.BytesIn == 0 || m.P50Micros == 0 {
+		t.Fatalf("metrics incomplete: %+v", m)
+	}
+}
+
+// TestClientCloseInterruptsInFlight: Close racing calls parked on a
+// black-hole server unblocks them promptly with errors and leaves no
+// goroutine behind — the reader, the callers and their retry timers all
+// wind down.
+func TestClientCloseInterruptsInFlight(t *testing.T) {
+	baseGoroutines := runtime.NumGoroutine()
+	addr := startStubServer(t, func(f Frame) (Frame, bool) { return Frame{}, false })
+	cl, err := Dial(ClientConfig{
+		Addr: addr, Scenario: "stub", Shard: 0, Shards: 1, Nodes: 0,
+		CallTimeout: 5 * time.Second,
+		Retries:     5,
+		Backoff:     time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			_, err := cl.Sense(model.Epoch(i))
+			errs <- err
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // all three are in flight
+	start := time.Now()
+	cl.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("an in-flight call succeeded after Close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("an in-flight call is still blocked after Close")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v to interrupt in-flight calls", elapsed)
+	}
+	if _, err := cl.Sense(99); err == nil {
+		t.Fatal("a call after Close succeeded")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseGoroutines)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRosterReadingsCodec: the positional encoding round-trips exactly,
+// and its strictness holds — non-roster nodes refuse to encode, padding
+// bits and truncated bitmaps refuse to decode.
+func TestRosterReadingsCodec(t *testing.T) {
+	roster := []model.NodeID{2, 5, 9, 11, 300}
+	readings := map[model.NodeID]model.Reading{
+		2:   {Node: 2, Group: 1, Epoch: 7, Value: 42.25},
+		9:   {Node: 9, Group: 3, Epoch: 7, Value: -17.5},
+		300: {Node: 300, Group: 2, Epoch: 9, Value: 0},
+	}
+	b, err := AppendRosterReadings(nil, roster, 7, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := DecodeRosterReadings(b, roster, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if len(got) != len(readings) {
+		t.Fatalf("decoded %d readings, want %d", len(got), len(readings))
+	}
+	for id, want := range readings {
+		if got[id] != want {
+			t.Fatalf("node %d: %+v != %+v", id, got[id], want)
+		}
+	}
+	// Positional identity: encoding is a pure function of roster order.
+	b2, err := AppendRosterReadings(nil, roster, 7, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("re-encode diverged")
+	}
+	// A reading keyed outside the roster must refuse to encode.
+	if _, err := AppendRosterReadings(nil, roster, 7, map[model.NodeID]model.Reading{4: {Node: 4}}); err == nil {
+		t.Fatal("non-roster node encoded")
+	}
+	// A set padding bit past the roster must refuse to decode.
+	bad := append([]byte(nil), b...)
+	bad[0] |= 1 << 6 // roster has 5 nodes: bits 5.. are padding
+	if _, _, err := DecodeRosterReadings(bad, roster, 7); err == nil {
+		t.Fatal("padding bit accepted")
+	}
+	if _, _, err := DecodeRosterReadings(b[:0], roster, 7); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+}
+
+// TestEpochRoundCodecRejects: malformed round frames are refused, not
+// misparsed — wrong status bytes, empty error strings, trailing bytes.
+func TestEpochRoundCodecRejects(t *testing.T) {
+	roster := []model.NodeID{1, 2, 3}
+	rep := EpochRoundReply{
+		Epoch:    4,
+		Readings: map[model.NodeID]model.Reading{1: {Node: 1, Epoch: 4, Value: 1}},
+		Groups: []RoundGroup{
+			{Answers: []model.Answer{{Group: 1, Score: 10}}},
+			{Err: "query gone"},
+		},
+	}
+	b, err := AppendEpochRoundReply(nil, roster, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEpochRoundReply(b, roster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 4 || len(got.Groups) != 2 || got.Groups[1].Err != "query gone" {
+		t.Fatalf("round-trip: %+v", got)
+	}
+	if _, err := DecodeEpochRoundReply(append(b, 0), roster); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeEpochRoundReply(b[:len(b)-1], roster); err == nil {
+		t.Fatal("truncated reply accepted")
+	}
+	// An error group must carry a non-empty message.
+	bad := EpochRoundReply{Epoch: 1, Groups: []RoundGroup{{}}}
+	bb, err := AppendEpochRoundReply(nil, roster, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeEpochRoundReply(bb, roster); err != nil {
+		t.Fatalf("empty ok group refused: %v", err)
+	}
+
+	req := EpochRoundReq{Epoch: 3, Queries: []uint32{7, 8}}
+	rb := AppendEpochRound(nil, req)
+	gotReq, err := DecodeEpochRound(rb)
+	if err != nil || gotReq.Epoch != 3 || len(gotReq.Queries) != 2 || gotReq.Queries[1] != 8 {
+		t.Fatalf("request round-trip: %+v / %v", gotReq, err)
+	}
+	if _, err := DecodeEpochRound(append(rb, 0)); err == nil {
+		t.Fatal("trailing request byte accepted")
+	}
+	if _, err := DecodeEpochRound(rb[:3]); err == nil {
+		t.Fatal("truncated request accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"slices"
 	"sync"
 
 	"kspot/internal/config"
@@ -41,6 +42,11 @@ type ServerConfig struct {
 	Live bool
 	// LiveWindow sizes the live substrate's per-node history buffer.
 	LiveWindow int
+	// DisableEpochRound withholds CapEpochRound from the handshake and
+	// refuses MsgEpochRound — the server behaves like a pre-batching
+	// deployment, so mixed old/new federations are testable (a client
+	// falls back to the per-call protocol per shard).
+	DisableEpochRound bool
 }
 
 // Server wraps one shard's local substrate behind the framed protocol: the
@@ -60,6 +66,7 @@ type Server struct {
 
 	live       *engine.Live
 	liveCancel context.CancelFunc
+	roster     []model.NodeID // shard node ids ascending: the positional frame
 
 	mu          sync.Mutex
 	queries     map[uint32]*attachedQuery
@@ -67,7 +74,7 @@ type Server struct {
 	senseEpoch  model.Epoch
 	sensed      map[model.NodeID]model.Reading
 	nonce       uint64
-	maxSeq      uint64
+	evicted     uint64 // highest sequence evicted from the replay cache
 	replay      map[uint64][]byte
 	replayOrder []uint64
 
@@ -94,10 +101,11 @@ type historicExec struct {
 	data topk.HistoricData
 }
 
-// replayCap bounds the at-most-once response cache. The coordinator runs
-// one call at a time per shard, so a handful of entries covers every
-// retry/duplicate pattern the client can produce.
-const replayCap = 16
+// replayCap bounds the at-most-once response cache. The pipelined client
+// keeps several calls in flight per connection (overlapped group
+// acquisitions, stats polls, concurrent historic rounds), so the cache
+// must outlive the deepest plausible in-flight window plus its retries.
+const replayCap = 64
 
 // NewServer builds a shard server: the shard's network (deterministic or
 // live), the flat trace source, and — when the scenario carries a faults
@@ -122,6 +130,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	roster := make([]model.NodeID, 0, len(sub.Nodes))
+	for _, n := range sub.Nodes {
+		roster = append(roster, model.NodeID(n.ID))
+	}
+	slices.Sort(roster)
 	s := &Server{
 		cfg:       cfg,
 		sub:       sub,
@@ -129,6 +142,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		src:       src,
 		schema:    query.DefaultSchema(),
 		name:      cfg.Scenario.ShardName(cfg.Shard),
+		roster:    roster,
 		queries:   make(map[uint32]*attachedQuery),
 		historics: make(map[uint32]*historicExec),
 		replay:    make(map[uint64][]byte),
@@ -263,7 +277,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		// counters) persists — the field does not reset because a new
 		// coordinator dialed in.
 		s.nonce = hello.Nonce
-		s.maxSeq = 0
+		s.evicted = 0
 		s.replay = make(map[uint64][]byte)
 		s.replayOrder = s.replayOrder[:0]
 		s.queries = make(map[uint32]*attachedQuery)
@@ -271,10 +285,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.sensed = nil
 	}
 	s.mu.Unlock()
+	caps := CapEpochRound
+	if s.cfg.DisableEpochRound {
+		caps = 0
+	}
 	welcome := AppendWelcome(nil, Welcome{
 		Version: Version,
 		Shard:   uint16(s.cfg.Shard),
 		Nodes:   uint16(len(s.sub.Nodes)),
+		Caps:    caps,
 		Name:    s.name,
 	})
 	if err := WriteFrame(conn, &wbuf, Frame{Seq: f.Seq, Type: MsgWelcome, Payload: welcome}); err != nil {
@@ -319,8 +338,11 @@ func (s *Server) checkHello(h Hello) error {
 
 // dispatch executes one request frame at most once: a sequence number
 // already executed replays its cached reply (a retried or duplicated
-// frame must not re-run a sweep or re-charge sensing); a stale sequence
-// the server never executed is refused rather than run out of order.
+// frame must not re-run a sweep or re-charge sensing). The pipelined
+// client's in-flight calls reach the socket in any order, so the server
+// executes any sequence it has not seen; only a sequence old enough to
+// have been EVICTED from the replay cache is refused — executing it could
+// be a re-execution, which at-most-once forbids.
 func (s *Server) dispatch(f Frame) (reply Frame, close bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -332,10 +354,9 @@ func (s *Server) dispatch(f Frame) (reply Frame, close bool) {
 		}
 		return frame, frame.Type == MsgClosed
 	}
-	if f.Seq <= s.maxSeq {
+	if f.Seq <= s.evicted {
 		return Frame{Seq: f.Seq, Type: MsgError, Payload: []byte("wire: stale sequence")}, false
 	}
-	s.maxSeq = f.Seq
 	t, payload, err := s.handle(f)
 	if err != nil {
 		t, payload = MsgError, []byte(err.Error())
@@ -344,8 +365,12 @@ func (s *Server) dispatch(f Frame) (reply Frame, close bool) {
 	s.replay[f.Seq] = AppendFrame(nil, reply)
 	s.replayOrder = append(s.replayOrder, f.Seq)
 	if len(s.replayOrder) > replayCap {
-		delete(s.replay, s.replayOrder[0])
+		old := s.replayOrder[0]
+		delete(s.replay, old)
 		s.replayOrder = s.replayOrder[1:]
+		if old > s.evicted {
+			s.evicted = old
+		}
 	}
 	return reply, t == MsgClosed
 }
@@ -381,28 +406,48 @@ func (s *Server) handle(f Frame) (MsgType, []byte, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		q, ok := s.queries[req.Query]
-		if !ok {
-			return 0, nil, fmt.Errorf("wire: query %d not attached", req.Query)
-		}
 		if s.sensed == nil || s.senseEpoch != req.Epoch {
 			return 0, nil, fmt.Errorf("wire: acquire epoch %d without a matching sense (last sensed %d)", req.Epoch, s.senseEpoch)
 		}
-		readings := s.sensed
-		var override map[model.NodeID]model.Reading
-		if q.override != nil {
-			// Derived per-node inputs (window aggregation): rebuilt without
-			// charging over the node set the epoch's sense committed — the
-			// in-process coordinator's exact derivation, so shared epochs
-			// stay order-independent across acquisitions.
-			override = engine.DeriveReadings(s.sensed, q.override, req.Epoch)
-			readings = override
-		}
-		answers, err := q.op.Epoch(req.Epoch, readings)
+		answers, override, err := s.acquireLocked(req.Query, req.Epoch)
 		if err != nil {
 			return 0, nil, err
 		}
 		return MsgAnswers, AppendAnswers(nil, req.Epoch, answers, override), nil
+
+	case MsgEpochRound:
+		if s.cfg.DisableEpochRound {
+			return 0, nil, fmt.Errorf("wire: epoch-round not negotiated")
+		}
+		req, err := DecodeEpochRound(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		// The whole epoch in one frame: the sense commit, then every
+		// group's acquisition in request order — the exact call order the
+		// per-call protocol produces, so operator and counter state evolve
+		// identically. A group's failure is carried per group (the sensing
+		// and the other groups stand, as they would mid-way through the
+		// per-call sequence).
+		readings := engine.PresampleEpoch(s.tp, s.src, req.Epoch)
+		engine.CommitSenseEpoch(s.tp, req.Epoch, readings)
+		s.senseEpoch, s.sensed = req.Epoch, readings
+		rep := EpochRoundReply{Epoch: req.Epoch, Readings: readings}
+		for _, qid := range req.Queries {
+			var g RoundGroup
+			answers, override, err := s.acquireLocked(qid, req.Epoch)
+			if err != nil {
+				g.Err = err.Error()
+			} else {
+				g.Answers, g.Override = answers, override
+			}
+			rep.Groups = append(rep.Groups, g)
+		}
+		payload, err := AppendEpochRoundReply(nil, s.roster, rep)
+		if err != nil {
+			return 0, nil, err
+		}
+		return MsgEpochRoundReply, payload, nil
 
 	case MsgHistoric:
 		req, err := DecodeHistoric(f.Payload)
@@ -462,6 +507,30 @@ func (s *Server) handle(f Frame) (MsgType, []byte, error) {
 	default:
 		return 0, nil, fmt.Errorf("wire: unexpected %v request", f.Type)
 	}
+}
+
+// acquireLocked runs one epoch of an attached query against the epoch's
+// committed sensing (s.mu held). For queries whose per-node inputs are
+// derived rather than shared (window aggregation), the derivation is
+// rebuilt without charging over the node set the sense committed — the
+// in-process coordinator's exact derivation, so shared epochs stay
+// order-independent across acquisitions — and returned as the override.
+func (s *Server) acquireLocked(qid uint32, e model.Epoch) ([]model.Answer, map[model.NodeID]model.Reading, error) {
+	q, ok := s.queries[qid]
+	if !ok {
+		return nil, nil, fmt.Errorf("wire: query %d not attached", qid)
+	}
+	readings := s.sensed
+	var override map[model.NodeID]model.Reading
+	if q.override != nil {
+		override = engine.DeriveReadings(s.sensed, q.override, e)
+		readings = override
+	}
+	answers, err := q.op.Epoch(e, readings)
+	if err != nil {
+		return nil, nil, err
+	}
+	return answers, override, nil
 }
 
 // attach plans the query text locally and instantiates the shard's own

@@ -200,6 +200,7 @@ type openConfig struct {
 	wireRetries int
 	wireBackoff time.Duration
 	wireFaults  *wire.Faults
+	wireLegacy  bool
 }
 
 // WithAdmission arms admission control: every Post first reserves a slot
@@ -671,10 +672,14 @@ func (s *System) SystemPanel(baseline *RunStats) string {
 	total := stats.Merge("total", rows...)
 	rows = append(rows, total)
 	f := s.fedStats.Snapshot()
-	return stats.Table("per-shard traffic", rows) +
+	panel := stats.Table("per-shard traffic", rows) +
 		fmt.Sprintf("coordinator tier: %d phase-1 reports, %d targeted fetches (%d answers), %d backhaul bytes\n",
-			f.Phase1Msgs, f.Phase2Reqs, f.Fetched, f.TxBytes) +
-		gui.SystemPanel(total, base)
+			f.Phase1Msgs, f.Phase2Reqs, f.Fetched, f.TxBytes)
+	for _, m := range s.WireMetrics() {
+		panel += fmt.Sprintf("  wire %s: %d calls (%d rounds, %d retried), p50 %dµs p99 %dµs, %dB out / %dB in\n",
+			m.Shard, m.Calls, m.Rounds, m.Retries, m.P50Micros, m.P99Micros, m.BytesOut, m.BytesIn)
+	}
+	return panel + gui.SystemPanel(total, base)
 }
 
 // RenderSystemPanel renders a previously captured run against an optional

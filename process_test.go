@@ -175,12 +175,20 @@ func TestProcessFederatedScale1000(t *testing.T) {
 	const shards = 4
 	addrs := make([]string, shards)
 	for i := 0; i < shards; i++ {
-		cmd := exec.Command(bin,
+		args := []string{
 			"-scenario", scenPath,
 			"-serve-shard", strconv.Itoa(i),
 			"-wire-addr", "127.0.0.1:0",
 			"-parallel", strconv.Itoa(runtime.NumCPU()),
-		)
+		}
+		// Shard 1 runs as an old server (-wire-legacy withholds the batched
+		// epoch-round capability), so this leg pins the mixed-version
+		// deployment: per-call protocol to shard 1, batched rounds to the
+		// rest, byte-identical answers regardless.
+		if i == 1 {
+			args = append(args, "-wire-legacy")
+		}
+		cmd := exec.Command(bin, args...)
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
 			t.Fatal(err)
