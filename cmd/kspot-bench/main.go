@@ -8,13 +8,15 @@
 //	kspot-bench -exp all          # run everything (the default)
 //	kspot-bench -exp e7 -scale .2 # quick run at reduced size
 //
-// Benchmark trajectory (machine-readable, see BENCH_PR9.json, which
-// carries the PR 3-8 trajectory forward; PR 7 — the wire transport —
+// Benchmark trajectory (machine-readable, see BENCH_PR10.json, which
+// carries the PR 3-9 trajectory forward; PR 7 — the wire transport —
 // recorded no trajectory run, so the file jumps from pr6 to pr8; PR 9
-// adds the wire-epoch-* rounds_per_epoch / wire_bytes_per_epoch entries):
+// added the wire-epoch-* rounds_per_epoch / wire_bytes_per_epoch entries;
+// PR 10 adds store-recovery (recovery_ms) and reshard-downtime
+// (resharding_downtime_epochs) for the durable tier):
 //
-//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR9.json
-//	kspot-bench -json -json-run pr10        # record under a new run name
+//	kspot-bench -json -scale 0.1            # measure and merge into BENCH_PR10.json
+//	kspot-bench -json -json-run pr11        # record under a new run name
 //	kspot-bench -json -json-out other.json  # write elsewhere
 //	kspot-bench -json -parallel 8           # add the parallel-sweep speedup leg
 //
@@ -50,8 +52,8 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile after the run to this file")
 		emitJSON   = flag.Bool("json", false, "measure benchmarks and merge into the JSON trajectory file")
-		jsonOut    = flag.String("json-out", "BENCH_PR9.json", "trajectory file -json writes")
-		jsonRun    = flag.String("json-run", "pr9", "run name -json records the measurement under")
+		jsonOut    = flag.String("json-out", "BENCH_PR10.json", "trajectory file -json writes")
+		jsonRun    = flag.String("json-run", "pr10", "run name -json records the measurement under")
 	)
 	flag.Parse()
 

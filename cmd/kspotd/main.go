@@ -54,6 +54,7 @@ import (
 	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -197,6 +198,7 @@ func main() {
 		epochs       = flag.Int("epochs", 0, "stop stepping after N epochs (0 = run until shutdown); HTTP keeps serving and streams end cleanly")
 		maxQueries   = flag.Int("max-queries", 0, "admission: cap on concurrently live queries (0 = unlimited)")
 		tenantQuota  = flag.Int("tenant-quota", 0, "admission: per-tenant cap on live queries (0 = unlimited)")
+		dataDir      = flag.String("data-dir", "", "durable historic tier: mirror each shard's windows into append-only segment files under this directory and recover them on restart (empty = in-memory only; answers are identical either way)")
 	)
 	flag.Var(&queries, "query", "extra SQL to post on the same deployment (repeatable)")
 	flag.Parse()
@@ -226,7 +228,7 @@ func main() {
 		}
 	}
 	if *serveShard >= 0 {
-		serveShardProcess(scen, *serveShard, *wireAddr, *parallel, *wireLive, *window, *wireLegacy)
+		serveShardProcess(scen, *serveShard, *wireAddr, *parallel, *wireLive, *window, *wireLegacy, *dataDir)
 		return
 	}
 	placement := scen.Placement()
@@ -246,8 +248,14 @@ func main() {
 		openOpts = append(openOpts, kspot.WithAdmission(kspot.AdmissionConfig{MaxQueries: *maxQueries, TenantQuota: *tenantQuota}))
 	}
 	if remote {
+		if *dataDir != "" {
+			log.Fatal("kspotd: -data-dir applies to shard processes (-serve-shard) or local deployments, not the -connect coordinator")
+		}
 		sys, err = kspot.OpenFederated(scen, strings.Split(*connect, ","), openOpts...)
 	} else {
+		if *dataDir != "" {
+			openOpts = append(openOpts, kspot.WithDataDir(*dataDir))
+		}
 		sys, err = kspot.Open(scen, append(openOpts, kspot.WithParallel(*parallel))...)
 	}
 	if err != nil {
@@ -365,6 +373,11 @@ func main() {
 		// calls, epoch rounds, retries, p50/p99 latency and bytes both ways.
 		if wm := sys.WireMetrics(); wm != nil {
 			out["wire"] = wm
+		}
+		// Durable-tier storage block, in shard order: segments, bytes on
+		// disk, last checkpointed epoch (all-zero without -data-dir).
+		if ss, err := sys.StorageStats(); err == nil {
+			out["storage"] = ss
 		}
 		st.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
@@ -503,7 +516,14 @@ pre{font-size:13px}</style></head><body>
 // drives it. The bound address is printed to stdout as "kspotd-wire
 // <addr>" so spawners can listen on port 0 and parse the outcome; SIGINT
 // or SIGTERM shuts the server down cleanly.
-func serveShardProcess(scen *config.Scenario, shard int, addr string, parallel int, live bool, window int, legacy bool) {
+func serveShardProcess(scen *config.Scenario, shard int, addr string, parallel int, live bool, window int, legacy bool, dataDir string) {
+	if dataDir != "" {
+		// Every shard process on a host can share one -data-dir: each
+		// shard's segments and journal live under its own shard-named
+		// subdirectory, and a restarted process finds them by the same
+		// deterministic path.
+		dataDir = filepath.Join(dataDir, scen.ShardName(shard))
+	}
 	srv, err := wire.NewServer(wire.ServerConfig{
 		Scenario:          scen,
 		Shard:             shard,
@@ -511,6 +531,7 @@ func serveShardProcess(scen *config.Scenario, shard int, addr string, parallel i
 		Live:              live,
 		LiveWindow:        window,
 		DisableEpochRound: legacy,
+		DataDir:           dataDir,
 	})
 	if err != nil {
 		log.Fatal("kspotd: ", err)

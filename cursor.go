@@ -180,6 +180,9 @@ func (c *Cursor) prepareRemote(algo Algorithm) error {
 	if _, err := snapshotOperator(algo); err != nil {
 		return err
 	}
+	key := string(algo) + "|" + c.plan.SenseKey
+	c.sys.groupMu.Lock()
+	defer c.sys.groupMu.Unlock()
 	if len(c.sys.remotes) > 1 {
 		m, err := fed.New(c.plan.Snapshot, fed.Config{}, c.sys.fedStats)
 		if err != nil {
@@ -187,9 +190,6 @@ func (c *Cursor) prepareRemote(algo Algorithm) error {
 		}
 		c.merger = m
 	}
-	key := string(algo) + "|" + c.plan.SenseKey
-	c.sys.groupMu.Lock()
-	defer c.sys.groupMu.Unlock()
 	st := c.sys.remoteKeys[key]
 	if st == nil || c.plan.Snapshot.K > st.cap {
 		// First query of the signature, or one needing a deeper ranking
@@ -202,13 +202,13 @@ func (c *Cursor) prepareRemote(algo Algorithm) error {
 			}
 		}
 		if st == nil {
-			st = &remoteKeyState{rqid: rqid, cap: c.plan.Snapshot.K}
+			st = &remoteKeyState{rqid: rqid, cap: c.plan.Snapshot.K, algo: string(c.wireAlgo()), sql: c.plan.Query}
 			c.sys.remoteKeys[key] = st
 		} else {
 			if err := c.sys.rcoord.WidenGroup(key, rqid); err != nil {
 				return err
 			}
-			st.rqid, st.cap = rqid, c.plan.Snapshot.K
+			st.rqid, st.cap, st.algo, st.sql = rqid, c.plan.Snapshot.K, string(c.wireAlgo()), c.plan.Query
 		}
 	}
 	c.rq = c.sys.rcoord.Schedule(key, st.rqid, c.mergeFunc(), c.cutK())
@@ -464,8 +464,9 @@ func (c *Cursor) runRemote() ([]Answer, error) {
 		return nil, err
 	}
 	exec := c.sys.nextQueryID()
-	execs := make([]*wire.HistoricExec, len(c.sys.remotes))
-	for i, cl := range c.sys.remotes {
+	remotes := c.sys.remoteClients()
+	execs := make([]*wire.HistoricExec, len(remotes))
+	for i, cl := range remotes {
 		execs[i] = cl.Historic(exec, string(c.algo), c.plan.Historic)
 	}
 	defer func() {

@@ -99,6 +99,21 @@ func OpenFederated(s *Scenario, addrs []string, opts ...OpenOption) (*System, er
 	if cfg.admission != nil {
 		sys.admission = engine.NewAdmission(*cfg.admission)
 	}
+	sys.wireCfg = cfg
+	clients, deps, err := dialShards(s, shardScens, addrs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sys.remotes = clients
+	sys.rcoord = engine.NewRemoteCoordinator(deps...)
+	return sys, nil
+}
+
+// dialShards dials every shard of a sharded scenario, returning the wire
+// clients and their deployments index-aligned with addrs. On any dial
+// failure the already-open clients close and the error returns.
+func dialShards(s *Scenario, shardScens []*Scenario, addrs []string, cfg openConfig) ([]*wire.Client, []*engine.RemoteDeployment, error) {
+	clients := make([]*wire.Client, 0, len(addrs))
 	deps := make([]*engine.RemoteDeployment, len(addrs))
 	for i, addr := range addrs {
 		// The shard's sensor roster, ascending — the positional frame of
@@ -123,20 +138,28 @@ func OpenFederated(s *Scenario, addrs []string, opts ...OpenOption) (*System, er
 			Faults:            cfg.wireFaults,
 		})
 		if err != nil {
-			for _, prev := range sys.remotes {
+			for _, prev := range clients {
 				prev.Close()
 			}
-			return nil, err
+			return nil, nil, err
 		}
-		sys.remotes = append(sys.remotes, cl)
+		clients = append(clients, cl)
 		deps[i] = engine.NewRemoteDeployment(s.ShardName(i), cl)
 	}
-	sys.rcoord = engine.NewRemoteCoordinator(deps...)
-	return sys, nil
+	return clients, deps, nil
 }
 
 // Remote reports whether this System coordinates remote shard processes.
 func (s *System) Remote() bool { return s.rcoord != nil }
+
+// remoteClients snapshots the shard client slice under groupMu — the slice
+// is swapped wholesale by a live re-sharding, so readers outside the group
+// lock must copy it rather than range s.remotes directly.
+func (s *System) remoteClients() []*wire.Client {
+	s.groupMu.Lock()
+	defer s.groupMu.Unlock()
+	return append([]*wire.Client(nil), s.remotes...)
+}
 
 // WireMetrics snapshots every shard connection's RTT/traffic accounting
 // (calls, epoch rounds, retries, p50/p99 latency, bytes both ways), in
@@ -145,8 +168,9 @@ func (s *System) WireMetrics() []wire.ClientMetrics {
 	if !s.Remote() {
 		return nil
 	}
-	out := make([]wire.ClientMetrics, 0, len(s.remotes))
-	for _, cl := range s.remotes {
+	remotes := s.remoteClients()
+	out := make([]wire.ClientMetrics, 0, len(remotes))
+	for _, cl := range remotes {
 		out = append(out, cl.Metrics())
 	}
 	return out
@@ -161,8 +185,9 @@ func (s *System) nextQueryID() uint32 { return s.qidSeq.Add(1) }
 // remote deployment (where a dead shard surfaces as the error).
 func (s *System) ShardStats() ([]RunStats, error) {
 	if s.Remote() {
-		rows := make([]RunStats, 0, len(s.remotes))
-		for _, cl := range s.remotes {
+		remotes := s.remoteClients()
+		rows := make([]RunStats, 0, len(remotes))
+		for _, cl := range remotes {
 			row, err := cl.Stats()
 			if err != nil {
 				return nil, err

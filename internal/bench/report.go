@@ -48,6 +48,14 @@ type MicroResult struct {
 	// epoch-round protocol drops rounds from 1+G to 1.
 	RoundsPerEpoch    float64 `json:"rounds_per_epoch,omitempty"`
 	WireBytesPerEpoch float64 `json:"wire_bytes_per_epoch,omitempty"`
+	// RecoveryMs and ReshardingDowntimeEpochs are the durable-tier axes
+	// (see internal/bench/durability.go): wall milliseconds to recover a
+	// full RecoveryNodes-segment store from disk, and mean lock-step epochs
+	// one live re-sharding migration leaves running on the old deployment
+	// (a pointer so a measured 0 — a cutover faster than one epoch —
+	// still serializes).
+	RecoveryMs               float64  `json:"recovery_ms,omitempty"`
+	ReshardingDowntimeEpochs *float64 `json:"resharding_downtime_epochs,omitempty"`
 	// UsPerNodePerEpoch and Workers annotate the scale-series entries —
 	// µs of epoch compute per sensor node, and the sweep worker bound the
 	// entry ran at. Deliberately not omitempty: they serialize as null on
@@ -114,6 +122,8 @@ func WriteJSON(w io.Writer, path, runName string, cfg RunConfig) error {
 		{"wire-epoch-percall", func() (MicroResult, error) { return microWireEpochRTT(WirePerCallSerialized) }},
 		{"wire-epoch-overlapped", func() (MicroResult, error) { return microWireEpochRTT(WirePerCallOverlapped) }},
 		{"wire-epoch-batched", func() (MicroResult, error) { return microWireEpochRTT(WireBatched) }},
+		{"store-recovery", func() (MicroResult, error) { return microStoreRecovery() }},
+		{"reshard-downtime", func() (MicroResult, error) { return microReshardDowntime() }},
 	}
 	// The scale series always runs sequentially (workers = 1) so the
 	// µs-per-node trajectory is comparable across hosts and PRs; the

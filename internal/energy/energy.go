@@ -124,6 +124,13 @@ func (l *Ledger) Charge(node int, microjoules float64) {
 // Node returns one node's total consumption in µJ.
 func (l *Ledger) Node(node int) float64 { return l.perNode[node] }
 
+// Set overwrites a node's account — restoring a checkpointed or migrated
+// shard resumes the exact partial sum the source accumulated, so later
+// charges extend it with the identical float operations.
+func (l *Ledger) Set(node int, microjoules float64) {
+	l.perNode[node] = microjoules
+}
+
 // Total returns the network-wide consumption in µJ. Summation runs in
 // node order so the floating-point result is identical across runs (map
 // iteration order would perturb the last ulp, which the fault layer's

@@ -106,6 +106,26 @@ type Unwrapper interface {
 	Unwrap() Transport
 }
 
+// Recorded decorates a transport with an extra ReadingsRecorder — how a
+// shard's durable tier (storage.Store) taps the sense commit without the
+// substrate knowing it exists. The inner transport's own recorder (a live
+// deployment's windows) still runs first.
+type Recorded struct {
+	Transport
+	Rec ReadingsRecorder
+}
+
+// RecordReadings implements ReadingsRecorder by fan-out: inner first.
+func (r Recorded) RecordReadings(e model.Epoch, readings map[model.NodeID]model.Reading) {
+	if inner, ok := r.Transport.(ReadingsRecorder); ok {
+		inner.RecordReadings(e, readings)
+	}
+	r.Rec.RecordReadings(e, readings)
+}
+
+// Unwrap implements Unwrapper.
+func (r Recorded) Unwrap() Transport { return r.Transport }
+
 // Baseof strips decorators off a transport, returning the innermost
 // substrate.
 func Baseof(t Transport) Transport {

@@ -349,10 +349,57 @@ func (c *RemoteCoordinator) runEpochLocked() {
 }
 
 // Shards returns the number of shard deployments.
-func (c *RemoteCoordinator) Shards() int { return len(c.deps) }
+func (c *RemoteCoordinator) Shards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.deps)
+}
 
 // Deployments returns the shard deployments, in shard order.
-func (c *RemoteCoordinator) Deployments() []*RemoteDeployment { return c.deps }
+func (c *RemoteCoordinator) Deployments() []*RemoteDeployment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*RemoteDeployment(nil), c.deps...)
+}
+
+// Install replaces the coordinator's shard deployments — the final step of
+// a live re-sharding migration. Taking the epoch lock IS the drain: no
+// epoch round, historic round or shard sweep can be in flight while the
+// swap happens, and the next Step fans out to the new shards. The epoch
+// clock and every scheduled group carry over untouched — the caller
+// re-attaches each group's rqid on the new shards before installing, so
+// coordinator-side group state needs no translation.
+func (c *RemoteCoordinator) Install(deps []*RemoteDeployment) error {
+	if len(deps) == 0 {
+		return fmt.Errorf("engine: remote coordinator needs at least one deployment")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deps = deps
+	return nil
+}
+
+// GroupQueries returns the scheduled acquisition groups' attached rqids in
+// group order — what a migration must re-attach on the target shards
+// before Install.
+func (c *RemoteCoordinator) GroupQueries() []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint32, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = g.query
+	}
+	return out
+}
+
+// EpochNow returns the next epoch the lock-step tier will run — migration
+// bookkeeping reads it before and after to count the epochs that elapsed
+// while the move was in flight.
+func (c *RemoteCoordinator) EpochNow() model.Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
 
 // Epoch runs one full federated epoch of a query: sense every shard,
 // acquire every shard, union the readings, merge the answers. A shard

@@ -38,10 +38,10 @@ type MicroHash struct {
 // count. Values outside [lo,hi] clamp into the boundary buckets.
 func NewMicroHash(win *Window, lo, hi model.Value, buckets int) (*MicroHash, error) {
 	if buckets < 1 {
-		return nil, fmt.Errorf("storage: microhash needs >= 1 bucket, got %d", buckets)
+		return nil, fmt.Errorf("storage: microhash.buckets: must be >= 1, got %d", buckets)
 	}
 	if lo >= hi {
-		return nil, fmt.Errorf("storage: microhash range [%v,%v] inverted", lo, hi)
+		return nil, fmt.Errorf("storage: microhash.range: [%v,%v] inverted", lo, hi)
 	}
 	return &MicroHash{
 		win:     win,
@@ -141,7 +141,7 @@ func (m *MicroHash) OffsetsAtLeast(v model.Value) []int {
 // Bucket returns the live window offsets currently chained in bucket b.
 func (m *MicroHash) Bucket(b int) ([]int, error) {
 	if b < 0 || b >= m.buckets {
-		return nil, fmt.Errorf("storage: bucket %d out of [0,%d)", b, m.buckets)
+		return nil, fmt.Errorf("storage: microhash.bucket[%d]: out of range [0,%d)", b, m.buckets)
 	}
 	m.compactChain(b, m.win.Pushes()-uint64(m.win.Len()))
 	var out []int

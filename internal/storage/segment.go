@@ -1,0 +1,246 @@
+package storage
+
+// Append-only segment files: the durable form of a Window. A segment is a
+// sequence of u32-length-framed records, each carrying the window push it
+// mirrors in the model codec's fixed64 quantized form (s64 centi-units, the
+// same quantization the wire's historic sums use) and a CRC32 of its
+// payload. The encoding is canonical — one byte form per record, enforced
+// on decode — so segments are fuzzable exactly like wire frames
+// (FuzzSegmentDecode pins decode∘re-encode identity).
+//
+// Records are fixed-size, so the byte offset of a push is a single multiply:
+// push counter c (Window.Pushes()−1 at push time, the same counter MicroHash
+// chains store) lives at (c−base)·recordWireSize, where base is the counter
+// at the last Clear truncation. Eviction therefore stays O(1): the in-memory
+// window forgets by ring arithmetic, the segment forgets nothing (flash
+// never erases in place), and MicroHash chain entries resolve to either tier
+// by the same subtraction.
+//
+// Recovery replays a segment front to back and truncates the torn tail: the
+// first record that is short, oversized, or fails its CRC ends the clean
+// prefix, and everything from there on is discarded — exactly one torn
+// record for a mid-write crash, never a whole window.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"kspot/internal/model"
+)
+
+// Record kinds. Version 1 segments hold only pushes; the kind byte is the
+// discriminator future checkpoint records extend.
+const (
+	RecordPush = 1
+)
+
+const (
+	// recordBodySize is the payload of a push record:
+	// kind u8 | epoch u32 | value s64.
+	recordBodySize = 1 + 4 + 8
+	// RecordWireSize is one framed push record on disk:
+	// len u32 | payload | crc u32.
+	RecordWireSize = 4 + recordBodySize + 4
+)
+
+// Record is one durable window push. Value is the reading in the model
+// codec's fixed64 quantized form — centi-units in an s64, the widened form
+// of model.FixedPoint that the wire's historic sums already use.
+type Record struct {
+	Kind  byte
+	Epoch model.Epoch
+	Value int64
+}
+
+// AppendRecord appends the canonical framed encoding of r to dst.
+func AppendRecord(dst []byte, r Record) []byte {
+	var body [recordBodySize]byte
+	body[0] = r.Kind
+	binary.LittleEndian.PutUint32(body[1:], uint32(r.Epoch))
+	binary.LittleEndian.PutUint64(body[5:], uint64(r.Value))
+	dst = binary.LittleEndian.AppendUint32(dst, recordBodySize)
+	dst = append(dst, body[:]...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(body[:]))
+}
+
+// DecodeRecord decodes one framed record from the front of b, returning the
+// bytes consumed. Every failure mode — short frame, wrong length, CRC
+// mismatch, unknown kind — is an error; a torn or corrupt record never
+// decodes partially.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < 4 {
+		return Record{}, 0, fmt.Errorf("storage: record frame truncated at %d bytes", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n != recordBodySize {
+		return Record{}, 0, fmt.Errorf("storage: record length %d, want %d", n, recordBodySize)
+	}
+	if len(b) < RecordWireSize {
+		return Record{}, 0, fmt.Errorf("storage: record torn at %d of %d bytes", len(b), RecordWireSize)
+	}
+	body := b[4 : 4+recordBodySize]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(b[4+recordBodySize:]); got != want {
+		return Record{}, 0, fmt.Errorf("storage: record crc %08x, want %08x", got, want)
+	}
+	r := Record{
+		Kind:  body[0],
+		Epoch: model.Epoch(binary.LittleEndian.Uint32(body[1:])),
+		Value: int64(binary.LittleEndian.Uint64(body[5:])),
+	}
+	if r.Kind != RecordPush {
+		return Record{}, 0, fmt.Errorf("storage: record kind %d unknown", r.Kind)
+	}
+	return r, RecordWireSize, nil
+}
+
+// ReplaySegment decodes the clean prefix of segment bytes: the records that
+// decode back to back from the front, and the length of that prefix. The
+// torn tail — anything after the first record that fails to decode — is not
+// an error; recovery truncates it.
+func ReplaySegment(b []byte) ([]Record, int) {
+	var recs []Record
+	clean := 0
+	for clean < len(b) {
+		r, n, err := DecodeRecord(b[clean:])
+		if err != nil {
+			break
+		}
+		recs = append(recs, r)
+		clean += n
+	}
+	return recs, clean
+}
+
+// Backend is the durable sink behind a Window: every accepted Push lands in
+// it, and Clear (a mote reboot) resets it. Memory is the default and keeps
+// the pre-durability behavior bit for bit; Disk appends segment files.
+type Backend interface {
+	// Append durably records one accepted push.
+	Append(Record) error
+	// Clear resets the backend after the window emptied (reboot): recovery
+	// must never resurrect pre-clear records.
+	Clear() error
+}
+
+// Memory is the no-op Backend — the default, identical to a window with no
+// backend at all.
+type Memory struct{}
+
+// Append implements Backend.
+func (Memory) Append(Record) error { return nil }
+
+// Clear implements Backend.
+func (Memory) Clear() error { return nil }
+
+// Disk is a file-backed Backend: one append-only segment file per window.
+// Writes are buffered in user space; Sync flushes them to the kernel, which
+// is the durability point a kill -9 cannot revoke (power-loss durability
+// would additionally fsync — deliberately kept off the push path).
+type Disk struct {
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	size    int64  // clean bytes on disk plus buffered bytes
+	records uint64 // records ever appended, including recovered ones
+	base    uint64 // records superseded by the last Clear truncation
+	buf     []byte
+}
+
+// OpenDisk opens (or creates) the segment at path, recovering its clean
+// record prefix and truncating any torn tail. The recovered records are
+// returned for the caller to replay into its in-memory window; appends
+// continue after them.
+func OpenDisk(path string) (*Disk, []Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("storage: reading segment %s: %w", path, err)
+	}
+	recs, clean := ReplaySegment(raw)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: opening segment %s: %w", path, err)
+	}
+	if clean < len(raw) {
+		if err := f.Truncate(int64(clean)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(int64(clean), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: seeking segment %s: %w", path, err)
+	}
+	return &Disk{
+		path:    path,
+		f:       f,
+		w:       bufio.NewWriter(f),
+		size:    int64(clean),
+		records: uint64(len(recs)),
+	}, recs, nil
+}
+
+// Append implements Backend.
+func (d *Disk) Append(r Record) error {
+	d.buf = AppendRecord(d.buf[:0], r)
+	if _, err := d.w.Write(d.buf); err != nil {
+		return fmt.Errorf("storage: appending to %s: %w", d.path, err)
+	}
+	d.size += int64(len(d.buf))
+	d.records++
+	return nil
+}
+
+// Clear implements Backend: the segment truncates to empty (the window's
+// Clear is a reboot, which wipes the mote's buffer), and every earlier push
+// counter becomes unresolvable.
+func (d *Disk) Clear() error {
+	d.w.Reset(d.f)
+	if err := d.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: clearing %s: %w", d.path, err)
+	}
+	if _, err := d.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("storage: clearing %s: %w", d.path, err)
+	}
+	d.size = 0
+	d.base = d.records
+	return nil
+}
+
+// Sync flushes buffered appends to the kernel — the per-epoch durability
+// point.
+func (d *Disk) Sync() error {
+	if err := d.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flushing %s: %w", d.path, err)
+	}
+	return nil
+}
+
+// Close flushes and closes the segment.
+func (d *Disk) Close() error {
+	ferr := d.w.Flush()
+	cerr := d.f.Close()
+	if ferr != nil {
+		return fmt.Errorf("storage: flushing %s: %w", d.path, ferr)
+	}
+	return cerr
+}
+
+// Size returns the segment's byte size including buffered appends.
+func (d *Disk) Size() int64 { return d.size }
+
+// Records returns the number of records ever appended, recovered included.
+func (d *Disk) Records() uint64 { return d.records }
+
+// OffsetOfPush maps a window push counter (the value MicroHash chains
+// store) to the record's byte offset in the segment, or −1 if the push
+// predates the last Clear or has not been appended — O(1), because records
+// are fixed-size and the segment only ever grows.
+func (d *Disk) OffsetOfPush(c uint64) int64 {
+	if c < d.base || c >= d.records {
+		return -1
+	}
+	return int64(c-d.base) * RecordWireSize
+}

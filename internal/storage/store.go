@@ -1,0 +1,308 @@
+package storage
+
+// Store is one shard's durable historic tier: a Window per sensor node,
+// fed every committed sense epoch, optionally mirrored into append-only
+// segment files (one per node) under a data directory. With an empty
+// directory the store is memory-backed — the default, byte-identical to
+// the pre-durability behavior except that the shard can now answer "what
+// have I buffered".
+//
+// Opening a store on a directory that already holds segments is recovery:
+// each segment's clean record prefix replays into a fresh window (torn
+// tails truncate, see segment.go) and the epoch cursor resumes at the
+// highest recovered epoch, so a restarted shard process re-records nothing
+// it already persisted and rejects nothing the coordinator replays at it.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"kspot/internal/model"
+)
+
+// Store is safe for concurrent use; the wire server records epochs and
+// serves snapshots from different calls.
+type Store struct {
+	mu       sync.Mutex
+	dir      string // "" = memory-backed
+	capacity int
+	windows  map[model.NodeID]*Window
+	disks    map[model.NodeID]*Disk
+	cursor   model.Epoch
+	hasCur   bool
+	err      error // first backend failure, sticky
+}
+
+// DefaultStoreWindow is the per-node capacity of the durable tier: deep
+// enough for every historic window the scenarios pose, shallow enough that
+// a mote-sized flash could hold it.
+const DefaultStoreWindow = 64
+
+// segName returns node n's segment file name.
+func segName(n model.NodeID) string { return fmt.Sprintf("node-%d.seg", n) }
+
+// OpenStore opens the durable tier. dir == "" selects the memory backend;
+// otherwise the directory is created if needed and any existing segments
+// are recovered.
+func OpenStore(dir string, capacity int) (*Store, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: store.capacity: must be >= 1, got %d", capacity)
+	}
+	s := &Store{
+		dir:      dir,
+		capacity: capacity,
+		windows:  make(map[model.NodeID]*Window),
+	}
+	if dir == "" {
+		return s, nil
+	}
+	s.disks = make(map[model.NodeID]*Disk)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: store dir %s: %w", dir, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: store dir %s: %w", dir, err)
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "node-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "node-"), ".seg"), 10, 32)
+		if err != nil {
+			continue
+		}
+		node := model.NodeID(id)
+		if _, err := s.recoverNode(node); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// recoverNode opens node's segment, replays its clean prefix into a fresh
+// window and attaches the segment for subsequent pushes.
+func (s *Store) recoverNode(node model.NodeID) (*Window, error) {
+	d, recs, err := OpenDisk(filepath.Join(s.dir, segName(node)))
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWindow(s.capacity)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	for _, r := range recs {
+		if err := w.Push(r.Epoch, model.FromFixed(model.FixedPoint(r.Value))); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("storage: replaying node %d: %w", node, err)
+		}
+	}
+	w.Attach(d)
+	s.windows[node] = w
+	s.disks[node] = d
+	if e, ok := w.LastEpoch(); ok && (!s.hasCur || e > s.cursor) {
+		s.cursor, s.hasCur = e, true
+	}
+	return w, nil
+}
+
+// window returns node's window, creating it (and its segment, in disk
+// mode) on first touch. Caller holds s.mu.
+func (s *Store) window(node model.NodeID) (*Window, error) {
+	if w, ok := s.windows[node]; ok {
+		return w, nil
+	}
+	if s.dir == "" {
+		w, err := NewWindow(s.capacity)
+		if err != nil {
+			return nil, err
+		}
+		s.windows[node] = w
+		return w, nil
+	}
+	return s.recoverNode(node)
+}
+
+// RecordReadings implements engine.ReadingsRecorder: it folds one
+// committed sense epoch into the durable tier. Replays of an epoch at or
+// below the cursor are skipped — that is what makes a restarted shard's
+// retried epoch round idempotent against what the dead process already
+// persisted. Backend failures stick in Err rather than poisoning the sense
+// path (a full disk must not change answers).
+func (s *Store) RecordReadings(e model.Epoch, readings map[model.NodeID]model.Reading) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hasCur && e <= s.cursor {
+		return
+	}
+	nodes := make([]model.NodeID, 0, len(readings))
+	for n := range readings {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		w, err := s.window(n)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		if le, ok := w.LastEpoch(); ok && e <= le {
+			continue // restored ahead of the cursor by a snapshot
+		}
+		if err := w.Push(e, readings[n].Value); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+	s.cursor, s.hasCur = e, true
+	for _, n := range nodes {
+		if d, ok := s.disks[n]; ok {
+			if err := d.Sync(); err != nil {
+				s.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// fail records the first backend failure. Caller holds s.mu.
+func (s *Store) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first backend failure, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Cursor returns the last recorded epoch — the checkpoint the /stats
+// storage block reports.
+func (s *Store) Cursor() (model.Epoch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursor, s.hasCur
+}
+
+// StoreStats is the storage block of the System Panel and /stats.
+type StoreStats struct {
+	Dir       string      `json:"dir,omitempty"`
+	Nodes     int         `json:"nodes"`
+	Segments  int         `json:"segments"`
+	Bytes     int64       `json:"bytes"`
+	LastEpoch model.Epoch `json:"last_checkpoint_epoch"`
+	HasEpoch  bool        `json:"checkpointed"`
+}
+
+// Stats snapshots the storage block.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{Dir: s.dir, Nodes: len(s.windows), LastEpoch: s.cursor, HasEpoch: s.hasCur}
+	for _, d := range s.disks {
+		st.Segments++
+		st.Bytes += d.Size()
+	}
+	return st
+}
+
+// State serializes the store for a shard snapshot: every node's buffered
+// window plus the epoch cursor, with each node's energy drawn from
+// energyOf (µJ, bit-exact across the wire). Nodes ascend, so the encoding
+// is canonical.
+func (s *Store) State(energyOf func(model.NodeID) float64) ShardState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ShardState{Epoch: s.cursor, HasEpoch: s.hasCur}
+	nodes := make([]model.NodeID, 0, len(s.windows))
+	for n := range s.windows {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		w := s.windows[n]
+		ns := NodeState{Node: n}
+		if energyOf != nil {
+			ns.EnergyUJ = energyOf(n)
+		}
+		for i := 0; i < w.Len(); i++ {
+			e, v, _ := w.At(i)
+			ns.Epochs = append(ns.Epochs, e)
+			ns.Values = append(ns.Values, int64(model.ToFixed(v)))
+		}
+		st.Nodes = append(st.Nodes, ns)
+	}
+	return st
+}
+
+// Restore replaces the store's contents with a snapshot's: each node's
+// window rebuilds from the snapshot records (in disk mode the node's
+// segment truncates and re-appends, so the data dir equals the snapshot),
+// and the cursor advances to the snapshot's. Restore never regresses the
+// cursor — a shard that already sensed past the snapshot keeps its lead.
+func (s *Store) Restore(st ShardState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ns := range st.Nodes {
+		w, err := s.window(ns.Node)
+		if err != nil {
+			return err
+		}
+		if err := w.Clear(); err != nil {
+			return err
+		}
+		for i := range ns.Epochs {
+			if err := w.Push(ns.Epochs[i], model.FromFixed(model.FixedPoint(ns.Values[i]))); err != nil {
+				return fmt.Errorf("storage: restoring node %d: %w", ns.Node, err)
+			}
+		}
+		if d, ok := s.disks[ns.Node]; ok {
+			if err := d.Sync(); err != nil {
+				return err
+			}
+		}
+	}
+	if st.HasEpoch && (!s.hasCur || st.Epoch > s.cursor) {
+		s.cursor, s.hasCur = st.Epoch, true
+	}
+	return nil
+}
+
+// Reset empties the durable tier for a new coordinator session: every
+// window clears (truncating its segment in disk mode) and the cursor
+// rewinds, so the new session records from its own epoch 0.
+func (s *Store) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range s.windows {
+		if err := w.Clear(); err != nil {
+			return err
+		}
+	}
+	s.cursor, s.hasCur = 0, false
+	return nil
+}
+
+// Close flushes and closes every segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, d := range s.disks {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.disks = nil
+	return first
+}

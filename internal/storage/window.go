@@ -23,12 +23,14 @@ type Window struct {
 	pushed   uint64 // monotone count of every Push ever (survives Clear)
 	lastE    model.Epoch
 	hasLast  bool
+	backend  Backend // nil = memory (no durable mirror)
 }
 
-// NewWindow returns a window holding up to capacity readings.
+// NewWindow returns a window holding up to capacity readings, with no
+// durable backend (the memory default every pre-durability caller keeps).
 func NewWindow(capacity int) (*Window, error) {
 	if capacity < 1 {
-		return nil, fmt.Errorf("storage: window capacity must be >= 1, got %d", capacity)
+		return nil, fmt.Errorf("storage: window.capacity: must be >= 1, got %d", capacity)
 	}
 	return &Window{
 		capacity: capacity,
@@ -36,6 +38,21 @@ func NewWindow(capacity int) (*Window, error) {
 		epochs:   make([]model.Epoch, capacity),
 	}, nil
 }
+
+// NewWindowOn returns a window mirroring every push into the backend.
+func NewWindowOn(capacity int, b Backend) (*Window, error) {
+	w, err := NewWindow(capacity)
+	if err != nil {
+		return nil, err
+	}
+	w.Attach(b)
+	return w, nil
+}
+
+// Attach sets the durable backend for subsequent pushes and clears. The
+// recovery path replays a segment into a plain window first and attaches
+// the segment after, so replayed records are not re-appended.
+func (w *Window) Attach(b Backend) { w.backend = b }
 
 // Capacity returns the maximum number of buffered readings.
 func (w *Window) Capacity() int { return w.capacity }
@@ -48,7 +65,16 @@ func (w *Window) Len() int { return w.size }
 // forward between reboots, and a reboot clears the buffer anyway).
 func (w *Window) Push(e model.Epoch, v model.Value) error {
 	if w.hasLast && e <= w.lastE {
-		return fmt.Errorf("storage: epoch %d not after %d", e, w.lastE)
+		return fmt.Errorf("storage: window.push: epoch %d not after %d", e, w.lastE)
+	}
+	fp := model.ToFixed(v)
+	if w.backend != nil {
+		// Durable-first: a push the segment did not take is a push that
+		// never happened (the in-memory state must be a prefix of disk,
+		// never ahead of it).
+		if err := w.backend.Append(Record{Kind: RecordPush, Epoch: e, Value: int64(fp)}); err != nil {
+			return err
+		}
 	}
 	idx := (w.start + w.size) % w.capacity
 	if w.size == w.capacity {
@@ -57,7 +83,7 @@ func (w *Window) Push(e model.Epoch, v model.Value) error {
 	} else {
 		w.size++
 	}
-	w.values[idx] = model.ToFixed(v)
+	w.values[idx] = fp
 	w.epochs[idx] = e
 	w.pushed++
 	w.lastE = e
@@ -86,7 +112,7 @@ func (w *Window) OffsetOfPush(c uint64) int {
 // At returns the i-th oldest buffered reading (0 = oldest).
 func (w *Window) At(i int) (model.Epoch, model.Value, error) {
 	if i < 0 || i >= w.size {
-		return 0, 0, fmt.Errorf("storage: index %d out of window [0,%d)", i, w.size)
+		return 0, 0, fmt.Errorf("storage: window.at[%d]: out of range [0,%d)", i, w.size)
 	}
 	idx := (w.start + i) % w.capacity
 	return w.epochs[idx], model.FromFixed(w.values[idx]), nil
@@ -113,9 +139,20 @@ func (w *Window) Epochs() []model.Epoch {
 	return out
 }
 
-// Clear empties the window (mote reboot).
-func (w *Window) Clear() {
+// LastEpoch returns the most recently pushed epoch, if any push has been
+// accepted since the last Clear.
+func (w *Window) LastEpoch() (model.Epoch, bool) { return w.lastE, w.hasLast }
+
+// Clear empties the window (mote reboot). A durable backend resets with it:
+// a reboot wipes the mote's buffer, so recovery must not resurrect it.
+func (w *Window) Clear() error {
+	if w.backend != nil {
+		if err := w.backend.Clear(); err != nil {
+			return err
+		}
+	}
 	w.start, w.size, w.hasLast = 0, 0, false
+	return nil
 }
 
 // TopK returns the window offsets of the k highest buffered values, ranked,

@@ -14,6 +14,7 @@ import (
 	"kspot/internal/engine"
 	"kspot/internal/model"
 	"kspot/internal/stats"
+	"kspot/internal/storage"
 	"kspot/internal/topk"
 )
 
@@ -83,11 +84,18 @@ func (c *ClientConfig) backoff() time.Duration {
 }
 
 // offeredCaps is the capability set the client puts in its hello.
+// DisableEpochRound models a pre-batching (and pre-durability) client, so
+// it withholds everything; CapEpochRound additionally needs a roster (the
+// positional frame the batched encoding is relative to).
 func (c *ClientConfig) offeredCaps() uint16 {
-	if len(c.Roster) == 0 || c.DisableEpochRound {
+	if c.DisableEpochRound {
 		return 0
 	}
-	return CapEpochRound
+	caps := CapSnapshot
+	if len(c.Roster) > 0 {
+		caps |= CapEpochRound
+	}
+	return caps
 }
 
 // clientNonce distinguishes client sessions on the server's at-most-once
@@ -647,6 +655,93 @@ func (c *Client) EpochRound(e model.Epoch, queries []uint32) (map[model.NodeID]m
 		results[i].Acq = engine.RemoteAcquisition{Answers: g.Answers, Readings: g.Override}
 	}
 	return rep.Readings, results, nil
+}
+
+// SupportsSnapshot reports whether the session negotiated CapSnapshot —
+// the shard can stream its durable state out (Snapshot) and in (Restore).
+func (c *Client) SupportsSnapshot() bool {
+	return uint16(c.caps.Load())&CapSnapshot != 0
+}
+
+// Snapshot streams the shard's durable state image — windows, epoch
+// cursor, per-node energy (storage.ShardState bytes) — in bounded chunks.
+// The server pins the image on the first chunk, so the result is
+// consistent even while epochs keep committing.
+func (c *Client) Snapshot() ([]byte, error) {
+	var img []byte
+	for {
+		f, err := c.call(MsgSnapshot, AppendSnapshotReq(nil, SnapshotReq{Offset: uint32(len(img))}))
+		if err != nil {
+			return nil, err
+		}
+		if f.Type != MsgSnapshotChunk {
+			return nil, fmt.Errorf("wire: snapshot reply %v", f.Type)
+		}
+		ch, err := DecodeSnapshotChunk(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if int(ch.Offset) != len(img) {
+			return nil, fmt.Errorf("wire: snapshot chunk at %d, want %d", ch.Offset, len(img))
+		}
+		if len(ch.Data) == 0 {
+			return nil, fmt.Errorf("wire: empty snapshot chunk at %d of %d", ch.Offset, ch.Total)
+		}
+		img = append(img, ch.Data...)
+		if uint32(len(img)) == ch.Total {
+			return img, nil
+		}
+	}
+}
+
+// Restore streams a state image into the shard in bounded chunks; the
+// server applies it atomically when the final byte arrives.
+func (c *Client) Restore(img []byte) error {
+	total := uint32(len(img))
+	off := 0
+	for {
+		end := off + SnapshotChunkSize
+		if end > len(img) {
+			end = len(img)
+		}
+		f, err := c.call(MsgRestore, AppendRestoreChunk(nil, RestoreChunk{Total: total, Offset: uint32(off), Data: img[off:end]}))
+		if err != nil {
+			return err
+		}
+		if f.Type != MsgRestored {
+			return fmt.Errorf("wire: restore reply %v", f.Type)
+		}
+		rep, err := DecodeRestored(f.Payload)
+		if err != nil {
+			return err
+		}
+		off = end
+		if off == len(img) {
+			if !rep.Applied {
+				return fmt.Errorf("wire: restore not applied after %d bytes", rep.Received)
+			}
+			return nil
+		}
+	}
+}
+
+// StorageStats fetches the shard's durable-tier storage block (segments,
+// bytes on disk, last checkpointed epoch).
+func (c *Client) StorageStats() (storage.StoreStats, error) {
+	f, err := c.call(MsgStats, nil)
+	if err != nil {
+		return storage.StoreStats{}, err
+	}
+	if f.Type != MsgStatsReply {
+		return storage.StoreStats{}, fmt.Errorf("wire: stats reply %v", f.Type)
+	}
+	var row struct {
+		Storage storage.StoreStats `json:"storage"`
+	}
+	if err := json.Unmarshal(f.Payload, &row); err != nil {
+		return storage.StoreStats{}, err
+	}
+	return row.Storage, nil
 }
 
 // Stats fetches the shard's traffic/energy counters.

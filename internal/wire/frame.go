@@ -84,6 +84,10 @@ const (
 	MsgClosed           // reply: acknowledged
 	MsgEpochRound       // batched epoch round: epoch + every group's query id
 	MsgEpochRoundReply  // reply: sense readings + every group's acquisition
+	MsgSnapshot         // fetch one bounded chunk of the shard state: offset
+	MsgSnapshotChunk    // reply: total size, offset, chunk bytes
+	MsgRestore          // push one bounded chunk of a shard state: total, offset, bytes
+	MsgRestored         // reply: bytes received so far, applied flag
 )
 
 // Capability bits, negotiated at handshake: the client offers its set in
@@ -94,6 +98,10 @@ const (
 	// CapEpochRound: the peer speaks the batched one-round epoch protocol
 	// (MsgEpochRound) with roster-positional readings encoding.
 	CapEpochRound uint16 = 1 << 0
+	// CapSnapshot: the peer speaks the shard snapshot/restore protocol
+	// (MsgSnapshot/MsgRestore) — chunked transfer of the durable tier's
+	// windows, epoch cursor and energy ledger.
+	CapSnapshot uint16 = 1 << 1
 )
 
 func (t MsgType) String() string {
@@ -140,6 +148,14 @@ func (t MsgType) String() string {
 		return "epoch-round"
 	case MsgEpochRoundReply:
 		return "epoch-round-reply"
+	case MsgSnapshot:
+		return "snapshot"
+	case MsgSnapshotChunk:
+		return "snapshot-chunk"
+	case MsgRestore:
+		return "restore"
+	case MsgRestored:
+		return "restored"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"path/filepath"
 	"slices"
 	"sync"
 
@@ -45,8 +46,17 @@ type ServerConfig struct {
 	// DisableEpochRound withholds CapEpochRound from the handshake and
 	// refuses MsgEpochRound — the server behaves like a pre-batching
 	// deployment, so mixed old/new federations are testable (a client
-	// falls back to the per-call protocol per shard).
+	// falls back to the per-call protocol per shard). It also withholds
+	// CapSnapshot: the flag models an old server, and old servers predate
+	// the durable tier.
 	DisableEpochRound bool
+	// DataDir, when non-empty, persists the shard across process deaths:
+	// the durable tier's segment files plus a session journal (coordinator
+	// nonce, attached queries, per-epoch energy checkpoints) live there, so
+	// a kill -9'd kspotd -serve-shard restarted on the same directory
+	// resumes the session mid-run. Empty keeps the memory backend — the
+	// default, byte-identical to the pre-durability server.
+	DataDir string
 }
 
 // Server wraps one shard's local substrate behind the framed protocol: the
@@ -68,6 +78,9 @@ type Server struct {
 	liveCancel context.CancelFunc
 	roster     []model.NodeID // shard node ids ascending: the positional frame
 
+	store   *storage.Store
+	journal *journal // nil without a data dir
+
 	mu          sync.Mutex
 	queries     map[uint32]*attachedQuery
 	historics   map[uint32]*historicExec
@@ -77,6 +90,8 @@ type Server struct {
 	evicted     uint64 // highest sequence evicted from the replay cache
 	replay      map[uint64][]byte
 	replayOrder []uint64
+	snapState   []byte // pinned snapshot image being served in chunks
+	restoreBuf  []byte // restore image being assembled from chunks
 
 	connMu sync.Mutex
 	ln     net.Listener
@@ -170,7 +185,50 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tp = inj
 	}
 	s.tp = tp
+	if err := s.openDurable(); err != nil {
+		s.stopLive()
+		return nil, err
+	}
 	return s, nil
+}
+
+// openDurable opens the shard's durable tier (the memory backend when no
+// data dir is configured) and, in durable mode, recovers the session
+// journal: the dead process's coordinator nonce (so the reconnecting
+// client does not look like a new session and trigger a reset), its
+// attached queries (replayed through the normal attach path — the shard
+// re-derives each operator from the journaled SQL), and the last flushed
+// energy checkpoint.
+func (s *Server) openDurable() error {
+	store, err := storage.OpenStore(s.cfg.DataDir, storage.DefaultStoreWindow)
+	if err != nil {
+		return err
+	}
+	s.store = store
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	j, jst, err := openJournal(filepath.Join(s.cfg.DataDir, "meta.journal"))
+	if err != nil {
+		store.Close()
+		return err
+	}
+	s.journal = j
+	s.nonce = jst.nonce
+	for _, a := range jst.attaches {
+		if err := s.attach(a); err != nil {
+			j.Close()
+			store.Close()
+			return fmt.Errorf("wire: replaying journaled attach %d (%q): %w", a.Query, a.SQL, err)
+		}
+	}
+	for n, uj := range jst.energy {
+		s.net.Ledger.Set(int(n), uj)
+		if b, ok := s.net.Budgets[n]; ok && b != nil {
+			b.Used = uj
+		}
+	}
+	return nil
 }
 
 // Name returns the shard's display name.
@@ -248,6 +306,12 @@ func (s *Server) Close() {
 	s.connMu.Unlock()
 	s.wg.Wait()
 	s.stopLive()
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 // serveConn runs one connection: handshake, then the request loop.
@@ -275,7 +339,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		// A new coordinator session: reset the at-most-once state and the
 		// session-scoped query registry. Network state (energy spent,
 		// counters) persists — the field does not reset because a new
-		// coordinator dialed in.
+		// coordinator dialed in. The durable tier and journal DO reset:
+		// they are session artifacts (a crash-restarted shard keeps them
+		// precisely because its coordinator's nonce is unchanged).
 		s.nonce = hello.Nonce
 		s.evicted = 0
 		s.replay = make(map[uint64][]byte)
@@ -283,9 +349,23 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.queries = make(map[uint32]*attachedQuery)
 		s.historics = make(map[uint32]*historicExec)
 		s.sensed = nil
+		s.snapState = nil
+		s.restoreBuf = nil
+		if err := s.store.Reset(); err != nil {
+			s.mu.Unlock()
+			WriteFrame(conn, &wbuf, Frame{Seq: f.Seq, Type: MsgError, Payload: []byte(err.Error())})
+			return
+		}
+		if s.journal != nil {
+			if err := s.journal.Nonce(hello.Nonce); err != nil {
+				s.mu.Unlock()
+				WriteFrame(conn, &wbuf, Frame{Seq: f.Seq, Type: MsgError, Payload: []byte(err.Error())})
+				return
+			}
+		}
 	}
 	s.mu.Unlock()
-	caps := CapEpochRound
+	caps := CapEpochRound | CapSnapshot
 	if s.cfg.DisableEpochRound {
 		caps = 0
 	}
@@ -386,6 +466,14 @@ func (s *Server) handle(f Frame) (MsgType, []byte, error) {
 		if err := s.attach(req); err != nil {
 			return 0, nil, err
 		}
+		// Journaled AFTER the attach succeeds (and not inside attach, which
+		// recovery replays): a journaled attach is one the shard will accept
+		// again on restart.
+		if s.journal != nil {
+			if err := s.journal.Attach(req); err != nil {
+				return 0, nil, err
+			}
+		}
 		return MsgAttached, AppendU32(nil, req.Query), nil
 
 	case MsgSense:
@@ -398,6 +486,7 @@ func (s *Server) handle(f Frame) (MsgType, []byte, error) {
 		// the post-commit readings are what this epoch's acquisitions see.
 		readings := engine.PresampleEpoch(s.tp, s.src, e)
 		engine.CommitSenseEpoch(s.tp, e, readings)
+		s.recordEpoch(e, readings)
 		s.senseEpoch, s.sensed = e, readings
 		return MsgReadings, AppendReadings(nil, e, readings), nil
 
@@ -431,6 +520,7 @@ func (s *Server) handle(f Frame) (MsgType, []byte, error) {
 		// per-call sequence).
 		readings := engine.PresampleEpoch(s.tp, s.src, req.Epoch)
 		engine.CommitSenseEpoch(s.tp, req.Epoch, readings)
+		s.recordEpoch(req.Epoch, readings)
 		s.senseEpoch, s.sensed = req.Epoch, readings
 		rep := EpochRoundReply{Epoch: req.Epoch, Readings: readings}
 		for _, qid := range req.Queries {
@@ -493,9 +583,82 @@ func (s *Server) handle(f Frame) (MsgType, []byte, error) {
 		delete(s.historics, exec)
 		return MsgReleased, AppendU32(nil, exec), nil
 
+	case MsgSnapshot:
+		if s.cfg.DisableEpochRound {
+			return 0, nil, fmt.Errorf("wire: snapshot not negotiated")
+		}
+		req, err := DecodeSnapshotReq(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if req.Offset == 0 {
+			// Pin a consistent image: later chunks slice this encoding even
+			// if epochs keep committing between requests.
+			s.snapState = storage.AppendShardState(nil, s.store.State(s.energyOf))
+		}
+		if s.snapState == nil {
+			return 0, nil, fmt.Errorf("wire: snapshot chunk %d without a pinned image", req.Offset)
+		}
+		img := s.snapState
+		if int(req.Offset) >= len(img) {
+			return 0, nil, fmt.Errorf("wire: snapshot offset %d beyond image of %d bytes", req.Offset, len(img))
+		}
+		end := int(req.Offset) + SnapshotChunkSize
+		if end > len(img) {
+			end = len(img)
+		}
+		payload := AppendSnapshotChunk(nil, SnapshotChunk{Total: uint32(len(img)), Offset: req.Offset, Data: img[req.Offset:end]})
+		if end == len(img) {
+			// Final byte served: drop the pin. A retry of this chunk replays
+			// from the at-most-once cache, never from the image.
+			s.snapState = nil
+		}
+		return MsgSnapshotChunk, payload, nil
+
+	case MsgRestore:
+		if s.cfg.DisableEpochRound {
+			return 0, nil, fmt.Errorf("wire: snapshot not negotiated")
+		}
+		req, err := DecodeRestoreChunk(f.Payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		if req.Offset == 0 {
+			s.restoreBuf = s.restoreBuf[:0]
+		}
+		if int(req.Offset) != len(s.restoreBuf) {
+			return 0, nil, fmt.Errorf("wire: restore chunk at %d, have %d bytes", req.Offset, len(s.restoreBuf))
+		}
+		s.restoreBuf = append(s.restoreBuf, req.Data...)
+		rep := RestoredReply{Received: uint32(len(s.restoreBuf))}
+		if uint32(len(s.restoreBuf)) == req.Total {
+			st, err := storage.DecodeShardState(s.restoreBuf)
+			s.restoreBuf = nil
+			if err != nil {
+				return 0, nil, err
+			}
+			if err := s.store.Restore(st); err != nil {
+				return 0, nil, err
+			}
+			// The moved nodes' energy arrives bit-exact: the ledger resumes
+			// the source shard's partial sums, so post-migration totals
+			// equal the never-migrated run's.
+			for _, ns := range st.Nodes {
+				s.net.Ledger.Set(int(ns.Node), ns.EnergyUJ)
+				if b, ok := s.net.Budgets[ns.Node]; ok && b != nil {
+					b.Used = ns.EnergyUJ
+				}
+			}
+			rep.Applied = true
+		}
+		return MsgRestored, AppendRestored(nil, rep), nil
+
 	case MsgStats:
 		row := stats.Collect(s.name, s.net, 0)
-		payload, err := json.Marshal(row)
+		payload, err := json.Marshal(struct {
+			stats.RunStats
+			Storage storage.StoreStats `json:"storage"`
+		}{row, s.store.Stats()})
 		if err != nil {
 			return 0, nil, err
 		}
@@ -508,6 +671,33 @@ func (s *Server) handle(f Frame) (MsgType, []byte, error) {
 		return 0, nil, fmt.Errorf("wire: unexpected %v request", f.Type)
 	}
 }
+
+// recordEpoch folds one committed sense epoch into the durable tier and,
+// in durable mode, checkpoints the energy ledger into the journal (the
+// restart floor: a kill -9 loses at most the epoch in flight). Called
+// under s.mu; both are best-effort for answers — the store skips epochs
+// it already persisted, and a storage failure sticks in store.Err()
+// rather than perturbing the sense path.
+func (s *Server) recordEpoch(e model.Epoch, readings map[model.NodeID]model.Reading) {
+	s.store.RecordReadings(e, readings)
+	if s.journal == nil {
+		return
+	}
+	ids := s.net.Ledger.Nodes()
+	nodes := make([]model.NodeID, 0, len(ids))
+	for _, id := range ids {
+		nodes = append(nodes, model.NodeID(id))
+	}
+	s.journal.Energy(e, nodes, s.energyOf)
+}
+
+// energyOf reads one node's ledger total in µJ.
+func (s *Server) energyOf(n model.NodeID) float64 {
+	return s.net.Ledger.Node(int(n))
+}
+
+// Store exposes the shard's durable tier (tests inspect recovery state).
+func (s *Server) Store() *storage.Store { return s.store }
 
 // acquireLocked runs one epoch of an attached query against the epoch's
 // committed sensing (s.mu held). For queries whose per-node inputs are

@@ -34,6 +34,7 @@ package kspot
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,7 @@ import (
 	"kspot/internal/query"
 	"kspot/internal/sim"
 	"kspot/internal/stats"
+	"kspot/internal/storage"
 	"kspot/internal/topk"
 	"kspot/internal/topk/fed"
 	"kspot/internal/topk/registry"
@@ -155,6 +157,11 @@ type System struct {
 	posted    bool
 	posting   int
 
+	// stores, when WithDataDir armed them, are the per-shard durable
+	// tiers: every committed sense epoch folds into shard i's store (and
+	// its segment files) through an engine.Recorded tap on the substrate.
+	stores []*storage.Store
+
 	// Remote deployments (OpenFederated): the shard networks live in other
 	// processes behind these wire clients; rcoord drives them through
 	// lock-step epochs. nets/source stay empty — there is no local
@@ -163,6 +170,7 @@ type System struct {
 	remotes []*wire.Client
 	rcoord  *engine.RemoteCoordinator
 	qidSeq  atomic.Uint32
+	wireCfg openConfig // the Open options, reused when Reshard dials new shards
 
 	// Multi-tenant serving state. admission, when non-nil, gates every
 	// Post (WithAdmission). groupMu serializes shared-acquisition group
@@ -181,11 +189,16 @@ type System struct {
 }
 
 // remoteKeyState tracks one remote shared-acquisition group's wire
-// attachment: the query id acquired each epoch and the ranking depth it
-// was planned at.
+// attachment: the query id acquired each epoch, the ranking depth it was
+// planned at, and the algorithm/SQL it was attached with — what a live
+// re-sharding migration replays onto the target shards (each shard
+// re-derives the operator from the SQL, exactly like the original
+// attach).
 type remoteKeyState struct {
 	rqid uint32
 	cap  int
+	algo string
+	sql  string
 }
 
 // OpenOption tunes how a scenario is opened.
@@ -194,6 +207,7 @@ type OpenOption func(*openConfig)
 type openConfig struct {
 	parallel  int
 	admission *engine.AdmissionConfig
+	dataDir   string
 
 	// Remote-deployment knobs (OpenFederated; see federated.go).
 	wireCall    time.Duration
@@ -209,6 +223,18 @@ type openConfig struct {
 // slot frees when the cursor is Closed). Zero-valued limits are unlimited.
 func WithAdmission(cfg AdmissionConfig) OpenOption {
 	return func(c *openConfig) { c.admission = &cfg }
+}
+
+// WithDataDir arms the durable historic tier on a local System: each
+// shard's committed sense epochs mirror into append-only segment files
+// under <dir>/<shard-name>/, recoverable by a later Open on the same
+// directory. Empty (the default) keeps the memory backend — behavior and
+// answers are byte-identical either way; the data dir only adds
+// durability and the /stats storage block. On a remote deployment the
+// shard processes own their durability (kspotd -serve-shard -data-dir);
+// this option applies to Open only.
+func WithDataDir(dir string) OpenOption {
+	return func(c *openConfig) { c.dataDir = dir }
 }
 
 // WithParallel bounds the worker count of every shard's level-synchronous
@@ -251,14 +277,21 @@ func Open(s *Scenario, opts ...OpenOption) (*System, error) {
 	if cfg.admission != nil {
 		sys.admission = engine.NewAdmission(*cfg.admission)
 	}
-	for _, sub := range shardScens {
+	for i, sub := range shardScens {
 		net, err := sub.Network()
 		if err != nil {
 			return nil, err
 		}
 		net.SetParallel(cfg.parallel)
 		sys.nets = append(sys.nets, net)
-		sys.dets = append(sys.dets, net)
+		if cfg.dataDir != "" {
+			store, err := storage.OpenStore(filepath.Join(cfg.dataDir, s.ShardName(i)), storage.DefaultStoreWindow)
+			if err != nil {
+				return nil, err
+			}
+			sys.stores = append(sys.stores, store)
+		}
+		sys.dets = append(sys.dets, sys.detBase(i))
 	}
 	if s.Faults.Enabled() {
 		if err := sys.armFaults(s.Faults); err != nil {
@@ -511,9 +544,9 @@ func (s *System) armFaultsLocked(cfg *faults.Config) error {
 	// flat deployment's single "shard" keeps the config verbatim.
 	cfgs := make([]faults.Config, len(s.nets))
 	dets := make([]engine.Transport, len(s.nets))
-	for i, net := range s.nets {
+	for i := range s.nets {
 		cfgs[i] = s.scenario.ShardFaults(*cfg, i)
-		inj, err := faults.Wrap(net, cfgs[i])
+		inj, err := faults.Wrap(s.detBase(i), cfgs[i])
 		if err != nil {
 			for j := 0; j < i; j++ {
 				s.nets[j].SetFault(nil)
@@ -532,9 +565,18 @@ func (s *System) armFaultsLocked(cfg *faults.Config) error {
 func (s *System) disarmFaultsLocked() {
 	for i, net := range s.nets {
 		net.SetFault(nil)
-		s.dets[i] = net
+		s.dets[i] = s.detBase(i)
 	}
 	s.faultCfg, s.faultCfgs = nil, nil
+}
+
+// detBase returns shard i's bare deterministic substrate: the simulated
+// network, tapped by the shard's durable tier when WithDataDir armed one.
+func (s *System) detBase(i int) engine.Transport {
+	if i < len(s.stores) && s.stores[i] != nil {
+		return engine.Recorded{Transport: s.nets[i], Rec: s.stores[i]}
+	}
+	return s.nets[i]
 }
 
 // detTransports returns the deterministic shard substrates, behind their
@@ -575,6 +617,12 @@ func (s *System) ensureLive(window int) {
 				panic("kspot: wrapping live substrate with armed faults: " + err.Error())
 			}
 			tp = inj
+		}
+		if i < len(s.stores) && s.stores[i] != nil {
+			// The durable tier records live epochs too: the tap sits above
+			// the injector so exactly the committed (post-fault) readings
+			// persist, mirroring the deterministic path.
+			tp = engine.Recorded{Transport: tp, Rec: s.stores[i]}
 		}
 		tps[i] = tp
 		deps[i] = engine.NewDeployment(s.scenario.ShardName(i), tp, s.source)
@@ -618,8 +666,10 @@ func (s *System) beginLiveRun() (tps []engine.Transport, sched *engine.Scheduler
 // concurrently with in-flight Steps; deterministic-only Systems need no
 // Close.
 func (s *System) Close() {
-	for _, cl := range s.remotes {
-		cl.Close()
+	if s.Remote() {
+		for _, cl := range s.remoteClients() {
+			cl.Close()
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -632,6 +682,41 @@ func (s *System) Close() {
 		s.liveCancel()
 		s.lives, s.liveTPs, s.sched, s.liveCancel = nil, nil, nil, nil
 	}
+	for _, store := range s.stores {
+		store.Close()
+	}
+	s.stores = nil
+}
+
+// StorageStats snapshots every shard's durable-tier storage block
+// (segments, bytes on disk, last checkpointed epoch), in shard order. On
+// a remote deployment the blocks come over the wire from each shard
+// process; on a local System without WithDataDir every shard reports the
+// zero block (no durable tier is armed).
+func (s *System) StorageStats() ([]storage.StoreStats, error) {
+	if s.Remote() {
+		s.groupMu.Lock()
+		remotes := append([]*wire.Client(nil), s.remotes...)
+		s.groupMu.Unlock()
+		out := make([]storage.StoreStats, 0, len(remotes))
+		for _, cl := range remotes {
+			st, err := cl.StorageStats()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, st)
+		}
+		return out, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]storage.StoreStats, len(s.nets))
+	for i := range s.nets {
+		if i < len(s.stores) && s.stores[i] != nil {
+			out[i] = s.stores[i].Stats()
+		}
+	}
+	return out, nil
 }
 
 // LiveWindows exposes the live deployment's buffered per-node history
@@ -663,7 +748,7 @@ func (s *System) SystemPanel(baseline *RunStats) string {
 		base = &b
 	}
 	if !s.Remote() && len(s.nets) == 1 {
-		return gui.SystemPanel(stats.Collect("current", s.nets[0], 0), base)
+		return gui.SystemPanel(stats.Collect("current", s.nets[0], 0), base) + s.storageLines()
 	}
 	rows, err := s.shardStatRows()
 	if err != nil {
@@ -679,7 +764,29 @@ func (s *System) SystemPanel(baseline *RunStats) string {
 		panel += fmt.Sprintf("  wire %s: %d calls (%d rounds, %d retried), p50 %dµs p99 %dµs, %dB out / %dB in\n",
 			m.Shard, m.Calls, m.Rounds, m.Retries, m.P50Micros, m.P99Micros, m.BytesOut, m.BytesIn)
 	}
+	panel += s.storageLines()
 	return panel + gui.SystemPanel(total, base)
+}
+
+// storageLines renders the panel's durable-tier block: one line per shard
+// that has checkpointed anything (empty when no durable tier is armed).
+func (s *System) storageLines() string {
+	blocks, err := s.StorageStats()
+	if err != nil {
+		return fmt.Sprintf("  storage unavailable: %v\n", err)
+	}
+	var out string
+	for i, b := range blocks {
+		if b.Nodes == 0 && !b.HasEpoch {
+			continue
+		}
+		line := fmt.Sprintf("  storage %s: %d nodes, %d segments, %dB on disk", s.scenario.ShardName(i), b.Nodes, b.Segments, b.Bytes)
+		if b.HasEpoch {
+			line += fmt.Sprintf(", last checkpoint epoch %d", b.LastEpoch)
+		}
+		out += line + "\n"
+	}
+	return out
 }
 
 // RenderSystemPanel renders a previously captured run against an optional

@@ -151,6 +151,72 @@ func TestWireScale1000LoopbackConformance(t *testing.T) {
 	checkScaleConformance(t, "loopback federation", got, flat, &inproc)
 }
 
+// buildKspotd builds the kspotd binary into dir and returns its path.
+func buildKspotd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "kspotd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/kspotd").CombinedOutput(); err != nil {
+		t.Fatalf("building kspotd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// spawnShardProc starts one kspotd -serve-shard process listening on
+// wireAddr (port 0 picks one) and returns the bound address it announced
+// plus the running command — callers kill it directly for crash tests;
+// a cleanup SIGTERMs whatever is still alive at test end.
+func spawnShardProc(t *testing.T, bin, scenPath string, shard int, wireAddr string, extra ...string) (string, *exec.Cmd) {
+	t.Helper()
+	args := append([]string{
+		"-scenario", scenPath,
+		"-serve-shard", strconv.Itoa(shard),
+		"-wire-addr", wireAddr,
+		"-parallel", strconv.Itoa(runtime.NumCPU()),
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = nil
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawning shard %d: %v", shard, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	})
+	// The shard prints "kspotd-wire <addr>" once it listens.
+	sc := bufio.NewScanner(stdout)
+	lineCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "kspotd-wire ") {
+				lineCh <- strings.TrimPrefix(sc.Text(), "kspotd-wire ")
+				break
+			}
+		}
+		close(lineCh)
+	}()
+	select {
+	case addr, ok := <-lineCh:
+		if !ok || addr == "" {
+			t.Fatalf("shard %d exited before announcing its address", shard)
+		}
+		return addr, cmd
+	case <-time.After(30 * time.Second):
+		t.Fatalf("shard %d did not announce its address", shard)
+	}
+	return "", nil
+}
+
 // TestProcessFederatedScale1000 is the N+1-process conformance pin: build
 // the kspotd binary, spawn four real -serve-shard processes on loopback,
 // coordinate them from this process via OpenFederated, and require the
@@ -161,10 +227,7 @@ func TestProcessFederatedScale1000(t *testing.T) {
 		t.Skip("spawns subprocesses in -short mode")
 	}
 	dir := t.TempDir()
-	bin := filepath.Join(dir, "kspotd")
-	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/kspotd").CombinedOutput(); err != nil {
-		t.Fatalf("building kspotd: %v\n%s", err, out)
-	}
+	bin := buildKspotd(t, dir)
 
 	scen := scale1000Sharded(t)
 	scenPath := filepath.Join(dir, "scale-1000x4.json")
@@ -175,60 +238,15 @@ func TestProcessFederatedScale1000(t *testing.T) {
 	const shards = 4
 	addrs := make([]string, shards)
 	for i := 0; i < shards; i++ {
-		args := []string{
-			"-scenario", scenPath,
-			"-serve-shard", strconv.Itoa(i),
-			"-wire-addr", "127.0.0.1:0",
-			"-parallel", strconv.Itoa(runtime.NumCPU()),
-		}
 		// Shard 1 runs as an old server (-wire-legacy withholds the batched
 		// epoch-round capability), so this leg pins the mixed-version
 		// deployment: per-call protocol to shard 1, batched rounds to the
 		// rest, byte-identical answers regardless.
+		var extra []string
 		if i == 1 {
-			args = append(args, "-wire-legacy")
+			extra = append(extra, "-wire-legacy")
 		}
-		cmd := exec.Command(bin, args...)
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			t.Fatal(err)
-		}
-		cmd.Stderr = nil
-		if err := cmd.Start(); err != nil {
-			t.Fatalf("spawning shard %d: %v", i, err)
-		}
-		t.Cleanup(func() {
-			cmd.Process.Signal(syscall.SIGTERM)
-			done := make(chan struct{})
-			go func() { cmd.Wait(); close(done) }()
-			select {
-			case <-done:
-			case <-time.After(5 * time.Second):
-				cmd.Process.Kill()
-				<-done
-			}
-		})
-		// The shard prints "kspotd-wire <addr>" once it listens.
-		sc := bufio.NewScanner(stdout)
-		lineCh := make(chan string, 1)
-		go func() {
-			for sc.Scan() {
-				if strings.HasPrefix(sc.Text(), "kspotd-wire ") {
-					lineCh <- strings.TrimPrefix(sc.Text(), "kspotd-wire ")
-					break
-				}
-			}
-			close(lineCh)
-		}()
-		select {
-		case addr, ok := <-lineCh:
-			if !ok || addr == "" {
-				t.Fatalf("shard %d exited before announcing its address", i)
-			}
-			addrs[i] = addr
-		case <-time.After(30 * time.Second):
-			t.Fatalf("shard %d did not announce its address", i)
-		}
+		addrs[i], _ = spawnShardProc(t, bin, scenPath, i, "127.0.0.1:0", extra...)
 	}
 
 	flat := scale1000Flat(t)
@@ -249,4 +267,128 @@ func TestProcessFederatedScale1000(t *testing.T) {
 	}
 	got := runScaleWorkload(t, remote)
 	checkScaleConformance(t, fmt.Sprintf("%d-process federation", shards+1), got, flat, &inproc)
+}
+
+// TestProcessShardCrashRestartConformance is the durability pin: four
+// real -serve-shard processes run with -data-dir, one is SIGKILLed between
+// epochs with the next Step already issued against it, and a replacement
+// process restarted from the same data directory at the same address picks
+// the session up — journaled nonce (no session reset), replayed attaches,
+// recovered windows and energy checkpoint — so the full answer stream AND
+// the federated historic run stay byte-identical to the flat simulation.
+func TestProcessShardCrashRestartConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses in -short mode")
+	}
+	dir := t.TempDir()
+	bin := buildKspotd(t, dir)
+
+	scen := scale1000Sharded(t)
+	scenPath := filepath.Join(dir, "scale-1000x4.json")
+	if err := scen.Save(scenPath); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(dir, "data")
+
+	const shards = 4
+	addrs := make([]string, shards)
+	cmds := make([]*exec.Cmd, shards)
+	for i := 0; i < shards; i++ {
+		addrs[i], cmds[i] = spawnShardProc(t, bin, scenPath, i, "127.0.0.1:0", "-data-dir", dataDir)
+	}
+
+	flat := scale1000Flat(t)
+
+	// A generous retry budget rides out the restart window: attempts
+	// against the dead socket fail fast and back off until the replacement
+	// binds the same port.
+	remote, err := OpenFederated(scen, addrs, WithWireRetry(10, 200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	cur, err := remote.Post(scaleSnapshotSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []StepResult
+	res, err := cur.Step() // epoch 0 on the original processes
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps = append(steps, res)
+
+	// kill -9 one shard — no shutdown path runs; durability is whatever
+	// the per-epoch segment sync and journal flush already put on disk.
+	const victim = 2
+	if err := cmds[victim].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmds[victim].Wait()
+
+	// Issue the next epoch's Step BEFORE the replacement exists: it must
+	// retry against the dead address while the restart is in flight, then
+	// complete on the recovered shard.
+	type stepOut struct {
+		res StepResult
+		err error
+	}
+	ch := make(chan stepOut, 1)
+	go func() {
+		r, err := cur.Step() // epoch 1, spanning the crash
+		ch <- stepOut{r, err}
+	}()
+	time.Sleep(300 * time.Millisecond) // let the step hit the dead socket
+	addrs[victim], cmds[victim] = spawnShardProc(t, bin, scenPath, victim, addrs[victim], "-data-dir", dataDir)
+	out := <-ch
+	if out.err != nil {
+		t.Fatalf("step spanning the crash: %v", out.err)
+	}
+	steps = append(steps, out.res)
+
+	res, err = cur.Step() // epoch 2 on the recovered deployment
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps = append(steps, res)
+
+	stepEqualByteIdentical(t, "crash-restart snapshot vs flat", steps, flat.steps)
+	for e := range steps {
+		if !steps[e].Correct {
+			t.Fatalf("epoch %d: answers %v diverged from oracle %v", e, steps[e].Answers, steps[e].Exact)
+		}
+	}
+
+	// The federated historic run on the recovered deployment equals the
+	// flat one.
+	hcur, err := remote.Post(scaleHistoricSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	historic, err := hcur.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(answerBytes(historic), answerBytes(flat.historic)) {
+		t.Fatalf("crash-restart historic %v, flat %v", historic, flat.historic)
+	}
+
+	// Every shard — including the restarted one — checkpointed all three
+	// epochs into real on-disk segments.
+	ss, err := remote.StorageStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != shards {
+		t.Fatalf("storage rows: %d", len(ss))
+	}
+	for i, st := range ss {
+		if !st.HasEpoch || st.LastEpoch != scaleEpochs-1 {
+			t.Fatalf("shard %d checkpoint: %+v", i, st)
+		}
+		if st.Segments == 0 || st.Bytes == 0 {
+			t.Fatalf("shard %d has no durable segments: %+v", i, st)
+		}
+	}
 }

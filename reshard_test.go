@@ -1,0 +1,304 @@
+package kspot
+
+// Live elastic re-sharding conformance: a remote federation migrated
+// 2→4→2 shards mid-run — posted cursors stepping throughout, one leg with
+// a cursor stepping concurrently with the migration — must answer every
+// epoch byte-identically to the flat simulation, with recall pinned at
+// 1.0 through the move (stats.Score per epoch against the oracle), the
+// durable windows and energy ledgers carried bit-exact onto the targets,
+// and a post-migration historic run equal to the flat one.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"kspot/internal/model"
+	"kspot/internal/stats"
+	"kspot/internal/storage"
+)
+
+const (
+	reshardNodes = 320 // 16 clusters — splits 2 and 4 ways
+	reshardSQLA  = "SELECT TOP 3 roomid, AVG(sound) FROM sensors GROUP BY roomid"
+	reshardSQLB  = "SELECT TOP 2 roomid, MAX(sound) FROM sensors GROUP BY roomid"
+)
+
+func reshardScen(t *testing.T, shards int) *Scenario {
+	t.Helper()
+	scen, err := ScaleScenarioShards(reshardNodes, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scen
+}
+
+// stepScored steps a cursor n times, requiring recall 1.0 against the
+// oracle at every epoch (the migration must not cost a single answer).
+func stepScored(t *testing.T, label string, cur *Cursor, n int, got *[]StepResult) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		res, err := cur.Step()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if m := stats.Score(res.Answers, res.Exact); m.Recall != 1 {
+			t.Fatalf("%s epoch %d: recall %v (answers %v, oracle %v)", label, res.Epoch, m.Recall, res.Answers, res.Exact)
+		}
+		*got = append(*got, res)
+	}
+}
+
+func TestLiveReshardGrowShrinkConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-shard migration conformance in -short mode")
+	}
+	const legEpochs = 3
+	const totalEpochs = 3 * legEpochs
+
+	// Flat reference: both cursors posted upfront, stepped interleaved.
+	flatScen, err := ScaleScenario(reshardNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatSys, err := Open(flatScen, WithParallel(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flatSys.Close()
+	flatCurA, err := flatSys.Post(reshardSQLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatCurB, err := flatSys.Post(reshardSQLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flatA, flatB []StepResult
+	for i := 0; i < totalEpochs; i++ {
+		stepScored(t, "flat A", flatCurA, 1, &flatA)
+		stepScored(t, "flat B", flatCurB, 1, &flatB)
+	}
+	flatHist, err := flatSys.Post(scaleHistoricSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatHistoric, err := flatHist.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The migrating federation starts 2-sharded.
+	scen2 := reshardScen(t, 2)
+	addrs2, _ := startWireShards(t, scen2, runtime.NumCPU())
+	sys, err := OpenFederated(scen2, addrs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	curA, err := sys.Post(reshardSQLA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curB, err := sys.Post(reshardSQLB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Leg 1 on 2 shards.
+	var gotA, gotB []StepResult
+	for i := 0; i < legEpochs; i++ {
+		stepScored(t, "2-shard A", curA, 1, &gotA)
+		stepScored(t, "2-shard B", curB, 1, &gotB)
+	}
+
+	// Grow 2→4 while the deployment is quiescent between steps.
+	scen4 := reshardScen(t, 4)
+	addrs4, _ := startWireShards(t, scen4, runtime.NumCPU())
+	rep, err := sys.Reshard(scen4, addrs4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FromShards != 2 || rep.ToShards != 4 {
+		t.Fatalf("grow report %+v", rep)
+	}
+	if rep.Queries != 2 {
+		t.Fatalf("grow replayed %d queries, want 2", rep.Queries)
+	}
+	if rep.MovedBytes == 0 {
+		t.Fatal("grow moved no snapshot bytes")
+	}
+	if rep.DowntimeEpochs != 0 {
+		t.Fatalf("quiescent grow reported %d downtime epochs", rep.DowntimeEpochs)
+	}
+	if sys.Shards() != 4 {
+		t.Fatalf("post-grow Shards() = %d", sys.Shards())
+	}
+
+	// The durable tier moved with the nodes: every target shard carries its
+	// roster's windows and the epoch cursor of the source snapshots.
+	ss, err := sys.StorageStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 4 {
+		t.Fatalf("post-grow storage rows: %d", len(ss))
+	}
+	nodes := 0
+	for i, st := range ss {
+		nodes += st.Nodes
+		if !st.HasEpoch || st.LastEpoch != legEpochs-1 {
+			t.Fatalf("post-grow shard %d cursor: %+v", i, st)
+		}
+	}
+	if nodes != reshardNodes {
+		t.Fatalf("post-grow windows cover %d nodes, want %d", nodes, reshardNodes)
+	}
+
+	// Leg 2 on 4 shards — same cursors, same epoch clock.
+	for i := 0; i < legEpochs; i++ {
+		stepScored(t, "4-shard A", curA, 1, &gotA)
+		stepScored(t, "4-shard B", curB, 1, &gotB)
+	}
+
+	// Shrink 4→2 WHILE cursor A steps concurrently: the migration must not
+	// stop the posted queries, and every epoch that lands during it still
+	// answers exactly (on whichever deployment ran it).
+	scen2b := reshardScen(t, 2)
+	addrs2b, _ := startWireShards(t, scen2b, runtime.NumCPU())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var concA []StepResult
+	var concErr error
+	go func() {
+		defer wg.Done()
+		for i := 0; i < legEpochs; i++ {
+			res, err := curA.Step()
+			if err != nil {
+				concErr = err
+				return
+			}
+			if m := stats.Score(res.Answers, res.Exact); m.Recall != 1 {
+				concErr = fmt.Errorf("epoch %d: recall %v during migration", res.Epoch, m.Recall)
+				return
+			}
+			concA = append(concA, res)
+		}
+	}()
+	rep2, err := sys.Reshard(scen2b, addrs2b)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if concErr != nil {
+		t.Fatalf("concurrent stepping during shrink: %v", concErr)
+	}
+	if rep2.FromShards != 4 || rep2.ToShards != 2 {
+		t.Fatalf("shrink report %+v", rep2)
+	}
+	gotA = append(gotA, concA...)
+	// Cursor B catches up on its buffered epochs (the shared clock ran them
+	// whenever A stepped).
+	for i := 0; i < legEpochs; i++ {
+		stepScored(t, "post-shrink B", curB, 1, &gotB)
+	}
+
+	stepEqualByteIdentical(t, "resharded A vs flat", gotA, flatA)
+	stepEqualByteIdentical(t, "resharded B vs flat", gotB, flatB)
+
+	// Historic after two migrations still equals the flat run.
+	hcur, err := sys.Post(scaleHistoricSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	historic, err := hcur.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(answerBytes(historic), answerBytes(flatHistoric)) {
+		t.Fatalf("post-migration historic %v, flat %v", historic, flatHistoric)
+	}
+}
+
+func TestReshardValidation(t *testing.T) {
+	// Not a remote deployment.
+	local, err := Open(DemoScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Reshard(reshardScen(t, 2), []string{"a", "b"}); err == nil || !strings.Contains(err.Error(), "remote") {
+		t.Fatalf("local Reshard: %v", err)
+	}
+
+	scen2 := reshardScen(t, 2)
+	addrs2, _ := startWireShards(t, scen2, 1)
+	sys, err := OpenFederated(scen2, addrs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Address count must match the new partition.
+	if _, err := sys.Reshard(reshardScen(t, 4), addrs2); err == nil || !strings.Contains(err.Error(), "addresses") {
+		t.Fatalf("addr mismatch: %v", err)
+	}
+	// Single-shard targets are rejected.
+	flat, err := ScaleScenario(reshardNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Reshard(flat, []string{"127.0.0.1:1"}); err == nil || !strings.Contains(err.Error(), "at least 2") {
+		t.Fatalf("single-shard target: %v", err)
+	}
+	// A different flat deployment is rejected before anything is dialed.
+	other := shardedDemo(t, 2)
+	if _, err := sys.Reshard(other, []string{"127.0.0.1:1", "127.0.0.1:2"}); err == nil || !strings.Contains(err.Error(), "same flat deployment") {
+		t.Fatalf("skewed scenario: %v", err)
+	}
+}
+
+func TestMergeShardStates(t *testing.T) {
+	states := []storage.ShardState{
+		{Epoch: 4, HasEpoch: true, Nodes: []storage.NodeState{
+			{Node: 3, EnergyUJ: 1.5, Epochs: []model.Epoch{4}, Values: []int64{100}},
+			{Node: 1, EnergyUJ: 0.5, Epochs: []model.Epoch{4}, Values: []int64{200}},
+		}},
+		{Epoch: 5, HasEpoch: true, Nodes: []storage.NodeState{
+			{Node: 2, EnergyUJ: 2.5, Epochs: []model.Epoch{5}, Values: []int64{300}},
+		}},
+	}
+	// Note: FilterNodes preserves source order; the merge re-sorts, so feed
+	// it canonical per-source order like real snapshots have.
+	states[0].Nodes[0], states[0].Nodes[1] = states[0].Nodes[1], states[0].Nodes[0]
+
+	merged := storage.MergeShardStates(states, map[model.NodeID]bool{1: true, 2: true, 3: true})
+	if !merged.HasEpoch || merged.Epoch != 5 {
+		t.Fatalf("merged cursor %v/%v, want 5/true", merged.Epoch, merged.HasEpoch)
+	}
+	if len(merged.Nodes) != 3 {
+		t.Fatalf("merged %d nodes", len(merged.Nodes))
+	}
+	for i, want := range []model.NodeID{1, 2, 3} {
+		if merged.Nodes[i].Node != want {
+			t.Fatalf("node %d = %d, want %d", i, merged.Nodes[i].Node, want)
+		}
+	}
+	// A partition with no kept nodes contributes nothing — not even its
+	// cursor.
+	empty := storage.MergeShardStates(states, map[model.NodeID]bool{9: true})
+	if empty.HasEpoch || len(empty.Nodes) != 0 {
+		t.Fatalf("empty merge: %+v", empty)
+	}
+	// Round-trips through the canonical codec.
+	img := storage.AppendShardState(nil, merged)
+	back, err := storage.DecodeShardState(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, storage.AppendShardState(nil, back)) {
+		t.Fatal("merged state does not re-encode canonically")
+	}
+}
